@@ -1,0 +1,52 @@
+"""Shared contexts for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section and prints the rows/series it reports, alongside the paper's own
+numbers where available.  Run with ``pytest benchmarks/ --benchmark-only``
+(add ``-s`` to see the printed tables inline).
+"""
+
+import pytest
+
+from repro.baselines import CpuModel, HeonGpuModel, TensorFheModel
+from repro.core import NEO_CONFIG, NeoContext
+
+
+@pytest.fixture(scope="session")
+def neo_c():
+    return NeoContext("C", config=NEO_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def neo_d():
+    return NeoContext("D", config=NEO_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def neo_b_hybrid():
+    return NeoContext("B", config=NEO_CONFIG.with_overrides(keyswitch="hybrid"))
+
+
+@pytest.fixture(scope="session")
+def tensorfhe_a():
+    return TensorFheModel("A")
+
+
+@pytest.fixture(scope="session")
+def tensorfhe_b():
+    return TensorFheModel("B")
+
+
+@pytest.fixture(scope="session")
+def tensorfhe_c():
+    return TensorFheModel("C")
+
+
+@pytest.fixture(scope="session")
+def heongpu_e():
+    return HeonGpuModel("E")
+
+
+@pytest.fixture(scope="session")
+def cpu_h():
+    return CpuModel("H")

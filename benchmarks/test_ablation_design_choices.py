@@ -1,0 +1,71 @@
+"""Design-choice ablations beyond the paper's Fig. 14.
+
+DESIGN.md calls out three modelling/design knobs worth isolating:
+kernel fusion (Section 4.6), multi-stream overlap (Section 4.6), and the
+multi-GPU extension.  Each must help (or be neutral), and the magnitudes
+are recorded for EXPERIMENTS.md.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import NEO_CONFIG, NeoContext
+from repro.gpu.multi_gpu import NVLINK3, MultiGpuModel
+
+
+def _build_rows():
+    rows = []
+    base = NeoContext("C", config=NEO_CONFIG)
+    base_t = base.operation_time_us("hmult", 35)
+    rows.append(["Neo (full)", f"{base_t:.0f}", "1.00"])
+
+    unfused = NeoContext("C", config=NEO_CONFIG.with_overrides(fused=False))
+    t = unfused.operation_time_us("hmult", 35)
+    rows.append(["- kernel fusion", f"{t:.0f}", f"{t / base_t:.2f}"])
+
+    for streams in (1, 2, 4, 16):
+        ctx = NeoContext("C", config=NEO_CONFIG.with_overrides(streams=streams))
+        t = ctx.operation_time_us("hmult", 35)
+        rows.append([f"streams={streams}", f"{t:.0f}", f"{t / base_t:.2f}"])
+    return rows, base
+
+
+def test_fusion_and_streams(benchmark):
+    rows, base = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            ["configuration", "HMULT us", "vs Neo"],
+            rows,
+            title="Design-choice ablation: fusion and multi-stream (Set C, l=35)",
+        )
+    )
+    table = {row[0]: float(row[2]) for row in rows}
+    assert table["- kernel fusion"] >= 1.0, "fusion must not hurt"
+    assert table["streams=1"] >= table["streams=4"] >= 1.0
+    assert table["streams=16"] <= table["streams=1"]
+
+
+def test_multi_gpu_extension(benchmark):
+    ctx = NeoContext("C", config=NEO_CONFIG)
+    trace = ctx.operation_trace("hmult", 35)
+
+    def scaling():
+        return {
+            g: MultiGpuModel(g, interconnect=NVLINK3).speedup(trace)
+            for g in (1, 2, 4, 8)
+        }
+
+    speedups = benchmark(scaling)
+    rows = [
+        [g, f"{s:.2f}x", f"{s / g:.0%}"] for g, s in speedups.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["GPUs", "speedup", "efficiency"],
+            rows,
+            title="Extension: HE-Booster-style multi-GPU scaling of HMULT",
+        )
+    )
+    assert speedups[1] == 1.0
+    assert speedups[2] > 1.3
+    assert speedups[8] > speedups[4] > speedups[2]

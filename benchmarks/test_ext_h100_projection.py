@@ -1,0 +1,59 @@
+"""Extension: projecting Neo onto an H100 (what-if study).
+
+The paper's methodology (architecture-aware mapping, fixed attainment
+fractions) transfers directly to newer hardware.  Hopper more than triples
+FP64 tensor-core throughput and doubles HBM bandwidth, so Neo's
+TCU-resident kernels should gain more than the CUDA-only baseline does.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.apps import PackBootstrap, ResNetApp
+from repro.baselines import HeonGpuModel
+from repro.core import NEO_CONFIG, NeoContext
+from repro.gpu.device import A100, H100
+
+APPS = (PackBootstrap(), ResNetApp(20))
+
+
+def _build_rows():
+    rows = []
+    for device in (A100, H100):
+        neo = NeoContext("C", device=device, config=NEO_CONFIG)
+        heon = HeonGpuModel("E", device=device)
+        rows.append(
+            [device.name, "Neo(C)"]
+            + [f"{app.time_s(neo):.2f}" for app in APPS]
+            + [f"{neo.operation_time_us('hmult', 35):.0f}"]
+        )
+        rows.append(
+            [device.name, "HEonGPU(E)"]
+            + [f"{app.time_s(heon):.2f}" for app in APPS]
+            + [f"{heon.operation_time_us('hmult', 35):.0f}"]
+        )
+    return rows
+
+
+def test_h100_projection(benchmark):
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            ["device", "system"] + [a.name for a in APPS] + ["HMULT us"],
+            rows,
+            title="Extension: A100 -> H100 projection",
+        )
+    )
+    table = {(r[0], r[1]): [float(x) for x in r[2:]] for r in rows}
+    neo_a = table[(A100.name, "Neo(C)")]
+    neo_h = table[(H100.name, "Neo(C)")]
+    heon_a = table[(A100.name, "HEonGPU(E)")]
+    heon_h = table[(H100.name, "HEonGPU(E)")]
+    # Everyone gets faster on H100.
+    for a, h in zip(neo_a + heon_a, neo_h + heon_h):
+        assert h < a
+    # Neo keeps (indeed grows) its advantage on the TCU-richer part:
+    # HMULT speedup of Neo across devices exceeds HEonGPU's.
+    neo_gain = neo_a[-1] / neo_h[-1]
+    heon_gain = heon_a[-1] / heon_h[-1]
+    assert 1.5 < neo_gain < 5.0
+    assert neo_gain > heon_gain * 0.9

@@ -1,0 +1,57 @@
+"""Extension: evaluation-key and working-set memory (Section 2.3, Fig. 17).
+
+The paper notes the ``beta x beta~ x alpha'`` KLSS key sets "significantly
+impact overall performance" and stops BatchSize at 128 for memory reasons.
+This bench quantifies both on our model.
+"""
+
+from repro.analysis.memory_footprint import (
+    ciphertext_bytes,
+    hybrid_evk_bytes,
+    klss_evk_bytes,
+    max_batch_size,
+    working_set_bytes,
+)
+from repro.analysis.reporting import format_table
+from repro.ckks.params import TABLE4, get_set
+from repro.gpu.device import A100
+
+
+def _build_rows():
+    rows = []
+    for name in sorted(TABLE4):
+        params = get_set(name)
+        evk = (
+            klss_evk_bytes(params) if params.klss is not None
+            else hybrid_evk_bytes(params)
+        )
+        rows.append(
+            [
+                name,
+                f"{ciphertext_bytes(params) / 2**20:.0f}",
+                f"{evk / 2**20:.0f}",
+                max_batch_size(params, A100),
+            ]
+        )
+    return rows
+
+
+def test_memory_footprint(benchmark):
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            ["set", "ciphertext MiB", "evk MiB", "max BatchSize"],
+            rows,
+            title="Extension: memory footprint per Table 4 set (A100-40GB)",
+        )
+    )
+    table = {row[0]: row for row in rows}
+    # KLSS keys are larger than the matching Hybrid keys (Section 2.3).
+    assert float(table["C"][2]) > float(table["B"][2])
+    # Every set supports the paper's BatchSize = 128.
+    for name, row in table.items():
+        assert row[3] >= 128, name
+    # The working set at batch 128 fits in 40 GiB with reserve.
+    ws = working_set_bytes(get_set("C"), 128)
+    assert sum(ws.values()) < 0.75 * A100.memory_gib * 2**30

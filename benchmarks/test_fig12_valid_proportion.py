@@ -1,0 +1,61 @@
+"""Fig. 12: valid proportion of NTT/BConv/IP GEMMs on FP64 fragments vs l.
+
+NTT and BConv stay at 100% across levels (their GEMM dims are multiples of
+the 8x8x4 fragment); IP's proportion oscillates with beta/beta~ and drops
+below the 80% mapping threshold at some levels -- driving Neo's dynamic
+IP mapping (Section 4.5.3).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.ckks.params import get_set
+from repro.core.mapping import (
+    IP_TCU_THRESHOLD,
+    bconv_gemm_shape,
+    choose_ip_component,
+    ip_gemm_shape,
+    ntt_gemm_shape,
+)
+
+LEVELS = range(5, 36)
+
+
+def _build_rows():
+    params = get_set("C")
+    batch = params.batch_size
+    rows = []
+    for level in LEVELS:
+        alpha_prime, beta, beta_tilde = params.klss_dims(level)
+        ntt_vp = ntt_gemm_shape(params.degree, batch).fp64_valid_proportion()
+        bconv_vp = bconv_gemm_shape(
+            params.alpha, alpha_prime, batch, params.degree
+        ).fp64_valid_proportion()
+        ip_shape = ip_gemm_shape(beta, beta_tilde, batch, params.degree)
+        ip_vp = ip_shape.fp64_valid_proportion()
+        rows.append(
+            [level, f"{ntt_vp:.0%}", f"{bconv_vp:.0%}", f"{ip_vp:.0%}",
+             choose_ip_component(ip_shape)]
+        )
+    return rows
+
+
+def test_fig12_valid_proportion(benchmark):
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            ["l", "NTT", "BConv", "IP", "IP mapped to"],
+            rows,
+            title=f"Fig. 12: FP64 valid proportion (IP threshold "
+            f"{IP_TCU_THRESHOLD:.0%}, Set C)",
+        )
+    )
+    ntt_col = [row[1] for row in rows]
+    bconv_col = [row[2] for row in rows]
+    ip_vals = [float(row[3].rstrip("%")) / 100 for row in rows]
+    mapping = [row[4] for row in rows]
+    # NTT and BConv are always fully valid (Fig. 11/12).
+    assert set(ntt_col) == {"100%"}
+    assert set(bconv_col) == {"100%"}
+    # IP varies and crosses the threshold in both directions.
+    assert min(ip_vals) < IP_TCU_THRESHOLD < max(ip_vals) + 0.21
+    assert "cuda" in mapping and "tcu_fp64" in mapping

@@ -1,0 +1,47 @@
+"""Fig. 14: incremental optimisation ablation on the three applications.
+
++KLSS, +dataflow, +ten-step NTT, +FP64 TCU -- normalised to TensorFHE.
+"""
+
+from repro.apps import HelrApp, PackBootstrap, ResNetApp
+from repro.analysis.reporting import format_table
+from repro.core import ABLATION_STEPS, NeoContext
+
+APPS = (PackBootstrap(), HelrApp(), ResNetApp(20))
+
+
+def _build_table():
+    table = {}
+    for label, config in ABLATION_STEPS:
+        params = "C" if config.keyswitch == "klss" else "B"
+        ctx = NeoContext(params, config=config)
+        table[label] = {app.name: app.time_s(ctx) for app in APPS}
+    return table
+
+
+def test_fig14_ablation(benchmark):
+    table = benchmark(_build_table)
+    baseline = table["TensorFHE"]
+    rows = []
+    for label, times in table.items():
+        rows.append(
+            [label]
+            + [f"{times[app.name] / baseline[app.name]:.3f}" for app in APPS]
+        )
+    print()
+    print(
+        format_table(
+            ["step"] + [app.name for app in APPS],
+            rows,
+            title="Fig. 14: relative execution time, normalised to TensorFHE",
+        )
+    )
+    labels = [label for label, _ in ABLATION_STEPS]
+    for app in APPS:
+        series = [table[label][app.name] / baseline[app.name] for label in labels]
+        # The first step (+KLSS) is at worst neutral; from +dataflow on,
+        # every step strictly improves; the full stack lands around the
+        # paper's ~3.3x overall gain.
+        assert series[1] < 1.1
+        assert series[2] > series[3] > series[4]
+        assert 0.1 < series[-1] < 0.45, f"{app.name}: final step {series[-1]}"

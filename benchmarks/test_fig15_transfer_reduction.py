@@ -1,0 +1,57 @@
+"""Fig. 15: BConv/IP data-transfer requirement, original vs optimised.
+
+The algorithm + data-layout optimisation collapses the per-kernel transfer
+requirement: each datum makes a single trip through global memory.
+"""
+
+from repro.analysis.memory_traffic import (
+    keyswitch_transfer_breakdown,
+    transfer_reduction,
+)
+from repro.analysis.reporting import format_table
+from repro.ckks.params import get_set
+
+LEVELS = (5, 15, 25, 35)
+
+
+def _build_rows():
+    params = get_set("C")
+    rows = []
+    for level in LEVELS:
+        before = keyswitch_transfer_breakdown(params, level, optimized=False)
+        after = keyswitch_transfer_breakdown(params, level, optimized=True)
+        for kernel in ("bconv", "ip"):
+            rows.append(
+                [
+                    level,
+                    kernel,
+                    f"{before[kernel] / 1e9:.2f}",
+                    f"{after[kernel] / 1e9:.2f}",
+                    f"{before[kernel] / after[kernel]:.2f}x",
+                ]
+            )
+    return rows
+
+
+def test_fig15_transfer_reduction(benchmark):
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            ["l", "kernel", "original GB", "optimised GB", "reduction"],
+            rows,
+            title="Fig. 15: per-KeySwitch data transfer, Set C (per batch)",
+        )
+    )
+    params = get_set("C")
+    for level in LEVELS:
+        for kernel in ("bconv", "ip"):
+            ratio = transfer_reduction(params, level, kernel)
+            assert ratio < 0.8, (
+                f"{kernel} at l={level}: optimised transfer must drop "
+                f"substantially, got {ratio:.2f}"
+            )
+    # The reduction grows with level for BConv (alpha' grows with l).
+    assert transfer_reduction(params, 35, "bconv") <= transfer_reduction(
+        params, 5, "bconv"
+    ) + 1e-9

@@ -1,0 +1,54 @@
+"""Fig. 16: KeySwitch vs level -- Hybrid vs KLSS at WordSize_T 36/48/64.
+
+Paper: WordSize_T = 48 is the sweet spot.  36 inflates alpha' (algorithmic
+complexity); 64 inflates the Booth/plane complexity of the TCU GEMMs.
+"""
+
+import dataclasses
+
+from repro.analysis.reporting import format_table
+from repro.ckks.params import KlssConfig, get_set
+from repro.core import NEO_CONFIG, NeoContext
+
+LEVELS = (11, 17, 23, 29, 35)
+WORDSIZES_T = (36, 48, 64)
+
+
+def _build_table():
+    base = get_set("B")
+    hybrid_ctx = NeoContext(base, config=NEO_CONFIG.with_overrides(keyswitch="hybrid"))
+    table = {"Hybrid": {l: hybrid_ctx.keyswitch_time_us(l) for l in LEVELS}}
+    for wst in WORDSIZES_T:
+        params = dataclasses.replace(
+            base, dnum=9, klss=KlssConfig(wordsize_t=wst, alpha_tilde=5)
+        )
+        ctx = NeoContext(params, config=NEO_CONFIG)
+        table[f"KLSS-{wst}"] = {l: ctx.keyswitch_time_us(l) for l in LEVELS}
+    return table
+
+
+def test_fig16_wordsize_t(benchmark):
+    table = benchmark(_build_table)
+    rows = [
+        [label] + [f"{times[l]:.0f}" for l in LEVELS]
+        for label, times in table.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["method"] + [f"l={l}" for l in LEVELS],
+            rows,
+            title="Fig. 16: KeySwitch time (us/ciphertext) by method and level",
+        )
+    )
+    # --- Shape assertions ---------------------------------------------------
+    at_top = {label: times[35] for label, times in table.items()}
+    # WordSize_T = 48 is the best KLSS configuration (the paper's default).
+    assert at_top["KLSS-48"] <= at_top["KLSS-36"]
+    assert at_top["KLSS-48"] <= at_top["KLSS-64"]
+    # KLSS-48 beats the Hybrid method at the top level.
+    assert at_top["KLSS-48"] < at_top["Hybrid"]
+    # Every series grows with level.
+    for label, times in table.items():
+        values = [times[l] for l in LEVELS]
+        assert values == sorted(values), label

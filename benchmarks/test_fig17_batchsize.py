@@ -1,0 +1,60 @@
+"""Fig. 17: per-ciphertext time vs BatchSize (8 .. 128) on three apps.
+
+Larger batches raise GPU utilisation, so per-batch-element time decreases
+monotonically; 128 is the default (bounded by the A100's 40 GiB memory).
+"""
+
+from repro.analysis.paper_data import FIG17_BATCH_SIZES
+from repro.analysis.reporting import format_table
+from repro.apps import HelrApp, PackBootstrap, ResNetApp
+from repro.core import NEO_CONFIG, NeoContext
+from repro.gpu.kernels import word_bytes
+
+APPS = (PackBootstrap(), HelrApp(), ResNetApp(20))
+
+
+def _build_table():
+    table = {}
+    for batch in FIG17_BATCH_SIZES:
+        ctx = NeoContext("C", config=NEO_CONFIG, batch=batch)
+        table[batch] = {app.name: app.time_s(ctx) for app in APPS}
+    return table
+
+
+def test_fig17_batchsize(benchmark):
+    table = benchmark(_build_table)
+    reference = table[128]
+    rows = []
+    for batch, times in table.items():
+        rows.append(
+            [batch]
+            + [f"{times[app.name] / reference[app.name]:.2f}" for app in APPS]
+        )
+    print()
+    print(
+        format_table(
+            ["BatchSize"] + [app.name for app in APPS],
+            rows,
+            title="Fig. 17: per-ciphertext time normalised to BatchSize = 128",
+        )
+    )
+    # --- Shape assertions ----------------------------------------------------
+    for app in APPS:
+        series = [table[b][app.name] for b in FIG17_BATCH_SIZES]
+        # Per-batch-element time decreases monotonically with BatchSize.
+        for small, large in zip(series, series[1:]):
+            assert large <= small * 1.001, app.name
+        # The total win from batching 8 -> 128 is meaningful.
+        assert series[0] / series[-1] > 1.2, app.name
+
+
+def test_fig17_memory_bound():
+    """BatchSize is capped by device memory (the paper's reason for 128)."""
+    ctx = NeoContext("C", config=NEO_CONFIG, batch=128)
+    params = ctx.params
+    limbs = params.max_level + 1 + params.alpha
+    ct_bytes = 2 * limbs * params.degree * word_bytes(params.wordsize)
+    # 128 batched ciphertexts plus working set fit in 40 GiB; 1024 would not
+    # leave room for the evk working set.
+    assert 128 * ct_bytes * 4 < ctx.device.memory_gib * 2**30
+    assert 2048 * ct_bytes * 4 > ctx.device.memory_gib * 2**30

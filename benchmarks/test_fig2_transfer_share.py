@@ -1,0 +1,59 @@
+"""Fig. 2: BConv/IP/NTT shares of KeySwitch data transfer vs level.
+
+The paper quotes 43.4% (BConv) and 41.8% (IP) at l = 35 in the KLSS
+method; BConv + IP must dominate total transfer at high levels.
+"""
+
+from repro.analysis.memory_traffic import (
+    keyswitch_transfer_breakdown,
+    keyswitch_transfer_shares,
+)
+from repro.analysis.reporting import format_table
+from repro.ckks.params import get_set
+
+LEVELS = (5, 10, 15, 20, 25, 30, 35)
+
+
+def _build_rows():
+    hybrid = get_set("B")
+    klss = get_set("C")
+    rows = []
+    for level in LEVELS:
+        for name, params in (("Hybrid(B)", hybrid), ("KLSS(C)", klss)):
+            shares = keyswitch_transfer_shares(params, level)
+            total_gb = sum(
+                keyswitch_transfer_breakdown(params, level).values()
+            ) / 1e9
+            rows.append(
+                [
+                    level,
+                    name,
+                    f"{shares['bconv']:.1%}",
+                    f"{shares['ip']:.1%}",
+                    f"{shares['ntt']:.1%}",
+                    f"{total_gb:.1f} GB",
+                ]
+            )
+    return rows
+
+
+def test_fig2_transfer_share(benchmark):
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            ["l", "method", "BConv", "IP", "NTT", "total"],
+            rows,
+            title="Fig. 2: share of KeySwitch data transfer per kernel "
+            "(paper: BConv 43.4%, IP 41.8% at l=35, KLSS)",
+        )
+    )
+    klss = get_set("C")
+    shares = keyswitch_transfer_shares(klss, 35)
+    # Shape: BConv and IP together dominate at l = 35 under KLSS.
+    assert shares["bconv"] + shares["ip"] > 0.5
+    assert shares["bconv"] > 0.15 and shares["ip"] > 0.15
+    # Transfer demand grows with level.
+    low = sum(keyswitch_transfer_breakdown(klss, 5).values())
+    high = sum(keyswitch_transfer_breakdown(klss, 35).values())
+    assert high > low

@@ -1,0 +1,51 @@
+"""Fig. 3: INT8 vs FP64 tensor-core time for 36/48-bit modular GEMMs.
+
+Paper: the 2^19 x 16 x 16 GEMM is 1.65x faster on FP64 at WordSize 36
+(3 vs 25 plane products) and 1.74x faster at WordSize 48 (4 vs 36).
+"""
+
+from repro.analysis.booth import fig3_comparison, fp64_speedup
+from repro.analysis.paper_data import HEADLINES
+from repro.analysis.reporting import format_table
+
+
+def test_fig3_int8_vs_fp64(benchmark):
+    bars = benchmark(fig3_comparison)
+    rows = []
+    for name, steps in bars.items():
+        rows.append(
+            [
+                name,
+                steps.plane_products,
+                f"{steps.split_s * 1e3:.3f}",
+                f"{steps.matmul_s * 1e3:.3f}",
+                f"{steps.merge_s * 1e3:.3f}",
+                f"{steps.total_s * 1e3:.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["component/WS", "planes", "split ms", "matmul ms", "merge ms", "total ms"],
+            rows,
+            title="Fig. 3: split/matmul/merge times of a 2^19x16x16 modular GEMM",
+        )
+    )
+    s36 = fp64_speedup(36)
+    s48 = fp64_speedup(48)
+    print(
+        f"FP64 speedup over INT8: WS=36 -> {s36:.2f}x (paper "
+        f"{HEADLINES['fp64_vs_int8_speedup_ws36']}x), WS=48 -> {s48:.2f}x "
+        f"(paper {HEADLINES['fp64_vs_int8_speedup_ws48']}x)"
+    )
+    # Shape assertions straight from the paper's Section 3.4.
+    assert bars["int8_ws36"].plane_products == 25
+    assert bars["fp64_ws36"].plane_products == 3
+    assert bars["int8_ws48"].plane_products == 36
+    assert bars["fp64_ws48"].plane_products == 4
+    assert s36 > 1.2, "FP64 must win at WordSize 36"
+    assert s48 > 1.2, "FP64 must win at WordSize 48"
+    assert s48 > s36 * 0.9, "the FP64 advantage persists (grows) at 48 bits"
+    # The raw matmul step alone is *faster* on INT8 per plane set -- the
+    # win comes from plane-count complexity, as Fig. 3 argues.
+    assert bars["int8_ws36"].matmul_s < bars["int8_ws36"].total_s

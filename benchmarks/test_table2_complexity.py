@@ -1,0 +1,38 @@
+"""Table 2: kernel complexity of the Hybrid and KLSS KeySwitch methods."""
+
+from repro.analysis.complexity import (
+    TABLE2_ROWS,
+    complexity_table,
+    total_complexity,
+)
+from repro.analysis.reporting import format_table
+from repro.ckks.params import get_set
+
+
+def _build_table():
+    params = get_set("C")
+    return complexity_table(params, level=params.max_level)
+
+
+def test_table2_complexity(benchmark):
+    table = benchmark(_build_table)
+    rows = [
+        [step, table["Hybrid"][step], table["KLSS"][step]] for step in TABLE2_ROWS
+    ]
+    rows.append(
+        ["TOTAL", total_complexity(table["Hybrid"]), total_complexity(table["KLSS"])]
+    )
+    print()
+    print(
+        format_table(
+            ["Breakdown", "Hybrid", "KLSS"],
+            rows,
+            title="Table 2: KeySwitch kernel complexity at Set C, l = 35 "
+            "(limb-operations)",
+        )
+    )
+    # Shape assertions: the reason the paper adopts KLSS.
+    assert table["KLSS"]["Mod Up"] < table["Hybrid"]["Mod Up"]
+    assert table["KLSS"]["NTT"] < table["Hybrid"]["NTT"]
+    assert table["KLSS"]["Inner Product"] > 0
+    assert total_complexity(table["KLSS"]) < total_complexity(table["Hybrid"])

@@ -1,0 +1,134 @@
+"""Table 5: application performance across CPU/TensorFHE/HEonGPU/Neo."""
+
+import pytest
+
+from repro.analysis.paper_data import HEADLINES, TABLE5_SECONDS
+from repro.analysis.reporting import format_table
+from repro.apps import standard_applications
+
+APPS = standard_applications()
+APP_NAMES = [app.name for app in APPS]
+
+
+def _build_table(systems):
+    table = {}
+    for label, ctx in systems:
+        table[label] = {app.name: app.time_s(ctx) for app in APPS}
+    return table
+
+
+@pytest.fixture(scope="module")
+def systems(cpu_h, tensorfhe_a, tensorfhe_b, tensorfhe_c, heongpu_e, neo_c, neo_d):
+    return [
+        ("CPU", cpu_h),
+        ("TensorFHE(A)", tensorfhe_a),
+        ("TensorFHE(B)", tensorfhe_b),
+        ("TensorFHE(C)", tensorfhe_c),
+        ("HEonGPU(E)", heongpu_e),
+        ("Neo(C)", neo_c),
+        ("Neo(D)", neo_d),
+    ]
+
+
+PAPER_KEYS = {
+    "CPU": ("CPU", None),
+    "TensorFHE(A)": ("TensorFHE", "A"),
+    "TensorFHE(B)": ("TensorFHE", "B"),
+    "TensorFHE(C)": ("TensorFHE", "C"),
+    "HEonGPU(E)": ("HEonGPU", "E"),
+    "Neo(C)": ("Neo", "C"),
+    "Neo(D)": ("Neo", "D"),
+}
+
+
+def test_table5_applications(benchmark, systems):
+    table = benchmark(_build_table, systems)
+    rows = []
+    for label, times in table.items():
+        paper = TABLE5_SECONDS[PAPER_KEYS[label]]
+        rows.append([label] + [f"{times[name]:.2f}" for name in APP_NAMES])
+        rows.append(
+            ["  (paper)"]
+            + [("-" if paper[name] is None else f"{paper[name]:.2f}") for name in APP_NAMES]
+        )
+    print()
+    print(
+        format_table(
+            ["system"] + APP_NAMES,
+            rows,
+            title="Table 5: application execution time, seconds",
+        )
+    )
+    neo = table["Neo(C)"]
+    # --- Shape assertions -------------------------------------------------
+    # Neo is the fastest GPU system on every application.
+    for label in ("TensorFHE(A)", "TensorFHE(B)", "TensorFHE(C)", "HEonGPU(E)"):
+        for name in APP_NAMES:
+            assert table[label][name] > neo[name], (label, name)
+    # Speedup over TensorFHE's best parameter choice lands near 3.28x.
+    best_tfhe = {
+        name: min(table[f"TensorFHE({s})"][name] for s in "ABC")
+        for name in APP_NAMES
+    }
+    speedups = [best_tfhe[name] / neo[name] for name in APP_NAMES]
+    mean_speedup = sum(speedups) / len(speedups)
+    assert 2.0 < mean_speedup < 8.0, f"mean best-params speedup {mean_speedup:.2f}"
+    print(
+        f"mean speedup vs TensorFHE best params: {mean_speedup:.2f}x "
+        f"(paper {HEADLINES['speedup_vs_tensorfhe_best_params']}x)"
+    )
+    # HEonGPU sits between TensorFHE and Neo.
+    for name in APP_NAMES:
+        assert neo[name] < table["HEonGPU(E)"][name] < best_tfhe[name] * 1.05
+    # CPU is orders of magnitude slower.
+    for name in APP_NAMES:
+        assert table["CPU"][name] > 20 * neo[name]
+    # ResNet scales roughly with depth: resnet56 ~ 2.9x resnet20.
+    assert 2.3 < neo["resnet56"] / neo["resnet20"] < 3.5
+
+
+def test_table5_single_scaling_rows(benchmark):
+    """The SS rows: TensorFHE_SS at Set F vs Neo_SS at Set G (L = 23)."""
+    from repro.apps import standard_applications
+    from repro.baselines import TensorFheModel
+    from repro.core import NEO_CONFIG, NeoContext
+
+    ss_apps = standard_applications(single_scaling=True)
+
+    def build():
+        tfhe_f = TensorFheModel("F")
+        neo_g = NeoContext("G", config=NEO_CONFIG)
+        return {
+            "TensorFHE_SS(F)": {a.name: a.time_s(tfhe_f) for a in ss_apps},
+            "Neo_SS(G)": {a.name: a.time_s(neo_g) for a in ss_apps},
+        }
+
+    table = benchmark(build)
+    paper = {
+        "TensorFHE_SS(F)": TABLE5_SECONDS[("TensorFHE_SS", "F")],
+        "Neo_SS(G)": TABLE5_SECONDS[("Neo_SS", "G")],
+    }
+    rows = []
+    for label, times in table.items():
+        rows.append([label] + [f"{times[a.name]:.2f}" for a in ss_apps])
+        rows.append(["  (paper)"] + [f"{paper[label][a.name]:.2f}" for a in ss_apps])
+    print()
+    print(
+        format_table(
+            ["system"] + [a.name for a in ss_apps],
+            rows,
+            title="Table 5 (SS rows): single-scaling at L = 23",
+        )
+    )
+    for app in ss_apps:
+        neo_t = table["Neo_SS(G)"][app.name]
+        tfhe_t = table["TensorFHE_SS(F)"][app.name]
+        # Neo_SS wins on every app (paper: ~3-4x).
+        assert neo_t < tfhe_t, app.name
+        assert 1.5 < tfhe_t / neo_t < 8.0, (app.name, tfhe_t / neo_t)
+    # The L=23 (SS) configurations are faster than the L=35 ones.
+    neo_full = NeoContext("C", config=NEO_CONFIG)
+    full_apps = standard_applications()
+    assert ss_apps[0].time_s(NeoContext("G", config=NEO_CONFIG)) < full_apps[
+        0
+    ].time_s(neo_full)

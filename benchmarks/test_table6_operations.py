@@ -1,0 +1,75 @@
+"""Table 6: primitive-operation times at l = 35 across implementations."""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE6_MICROSECONDS
+from repro.analysis.reporting import format_table
+
+OPS = ("hmult", "hrotate", "pmult", "hadd", "padd", "rescale")
+
+
+def _build_table(systems):
+    return {
+        label: {op: ctx.operation_time_us(op, 35) for op in OPS}
+        for label, ctx in systems
+    }
+
+
+@pytest.fixture(scope="module")
+def systems(tensorfhe_a, tensorfhe_b, tensorfhe_c, heongpu_e, neo_c):
+    return [
+        ("TensorFHE(A)", tensorfhe_a),
+        ("TensorFHE(B)", tensorfhe_b),
+        ("TensorFHE(C)", tensorfhe_c),
+        ("HEonGPU(E)", heongpu_e),
+        ("Neo(C)", neo_c),
+    ]
+
+
+PAPER_KEYS = {
+    "TensorFHE(A)": ("TensorFHE", "A"),
+    "TensorFHE(B)": ("TensorFHE", "B"),
+    "TensorFHE(C)": ("TensorFHE", "C"),
+    "HEonGPU(E)": ("HEonGPU", "E"),
+    "Neo(C)": ("Neo", "C"),
+}
+
+
+def test_table6_operations(benchmark, systems):
+    table = benchmark(_build_table, systems)
+    rows = []
+    for label, times in table.items():
+        paper = TABLE6_MICROSECONDS[PAPER_KEYS[label]]
+        rows.append([label] + [f"{times[op]:.1f}" for op in OPS])
+        rows.append(["  (paper)"] + [f"{paper[op]:.1f}" for op in OPS])
+    print()
+    print(
+        format_table(
+            ["system"] + [op.upper() for op in OPS],
+            rows,
+            title="Table 6: operation time at l = 35, microseconds "
+            "(per ciphertext, batch-amortised)",
+        )
+    )
+    neo = table["Neo(C)"]
+    # --- Shape assertions --------------------------------------------------
+    # KeySwitch-bearing ops: Neo wins by a large factor.
+    for label in ("TensorFHE(A)", "TensorFHE(B)", "TensorFHE(C)", "HEonGPU(E)"):
+        for op in ("hmult", "hrotate"):
+            assert table[label][op] > 1.5 * neo[op], (label, op)
+    # Element-wise ops are implementation-agnostic (all rows within ~50%).
+    for op in ("pmult", "hadd", "padd"):
+        values = [table[label][op] for label in table]
+        assert max(values) < 1.6 * min(values), op
+    # Absolute magnitudes: element-wise ops land in the paper's range.
+    assert 30 < neo["padd"] < 120
+    assert 40 < neo["pmult"] < 200
+    assert 1000 < neo["hmult"] < 8000
+    # HMULT ~ HROTATE (both are KeySwitch-dominated).
+    assert abs(neo["hmult"] - neo["hrotate"]) < 0.25 * neo["hmult"]
+    # TensorFHE's HMULT grows with dnum (A < B < C ordering of Table 6).
+    assert (
+        table["TensorFHE(A)"]["hmult"]
+        < table["TensorFHE(B)"]["hmult"]
+        < table["TensorFHE(C)"]["hmult"]
+    )

@@ -1,0 +1,50 @@
+"""Table 7: BConv/IP/NTT kernel throughput, Neo vs TensorFHE (Set B)."""
+
+from repro.analysis.paper_data import TABLE7_SPEEDUPS, TABLE7_THROUGHPUT
+from repro.analysis.reporting import format_table
+
+KERNELS = ("bconv", "ip", "ntt")
+
+
+def _build_table(neo, tfhe):
+    return {
+        "TensorFHE": {k: tfhe.kernel_throughput(k) for k in KERNELS},
+        "Neo": {k: neo.kernel_throughput(k) for k in KERNELS},
+    }
+
+
+def test_table7_kernels(benchmark, neo_b_hybrid, tensorfhe_b):
+    table = benchmark(_build_table, neo_b_hybrid, tensorfhe_b)
+    rows = []
+    for label in ("TensorFHE", "Neo"):
+        rows.append(
+            [label]
+            + [f"{table[label][k]:.0f}" for k in KERNELS]
+        )
+        rows.append(
+            ["  (paper)"]
+            + [str(TABLE7_THROUGHPUT[label][k]) for k in KERNELS]
+        )
+    speedups = {
+        k: table["Neo"][k] / table["TensorFHE"][k] for k in KERNELS
+    }
+    rows.append(["Speedup"] + [f"{speedups[k]:.2f}x" for k in KERNELS])
+    rows.append(["  (paper)"] + [f"{TABLE7_SPEEDUPS[k]}x" for k in KERNELS])
+    print()
+    print(
+        format_table(
+            ["scheme", "#BConv/s", "#IP/s", "#NTT/s"],
+            rows,
+            title="Table 7: kernel throughput under Set B "
+            "(units: one batched kernel invocation)",
+        )
+    )
+    # --- Shape assertions ----------------------------------------------------
+    # Neo wins every kernel; NTT shows the largest gain (paper: 3.74x).
+    for k in KERNELS:
+        assert speedups[k] > 1.5, f"{k} speedup {speedups[k]:.2f}"
+    assert speedups["ntt"] == max(speedups.values())
+    # Each speedup is within ~1.6x of the paper's printed factor.
+    for k in KERNELS:
+        rel = speedups[k] / TABLE7_SPEEDUPS[k]
+        assert 0.5 < rel < 1.7, f"{k}: {speedups[k]:.2f} vs paper {TABLE7_SPEEDUPS[k]}"

@@ -1,0 +1,65 @@
+"""Table 8: KeySwitch time under different (dnum, alpha~) KLSS parameters.
+
+The paper's optimum is dnum = 9, alpha~ = 5 (other parameters from Set B).
+"""
+
+import dataclasses
+
+from repro.analysis.paper_data import TABLE8_KEYSWITCH_MS
+from repro.analysis.reporting import format_table
+from repro.ckks.params import KlssConfig, get_set
+from repro.core import NEO_CONFIG, NeoContext
+
+DNUMS = (4, 6, 9, 12, 18)
+ALPHA_TILDES = (4, 5, 6, 7, 8, 9, 10)
+
+
+def _build_grid():
+    base = get_set("B")
+    grid = {}
+    for alpha_tilde in ALPHA_TILDES:
+        for dnum in DNUMS:
+            params = dataclasses.replace(
+                base,
+                dnum=dnum,
+                klss=KlssConfig(wordsize_t=48, alpha_tilde=alpha_tilde),
+            )
+            ctx = NeoContext(params, config=NEO_CONFIG)
+            grid[(alpha_tilde, dnum)] = ctx.keyswitch_time_us(35) / 1e3  # ms
+    return grid
+
+
+def test_table8_sensitivity(benchmark):
+    grid = benchmark(_build_grid)
+    rows = []
+    for alpha_tilde in ALPHA_TILDES:
+        rows.append(
+            [f"a~={alpha_tilde}"]
+            + [f"{grid[(alpha_tilde, dnum)]:.3f}" for dnum in DNUMS]
+        )
+        if alpha_tilde in TABLE8_KEYSWITCH_MS:
+            rows.append(
+                ["  (paper)"]
+                + [f"{TABLE8_KEYSWITCH_MS[alpha_tilde][d]:.2f}" for d in DNUMS]
+            )
+    print()
+    print(
+        format_table(
+            ["alpha~ \\ dnum"] + [f"dnum={d}" for d in DNUMS],
+            rows,
+            title="Table 8: KeySwitch time (ms per ciphertext) vs (dnum, alpha~)",
+        )
+    )
+    # --- Shape assertions ------------------------------------------------------
+    best = min(grid, key=grid.get)
+    default = grid[(5, 9)]
+    # dnum shows a bowl: the extremes are worse than the middle for a~=5.
+    assert grid[(5, 4)] > grid[(5, 9)]
+    assert grid[(5, 18)] > grid[(5, 9)]
+    # The paper's default (9, 5) is within 10% of the grid optimum.
+    assert default <= grid[best] * 1.10, (
+        f"default (dnum=9, a~=5) = {default:.3f} ms vs best {best} = "
+        f"{grid[best]:.3f} ms"
+    )
+    # The optimum's dnum is in the middle of the sweep, as in the paper.
+    assert best[1] in (6, 9, 12)

@@ -1,0 +1,69 @@
+"""Encrypted image filtering: a miniature of the paper's ResNet substrate.
+
+Packs an image into CKKS slots, applies a 3x3 blur and a Sobel edge filter
+homomorphically (rotations + masked plaintext multiplications -- exactly
+the multiplexed-convolution structure ResNet-20 uses at scale), and checks
+the decrypted results against plaintext convolution.
+
+Run:  python examples/encrypted_image_filter.py
+"""
+
+import numpy as np
+
+from repro.apps.encrypted_conv import EncryptedConv2d
+from repro.ckks import (
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    small_test_parameters,
+)
+
+
+def make_test_image(height, width):
+    """A bright square on a dark background (visible edges for Sobel)."""
+    image = np.zeros((height, width))
+    image[1 : height - 1, 1 : width - 1] = 0.8
+    return image
+
+
+def main():
+    params = small_test_parameters(degree=64, max_level=4, wordsize=25, dnum=2)
+    gen = KeyGenerator(params, seed=12)
+    secret = gen.secret_key()
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(secret), seed=3)
+    decryptor = Decryptor(params, secret)
+    evaluator = Evaluator(params, relin_key=gen.relinearisation_key(secret))
+
+    height = width = 5  # 25 pixels in 32 slots
+    image = make_test_image(height, width)
+
+    filters = {
+        "blur": np.ones((3, 3)) / 9,
+        "sobel-x": np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]) / 4,
+    }
+    convs = {
+        name: EncryptedConv2d(encoder, evaluator, height, width, kernel)
+        for name, kernel in filters.items()
+    }
+    rotations = sorted(
+        {r for conv in convs.values() for r in conv.required_rotations()}
+    )
+    evaluator.galois_keys = gen.rotation_keys(secret, rotations)
+    print(f"{height}x{width} image, {len(rotations)} rotation keys")
+
+    ct = encryptor.encrypt(encoder.encode(convs["blur"].pack(image)))
+    for name, conv in convs.items():
+        filtered = conv.apply(ct)
+        got = conv.unpack(encoder.decode(decryptor.decrypt(filtered)))
+        want = conv.reference(image)
+        err = np.abs(got - want).max()
+        print(f"{name:8s}: max error {err:.2e} (level {filtered.level})")
+        assert err < 1e-2
+    print("OK: encrypted convolutions match plaintext filtering")
+
+
+if __name__ == "__main__":
+    main()

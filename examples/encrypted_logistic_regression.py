@@ -1,0 +1,68 @@
+"""HELR in miniature: train a logistic-regression classifier on encrypted data.
+
+This is the functional face of the paper's HELR workload (Table 5): a
+binary classifier trained with encrypted gradient steps.  The server only
+ever sees ciphertexts; the client decrypts the residuals to fold them into
+the model (a common interactive-HELR deployment).
+
+Run:  python examples/encrypted_logistic_regression.py
+"""
+
+import numpy as np
+
+from repro.apps import EncryptedLogisticRegression
+from repro.ckks import (
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    small_test_parameters,
+)
+
+
+def make_dataset(rng, samples, separation=2.0):
+    """A 1-D synthetic two-class problem (one feature per slot)."""
+    labels = rng.integers(0, 2, size=samples).astype(float)
+    features = rng.normal(loc=(labels - 0.5) * separation, scale=1.0)
+    return features, labels
+
+
+def main():
+    params = small_test_parameters(degree=64, max_level=5, wordsize=25, dnum=3)
+    gen = KeyGenerator(params, seed=7)
+    secret = gen.secret_key()
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(secret), seed=3)
+    decryptor = Decryptor(params, secret)
+    evaluator = Evaluator(params, relin_key=gen.relinearisation_key(secret))
+    model = EncryptedLogisticRegression(encoder, evaluator, learning_rate=1.0)
+
+    rng = np.random.default_rng(42)
+    x, y = make_dataset(rng, params.slots)
+    weight = 0.0
+
+    def accuracy(w):
+        return ((model.sigmoid_plain(w * x) > 0.5) == (y > 0.5)).mean()
+
+    print(f"training on {params.slots} encrypted samples")
+    print(f"iteration 0: weight={weight:+.3f} accuracy={accuracy(weight):.1%}")
+    for iteration in range(1, 6):
+        # Server side: compute the encrypted residual sigma(w*x) - y.
+        scores = encryptor.encrypt(encoder.encode(weight * x))
+        encrypted_residual = model.gradient_step(scores, y)
+        # Client side: decrypt the residual, finish the gradient locally.
+        residual = encoder.decode(decryptor.decrypt(encrypted_residual)).real
+        gradient = (residual * x).mean()
+        weight -= gradient
+        print(
+            f"iteration {iteration}: weight={weight:+.3f} "
+            f"accuracy={accuracy(weight):.1%}"
+        )
+
+    assert accuracy(weight) > 0.85, "training should separate the classes"
+    print("OK: encrypted training reached a usable classifier")
+
+
+if __name__ == "__main__":
+    main()

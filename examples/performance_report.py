@@ -1,0 +1,96 @@
+"""Regenerate the paper's headline performance results in one report.
+
+Prints the Table 5 application matrix, the Table 6 operation row for Neo,
+the Table 7 kernel speedups and the Fig. 14 ablation -- everything the
+abstract claims -- from the performance model.
+
+Run:  python examples/performance_report.py
+"""
+
+from repro.analysis.paper_data import HEADLINES, TABLE7_SPEEDUPS
+from repro.analysis.reporting import format_table
+from repro.apps import standard_applications
+from repro.baselines import CpuModel, HeonGpuModel, TensorFheModel
+from repro.core import ABLATION_STEPS, NEO_CONFIG, NeoContext
+
+
+def application_matrix():
+    systems = [
+        ("CPU(H)", CpuModel("H")),
+        ("TensorFHE(A)", TensorFheModel("A")),
+        ("TensorFHE(B)", TensorFheModel("B")),
+        ("HEonGPU(E)", HeonGpuModel("E")),
+        ("Neo(C)", NeoContext("C", config=NEO_CONFIG)),
+        ("Neo(D)", NeoContext("D", config=NEO_CONFIG)),
+    ]
+    apps = standard_applications()
+    rows = []
+    for label, ctx in systems:
+        rows.append([label] + [f"{app.time_s(ctx):.2f}" for app in apps])
+    print(format_table(
+        ["system"] + [app.name for app in apps],
+        rows,
+        title="Application execution time (seconds, per ciphertext batch)",
+    ))
+    neo = {app.name: app.time_s(systems[4][1]) for app in apps}
+    best_tfhe = {
+        app.name: min(app.time_s(systems[1][1]), app.time_s(systems[2][1]))
+        for app in apps
+    }
+    speedups = [best_tfhe[n] / neo[n] for n in neo]
+    print(
+        f"\nmean speedup over TensorFHE (best params): "
+        f"{sum(speedups) / len(speedups):.2f}x "
+        f"(paper: {HEADLINES['speedup_vs_tensorfhe_best_params']}x)\n"
+    )
+
+
+def operation_row():
+    neo = NeoContext("C", config=NEO_CONFIG)
+    ops = ("hmult", "hrotate", "pmult", "hadd", "padd", "rescale")
+    rows = [["Neo(C)"] + [f"{neo.operation_time_us(op, 35):.1f}" for op in ops],
+            ["paper"] + ["3472.5", "3422.1", "81.7", "46.1", "46.4", "114.3"]]
+    print(format_table(
+        ["system"] + [o.upper() for o in ops], rows,
+        title="Operation time at l = 35 (microseconds per ciphertext)",
+    ))
+    print()
+
+
+def kernel_speedups():
+    neo = NeoContext("B", config=NEO_CONFIG.with_overrides(keyswitch="hybrid"))
+    tfhe = TensorFheModel("B")
+    rows = []
+    for kernel in ("bconv", "ip", "ntt"):
+        ratio = neo.kernel_throughput(kernel) / tfhe.kernel_throughput(kernel)
+        rows.append([kernel, f"{ratio:.2f}x", f"{TABLE7_SPEEDUPS[kernel]}x"])
+    print(format_table(
+        ["kernel", "measured speedup", "paper speedup"], rows,
+        title="Kernel throughput, Neo vs TensorFHE (Set B)",
+    ))
+    print()
+
+
+def ablation():
+    rows = []
+    base = None
+    for label, config in ABLATION_STEPS:
+        ctx = NeoContext("C" if config.keyswitch == "klss" else "B", config=config)
+        t = ctx.operation_time_us("hmult", 35)
+        base = base or t
+        rows.append([label, f"{t:.0f}", f"{t / base:.3f}"])
+    print(format_table(
+        ["optimisation step", "HMULT us", "normalised"], rows,
+        title="Fig. 14 ablation on HMULT (l = 35)",
+    ))
+
+
+def main():
+    application_matrix()
+    operation_row()
+    kernel_speedups()
+    ablation()
+
+
+if __name__ == "__main__":
+    main()

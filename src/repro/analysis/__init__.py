@@ -1,0 +1,48 @@
+"""Analytic reproductions: complexity (Table 2), traffic (Figs 2/15),
+Booth/plane analysis (Fig 3), paper-reported data, table formatting."""
+
+from . import booth, complexity, memory_footprint, memory_traffic, paper_data, reporting, security
+from .booth import fig3_comparison, fp64_speedup
+from .complexity import complexity_table, hybrid_complexity, klss_complexity
+from .memory_footprint import (
+    ciphertext_bytes,
+    hybrid_evk_bytes,
+    klss_evk_bytes,
+    max_batch_size,
+    working_set_bytes,
+)
+from .memory_traffic import (
+    keyswitch_transfer_breakdown,
+    keyswitch_transfer_shares,
+    transfer_reduction,
+)
+from .reporting import format_series, format_table, ratio_report
+from .security import estimated_security_bits, max_modulus_bits, meets_security
+
+__all__ = [
+    "booth",
+    "ciphertext_bytes",
+    "complexity",
+    "complexity_table",
+    "fig3_comparison",
+    "format_series",
+    "format_table",
+    "fp64_speedup",
+    "estimated_security_bits",
+    "hybrid_complexity",
+    "hybrid_evk_bytes",
+    "keyswitch_transfer_breakdown",
+    "keyswitch_transfer_shares",
+    "klss_complexity",
+    "klss_evk_bytes",
+    "max_batch_size",
+    "max_modulus_bits",
+    "meets_security",
+    "memory_footprint",
+    "memory_traffic",
+    "paper_data",
+    "ratio_report",
+    "security",
+    "transfer_reduction",
+    "working_set_bytes",
+]

@@ -1,0 +1,96 @@
+"""Fig. 3: INT8 vs FP64 tensor-core GEMM at wide word sizes.
+
+The paper's motivating micro-benchmark: a ``2**19 x 16 x 16`` modular GEMM
+at WordSize 36 and 48, decomposed for the INT8 components (Booth complexity
+25 / 36) versus the FP64 components (3 / 4 plane products).  We reproduce
+the *three-step* breakdown the figure shows -- split, matrix multiplication,
+merge -- from the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..gpu.device import A100, DeviceSpec
+from ..gpu.fragments import FP64_FRAGMENT, best_int8_fragment, fragment_ops
+from ..gpu.kernels import ELEMENTWISE_FLOPS
+from ..gpu.tensorcore import plan_fp64_split, plan_int8_split
+
+#: The GEMM dimensions of Fig. 3.
+FIG3_M, FIG3_N, FIG3_K = 2**19, 16, 16
+
+
+@dataclass(frozen=True)
+class GemmStepTimes:
+    """Split / matmul / merge times (seconds) for one decomposition."""
+
+    split_s: float
+    matmul_s: float
+    merge_s: float
+    plane_products: int
+
+    @property
+    def total_s(self) -> float:
+        return self.split_s + self.matmul_s + self.merge_s
+
+
+def fp64_step_times(
+    wordsize: int,
+    m: int = FIG3_M,
+    n: int = FIG3_N,
+    k: int = FIG3_K,
+    device: DeviceSpec = A100,
+) -> GemmStepTimes:
+    """FP64-component execution of the Fig. 3 GEMM."""
+    plan = plan_fp64_split(wordsize, wordsize, k)
+    split_elems = plan.a_planes * m * k + plan.b_planes * k * n
+    merge_elems = plan.products * m * n + m * n
+    frags = fragment_ops(m, n, k, FP64_FRAGMENT)
+    matmul_flops = frags * FP64_FRAGMENT.flops * plan.products
+    return GemmStepTimes(
+        split_s=split_elems * ELEMENTWISE_FLOPS / device.cuda_fp64_flops,
+        matmul_s=matmul_flops / device.tcu_fp64_flops,
+        merge_s=merge_elems * ELEMENTWISE_FLOPS / device.cuda_fp64_flops,
+        plane_products=plan.products,
+    )
+
+
+def int8_step_times(
+    wordsize: int,
+    m: int = FIG3_M,
+    n: int = FIG3_N,
+    k: int = FIG3_K,
+    device: DeviceSpec = A100,
+) -> GemmStepTimes:
+    """INT8-component execution of the Fig. 3 GEMM (Booth decomposition)."""
+    plan = plan_int8_split(wordsize, wordsize)
+    shape = best_int8_fragment(m, n, k)
+    split_elems = plan.a_planes * m * k + plan.b_planes * k * n
+    merge_elems = plan.products * m * n + m * n
+    frags = fragment_ops(m, n, k, shape)
+    matmul_ops = frags * shape.flops * plan.products
+    return GemmStepTimes(
+        split_s=split_elems * ELEMENTWISE_FLOPS / device.cuda_fp64_flops,
+        matmul_s=matmul_ops / device.tcu_int8_ops,
+        merge_s=merge_elems * ELEMENTWISE_FLOPS / device.cuda_fp64_flops,
+        plane_products=plan.products,
+    )
+
+
+def fig3_comparison(device: DeviceSpec = A100) -> Dict[str, GemmStepTimes]:
+    """All four Fig. 3 bars: {'int8_ws36', 'fp64_ws36', 'int8_ws48', 'fp64_ws48'}."""
+    return {
+        "int8_ws36": int8_step_times(36, device=device),
+        "fp64_ws36": fp64_step_times(36, device=device),
+        "int8_ws48": int8_step_times(48, device=device),
+        "fp64_ws48": fp64_step_times(48, device=device),
+    }
+
+
+def fp64_speedup(wordsize: int, device: DeviceSpec = A100) -> float:
+    """FP64-over-INT8 total-time speedup (paper: 1.65x at 36, 1.74x at 48)."""
+    return (
+        int8_step_times(wordsize, device=device).total_s
+        / fp64_step_times(wordsize, device=device).total_s
+    )

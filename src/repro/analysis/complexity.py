@@ -1,0 +1,78 @@
+"""Table 2: kernel complexity of the Hybrid and KLSS KeySwitch methods.
+
+These are the paper's printed formulas, reproduced verbatim (in units of
+"limb operations over N coefficients").  They are analytic quantities --
+the time model in :mod:`repro.core.pipeline` uses its own per-step
+accounting, which agrees with these up to the conventions discussed there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ckks.params import ParameterSet
+
+#: Order of the breakdown rows as printed in Table 2.
+TABLE2_ROWS = (
+    "Mod Up",
+    "NTT",
+    "Inner Product",
+    "Inverse NTT",
+    "Recover Limbs",
+    "Mod Down",
+)
+
+
+def hybrid_complexity(level: int, alpha: int, beta: int) -> Dict[str, int]:
+    """Hybrid-method column of Table 2 at ciphertext level `level`."""
+    l = level
+    return {
+        "Mod Up": beta * l * alpha,
+        "NTT": beta * (l + alpha),
+        "Inner Product": 2 * beta * (l + alpha),
+        "Inverse NTT": 2 * beta * (l + alpha),
+        "Recover Limbs": 0,
+        "Mod Down": 2 * (l * alpha + l),
+    }
+
+
+def klss_complexity(
+    level: int, alpha: int, beta: int, alpha_prime: int, beta_tilde: int
+) -> Dict[str, int]:
+    """KLSS-method column of Table 2 at ciphertext level `level`."""
+    l = level
+    return {
+        "Mod Up": beta * alpha * alpha_prime,
+        "NTT": beta_tilde * alpha_prime,
+        "Inner Product": beta * beta_tilde * alpha_prime,
+        "Inverse NTT": 2 * beta_tilde * alpha_prime,
+        "Recover Limbs": 2 * alpha_prime * (l + alpha),
+        "Mod Down": 2 * (l * alpha + l),
+    }
+
+
+def complexity_table(params: ParameterSet, level: int = None) -> Dict[str, Dict[str, int]]:
+    """Both Table 2 columns for a parameter set (KLSS column needs a config)."""
+    level = params.max_level if level is None else level
+    alpha = params.alpha
+    beta = params.beta(level)
+    table = {"Hybrid": hybrid_complexity(level, alpha, beta)}
+    if params.klss is not None:
+        alpha_prime, _, beta_tilde = params.klss_dims(level)
+        table["KLSS"] = klss_complexity(level, alpha, beta, alpha_prime, beta_tilde)
+    return table
+
+
+def total_complexity(breakdown: Dict[str, int]) -> int:
+    """Sum of a Table 2 column."""
+    return sum(breakdown.values())
+
+
+def klss_beats_hybrid(params: ParameterSet, level: int = None) -> bool:
+    """Does the KLSS column total below the Hybrid column? (Section 2.2:
+    "judicious parameter selection enables the KLSS method to achieve a
+    lower overall complexity".)"""
+    table = complexity_table(params, level)
+    if "KLSS" not in table:
+        raise ValueError(f"set {params.name} has no KLSS configuration")
+    return total_complexity(table["KLSS"]) < total_complexity(table["Hybrid"])

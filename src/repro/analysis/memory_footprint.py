@@ -1,0 +1,87 @@
+"""Memory footprint of keys and ciphertexts.
+
+Section 2.3 notes that the IP step "requires two sets of beta*beta~*alpha'
+polynomial keys, which significantly impact overall performance", and
+Fig. 17's BatchSize cap comes from the A100's 40 GiB.  This module sizes
+everything so those constraints can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ckks.params import ParameterSet
+from ..gpu.device import A100, DeviceSpec
+from ..gpu.kernels import word_bytes
+
+
+def ciphertext_bytes(params: ParameterSet, level: int = None) -> int:
+    """One ciphertext: two polynomials over the level-``l`` basis."""
+    level = params.max_level if level is None else level
+    return 2 * (level + 1) * params.degree * word_bytes(params.wordsize)
+
+
+def hybrid_evk_bytes(params: ParameterSet) -> int:
+    """One Hybrid key-switching key: ``dnum`` pairs over the PQ basis."""
+    limbs = params.max_level + 1 + params.alpha
+    return 2 * params.dnum * limbs * params.degree * word_bytes(params.wordsize)
+
+
+def klss_evk_bytes(params: ParameterSet, level: int = None) -> int:
+    """One KLSS key: ``beta~ x beta`` digit pairs over the ``alpha'``-limb
+    auxiliary basis (the "two sets of beta*beta~*alpha' polynomial keys")."""
+    if params.klss is None:
+        raise ValueError(f"set {params.name} has no KLSS configuration")
+    level = params.max_level if level is None else level
+    alpha_prime, beta, beta_tilde = params.klss_dims(level)
+    return (
+        2
+        * beta_tilde
+        * beta
+        * alpha_prime
+        * params.degree
+        * word_bytes(params.klss.wordsize_t)
+    )
+
+
+def bootstrap_key_bytes(params: ParameterSet, rotation_count: int = 40) -> int:
+    """Rough bootstrap key material: relin + `rotation_count` Galois keys."""
+    return (1 + rotation_count) * hybrid_evk_bytes(params)
+
+
+def working_set_bytes(
+    params: ParameterSet, batch: int, level: int = None
+) -> Dict[str, int]:
+    """The resident working set of one batched KeySwitch."""
+    level = params.max_level if level is None else level
+    ct = batch * ciphertext_bytes(params, level)
+    evk = (
+        klss_evk_bytes(params, level)
+        if params.klss is not None
+        else hybrid_evk_bytes(params)
+    )
+    limbs = level + 1 + params.alpha
+    scratch = 2 * batch * limbs * params.degree * word_bytes(params.wordsize)
+    return {"ciphertexts": ct, "evk": evk, "scratch": scratch}
+
+
+def max_batch_size(
+    params: ParameterSet,
+    device: DeviceSpec = A100,
+    reserve_fraction: float = 0.25,
+) -> int:
+    """Largest power-of-two BatchSize fitting the device memory.
+
+    `reserve_fraction` of memory stays free for keys, twiddles and the
+    allocator.  Reproduces the paper's reason for stopping at 128.
+    """
+    budget = device.memory_gib * 2**30 * (1 - reserve_fraction)
+    batch = 1
+    while True:
+        candidate = batch * 2
+        need = working_set_bytes(params, candidate)
+        if sum(need.values()) > budget:
+            return batch
+        batch = candidate
+        if batch >= 1 << 20:  # safety stop
+            return batch

@@ -1,0 +1,113 @@
+"""Data-transfer requirement analysis (Fig. 2 and Fig. 15).
+
+These functions count *logical* global-memory transfers -- every re-read the
+algorithm performs, with no cache forgiveness -- which is the quantity the
+paper's Figs. 2 and 15 plot.  (The *time* model caps redundant re-reads at
+the L2 amplification factor; see :data:`repro.gpu.kernels.CACHE_REREAD_CAP`.)
+
+All quantities are bytes for a full batch unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ckks.params import ParameterSet
+from ..gpu.kernels import word_bytes
+
+
+def bconv_transfer_bytes(
+    alpha: int, alpha_out: int, batch: int, degree: int, wordsize: int,
+    optimized: bool,
+) -> float:
+    """Transfer requirement of one BConv (Algorithm 1 vs Algorithm 2)."""
+    wb = word_bytes(wordsize)
+    elements_in = alpha * batch * degree
+    elements_out = alpha_out * batch * degree
+    if optimized:
+        return (elements_in + elements_out) * wb
+    # Algorithm 1: each input coefficient is read once per output level.
+    return (elements_in * alpha_out + elements_out) * wb
+
+
+def ip_transfer_bytes(
+    beta: int, beta_tilde: int, alpha_prime: int, batch: int, degree: int,
+    wordsize: int, optimized: bool, pair_factor: int = 2,
+) -> float:
+    """Transfer requirement of one IP (Algorithm 3 vs Algorithm 4)."""
+    wb = word_bytes(wordsize)
+    limbs = beta * alpha_prime * batch * degree
+    evk = beta_tilde * beta * alpha_prime * degree
+    out = beta_tilde * alpha_prime * batch * degree
+    if optimized:
+        return (pair_factor * limbs + evk + pair_factor * out) * wb
+    # Algorithm 3: limbs re-read beta~ times; accumulators round-trip
+    # through global memory between the per-(i, j) ModMUL kernels.
+    acc = 2 * max(beta - 1, 0) * out
+    return (pair_factor * (limbs * beta_tilde + evk + acc + out)) * wb
+
+
+def ntt_transfer_bytes(limbs: int, batch: int, degree: int, wordsize: int) -> float:
+    """Transfer of `limbs` fused NTT transforms (read + write each limb)."""
+    return 2 * limbs * batch * degree * word_bytes(wordsize)
+
+
+def keyswitch_transfer_breakdown(
+    params: ParameterSet, level: int, batch: int = None, optimized: bool = False
+) -> Dict[str, float]:
+    """Per-kernel transfer of one KeySwitch (the Fig. 2 decomposition).
+
+    Returns bytes for the ``bconv``, ``ip``, ``ntt`` and ``other`` groups.
+    The method (Hybrid/KLSS) follows the parameter set.
+    """
+    batch = batch if batch is not None else (params.batch_size or 1)
+    n = params.degree
+    ws = params.wordsize
+    alpha = params.alpha
+    beta = params.beta(level)
+    extended = level + 1 + alpha
+    if params.keyswitch == "klss":
+        alpha_prime, _, beta_tilde = params.klss_dims(level)
+        wst = params.klss.wordsize_t
+        bconv = beta * bconv_transfer_bytes(alpha, alpha_prime, batch, n, wst, optimized)
+        # Recover Limbs is BConv-class traffic too.
+        bconv += 2 * bconv_transfer_bytes(alpha_prime, extended, batch, n, wst, optimized)
+        bconv += 2 * bconv_transfer_bytes(alpha, level + 1, batch, n, ws, optimized)
+        ip = ip_transfer_bytes(beta, beta_tilde, alpha_prime, batch, n, wst, optimized)
+        ntt_limbs = (level + 1) + beta * alpha_prime + 2 * beta_tilde * alpha_prime + 2 * (level + 1)
+        ntt = ntt_transfer_bytes(ntt_limbs, batch, n, max(ws, wst))
+    else:
+        bconv = sum(
+            bconv_transfer_bytes(
+                min(alpha, level + 1 - j * alpha),
+                extended - min(alpha, level + 1 - j * alpha),
+                batch, n, ws, optimized,
+            )
+            for j in range(beta)
+        )
+        bconv += 2 * bconv_transfer_bytes(alpha, level + 1, batch, n, ws, optimized)
+        ip = ip_transfer_bytes(beta, 2, extended, batch, n, ws, optimized, pair_factor=1)
+        ntt_limbs = (level + 1) + beta * extended + 2 * beta * extended + 2 * (level + 1)
+        ntt = ntt_transfer_bytes(ntt_limbs, batch, n, ws)
+    other = 2 * (level + 1) * batch * n * word_bytes(ws) * 2  # ModDown fix-up
+    return {"bconv": bconv, "ip": ip, "ntt": ntt, "other": other}
+
+
+def keyswitch_transfer_shares(
+    params: ParameterSet, level: int, batch: int = None
+) -> Dict[str, float]:
+    """Fig. 2: each kernel's share of total KeySwitch transfer at `level`."""
+    table = keyswitch_transfer_breakdown(params, level, batch)
+    total = sum(table.values())
+    return {kernel: value / total for kernel, value in table.items()}
+
+
+def transfer_reduction(
+    params: ParameterSet, level: int, kernel: str, batch: int = None
+) -> float:
+    """Fig. 15: optimised / original transfer ratio for ``bconv`` or ``ip``."""
+    before = keyswitch_transfer_breakdown(params, level, batch, optimized=False)
+    after = keyswitch_transfer_breakdown(params, level, batch, optimized=True)
+    if kernel not in ("bconv", "ip"):
+        raise ValueError("Fig. 15 covers the bconv and ip kernels")
+    return after[kernel] / before[kernel]

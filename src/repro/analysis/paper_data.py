@@ -1,0 +1,116 @@
+"""Every number the paper's evaluation section reports, as Python data.
+
+Used by the benchmark harness to print paper-vs-measured comparisons and by
+EXPERIMENTS.md generation.  Source: Tables 5-8 and the prose of Section 6
+of the Neo paper (ISCA'25).
+"""
+
+from __future__ import annotations
+
+#: Table 5 -- application execution times in seconds.
+TABLE5_SECONDS = {
+    ("CPU", None): {
+        "packbootstrap": 17.2, "helr": 356.0, "resnet20": 1380.0,
+        "resnet32": None, "resnet56": None,
+    },
+    ("TensorFHE_SS", "F"): {
+        "packbootstrap": 0.53, "helr": 0.90, "resnet20": 35.27,
+        "resnet32": 57.70, "resnet56": 102.71,
+    },
+    ("Neo_SS", "G"): {
+        "packbootstrap": 0.17, "helr": 0.19, "resnet20": 9.11,
+        "resnet32": 14.90, "resnet56": 26.48,
+    },
+    ("TensorFHE", "A"): {
+        "packbootstrap": 0.67, "helr": 0.96, "resnet20": 41.07,
+        "resnet32": 67.18, "resnet56": 119.49,
+    },
+    ("TensorFHE", "B"): {
+        "packbootstrap": 0.74, "helr": 0.78, "resnet20": 38.77,
+        "resnet32": 64.22, "resnet56": 114.15,
+    },
+    ("TensorFHE", "C"): {
+        "packbootstrap": 0.85, "helr": 0.73, "resnet20": 40.68,
+        "resnet32": 66.19, "resnet56": 117.30,
+    },
+    ("HEonGPU", "E"): {
+        "packbootstrap": 0.36, "helr": 0.26, "resnet20": 16.42,
+        "resnet32": 27.00, "resnet56": 47.99,
+    },
+    ("Neo", "C"): {
+        "packbootstrap": 0.24, "helr": 0.22, "resnet20": 12.03,
+        "resnet32": 19.68, "resnet56": 34.98,
+    },
+    ("Neo", "D"): {
+        "packbootstrap": 0.27, "helr": 0.25, "resnet20": 13.39,
+        "resnet32": 21.83, "resnet56": 38.78,
+    },
+}
+
+#: Table 6 -- operation times in microseconds at l = 35 (CPU rows excluded;
+#: they are in seconds/milliseconds and from 100x at Set H).
+TABLE6_MICROSECONDS = {
+    ("TensorFHE", "A"): {
+        "hmult": 15304.6, "hrotate": 15256.2, "pmult": 82.3,
+        "hadd": 47.0, "padd": 47.2, "rescale": 115.1,
+    },
+    ("TensorFHE", "B"): {
+        "hmult": 18689.4, "hrotate": 18592.1, "pmult": 82.3,
+        "hadd": 47.0, "padd": 47.2, "rescale": 115.1,
+    },
+    ("TensorFHE", "C"): {
+        "hmult": 32523.6, "hrotate": 32498.9, "pmult": 82.3,
+        "hadd": 47.0, "padd": 47.2, "rescale": 115.1,
+    },
+    ("HEonGPU", "E"): {
+        "hmult": 8172.6, "hrotate": 8200.0, "pmult": 92.7,
+        "hadd": 62.4, "padd": 48.6, "rescale": 150.5,
+    },
+    ("Neo", "C"): {
+        "hmult": 3472.5, "hrotate": 3422.1, "pmult": 81.7,
+        "hadd": 46.1, "padd": 46.4, "rescale": 114.3,
+    },
+}
+
+#: Table 6 CPU row (Set H, from 100x) in seconds.
+TABLE6_CPU_SECONDS = {
+    "hmult": 2.6, "hrotate": 2.6, "pmult": 26.2e-3,
+    "hadd": 28.2e-3, "padd": 28.2e-3, "rescale": 45.8e-3,
+}
+
+#: Table 7 -- kernel throughput under Set B (invocations per second).
+TABLE7_THROUGHPUT = {
+    "TensorFHE": {"bconv": 311526, "ip": 621762, "ntt": 25478},
+    "Neo": {"bconv": 854700, "ip": 1617978, "ntt": 95329},
+}
+
+#: Table 7 speedups as printed.
+TABLE7_SPEEDUPS = {"bconv": 2.74, "ip": 2.60, "ntt": 3.74}
+
+#: Table 8 -- KeySwitch time (ms) under (alpha~, dnum); optimum at (5, 9).
+TABLE8_KEYSWITCH_MS = {
+    4: {4: 5.34, 6: 4.30, 9: 3.81, 12: 3.84, 18: 4.00},
+    5: {4: 4.50, 6: 4.11, 9: 3.22, 12: 3.82, 18: 4.12},
+    6: {4: 4.53, 6: 3.67, 9: 3.39, 12: 3.51, 18: 4.37},
+    7: {4: 4.39, 6: 3.30, 9: 3.51, 12: 3.61, 18: 4.03},
+    8: {4: 3.95, 6: 3.69, 9: 3.38, 12: 3.65, 18: 4.13},
+    9: {4: 3.57, 6: 3.55, 9: 3.48, 12: 3.99, 18: 4.61},
+    10: {4: 3.93, 6: 3.79, 9: 3.24, 12: 3.59, 18: 4.61},
+}
+
+#: Section 6 headline claims.
+HEADLINES = {
+    "speedup_vs_tensorfhe_same_params": 3.41,
+    "speedup_vs_tensorfhe_best_params": 3.28,
+    "advantage_vs_heongpu_percent": 19.9,
+    "fp64_vs_int8_speedup_ws36": 1.65,
+    "fp64_vs_int8_speedup_ws48": 1.74,
+    "radix16_gemm_complexity_fraction": 1 / 8,
+}
+
+#: Fig. 2 anchor point quoted in the prose: BConv and IP shares of KeySwitch
+#: data transfer at l = 35 under the KLSS method.
+FIG2_KLSS_L35_SHARES = {"bconv": 0.434, "ip": 0.418}
+
+#: Fig. 17 -- BatchSize sweep values.
+FIG17_BATCH_SIZES = (8, 16, 32, 64, 128)

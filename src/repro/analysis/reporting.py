@@ -1,0 +1,62 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+Every benchmark prints the rows/series its paper table or figure reports;
+these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(
+    name: str, points: Mapping[object, float], unit: str = ""
+) -> str:
+    """Render a one-line figure series: ``name: x=v, x=v, ...``."""
+    body = ", ".join(f"{x}={_cell(y)}{unit}" for x, y in points.items())
+    return f"{name}: {body}"
+
+
+def ratio_report(
+    label: str, measured: float, paper: float, tolerance: float = None
+) -> str:
+    """One paper-vs-measured comparison line."""
+    rel = measured / paper if paper else float("inf")
+    line = f"{label}: measured={_cell(measured)} paper={_cell(paper)} (x{rel:.2f})"
+    if tolerance is not None:
+        line += "  OK" if abs(rel - 1) <= tolerance else "  DIVERGES"
+    return line

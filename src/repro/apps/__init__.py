@@ -1,0 +1,33 @@
+"""FHE application workloads: PackBootstrap, HELR, ResNet-20/32/56."""
+
+from .bootstrap_app import PackBootstrap
+from .encrypted_conv import EncryptedConv2d
+from .helr import EncryptedLogisticRegression, HelrApp
+from .resnet import SUPPORTED_DEPTHS, ResNetApp
+
+#: The paper's three application families (Table 5 column order).
+def standard_applications(single_scaling: bool = False):
+    """Fresh instances of every Table 5 application.
+
+    With ``single_scaling=True`` the bootstraps run without Double Rescale
+    (the SS rows of Table 5, evaluated at the L = 23 Sets F/G).
+    """
+    ds = not single_scaling
+    return [
+        PackBootstrap(use_double_rescale=ds),
+        HelrApp(single_scaling=single_scaling),
+        ResNetApp(20, single_scaling=single_scaling),
+        ResNetApp(32, single_scaling=single_scaling),
+        ResNetApp(56, single_scaling=single_scaling),
+    ]
+
+
+__all__ = [
+    "EncryptedConv2d",
+    "EncryptedLogisticRegression",
+    "HelrApp",
+    "PackBootstrap",
+    "ResNetApp",
+    "SUPPORTED_DEPTHS",
+    "standard_applications",
+]

@@ -1,0 +1,131 @@
+"""PackBootstrap: the CKKS bootstrapping workload (Table 5, column 1).
+
+Bootstrapping refreshes a ciphertext's multiplicative budget through four
+phases -- ModRaise, CoeffToSlot (homomorphic DFT via BSGS linear
+transforms), EvalMod (polynomial approximation of the modular reduction)
+and SlotToCoeff.  The paper evaluates it with Double Rescale integrated
+(small WordSize needs DS for precision, Section 2.1).
+
+This module builds the *operation schedule* -- how many of each primitive
+operation run at which level -- from the standard BSGS/Chebyshev structure.
+The schedule drives the performance model; absolute times are synthetic,
+but every implementation (Neo / TensorFHE / HEonGPU / CPU) runs the same
+schedule, so the cross-system ratios are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict
+
+from ..ckks.params import ParameterSet
+from ..core.neo_context import NeoContext
+
+Schedule = Dict[int, Dict[str, int]]
+
+
+class PackBootstrap:
+    """Schedule builder for one (batched) bootstrapping.
+
+    Args:
+        cts_stages: matrices in the CoeffToSlot DFT factorisation (default 3,
+            as in 100x/ARK).
+        stc_stages: matrices in SlotToCoeff.
+        evalmod_degree: degree of the Chebyshev approximation of the scaled
+            sine (31 is typical for 128-bit parameters with DS).
+        use_double_rescale: use DS after EvalMod multiplications (the paper's
+            default for WordSize <= 36).
+    """
+
+    name = "packbootstrap"
+
+    def __init__(
+        self,
+        cts_stages: int = 3,
+        stc_stages: int = 3,
+        evalmod_degree: int = 63,
+        double_angle_steps: int = 3,
+        use_double_rescale: bool = True,
+    ):
+        self.cts_stages = cts_stages
+        self.stc_stages = stc_stages
+        self.evalmod_degree = evalmod_degree
+        self.double_angle_steps = double_angle_steps
+        self.use_double_rescale = use_double_rescale
+
+    def schedule(self, params: ParameterSet) -> Schedule:
+        """The level -> {operation: count} map of one bootstrapping."""
+        table: Schedule = defaultdict(lambda: defaultdict(int))
+        level = params.max_level
+        slots = params.degree // 2
+
+        # --- CoeffToSlot: `cts_stages` BSGS linear transforms ----------------
+        # Each stage multiplies by a sparse DFT factor with radix
+        # slots**(1/stages); BSGS needs ~2*sqrt(2*radix) hoisted rotations
+        # plus giant-step combination rotations, and `2*radix` diagonal
+        # plaintext multiplications (the factor matrices have 2r diagonals
+        # after multiplexing, as in 100x/ARK).
+        radix = max(2, round(slots ** (1.0 / self.cts_stages)))
+        baby_giant = 2 * max(1, round(math.sqrt(2 * radix))) + radix // 2
+        for _ in range(self.cts_stages):
+            table[level]["hrotate"] += baby_giant
+            table[level]["pmult"] += 2 * radix
+            table[level]["hadd"] += 2 * radix
+            table[level]["rescale"] += 1
+            level -= 1
+
+        # --- EvalMod: Chebyshev evaluation of the scaled sine -----------------
+        # Paterson-Stockmeyer: ~2*sqrt(d) non-scalar multiplications, each
+        # followed by a rescale (or a DS every other step at small WordSize).
+        nonscalar = 2 * max(1, round(math.sqrt(self.evalmod_degree)))
+        depth = max(2, math.ceil(math.log2(self.evalmod_degree + 1)))
+        per_level = max(1, math.ceil(nonscalar / depth)) + 2
+        for _ in range(depth):
+            table[level]["hmult"] += per_level
+            table[level]["padd"] += per_level
+            if self.use_double_rescale:
+                table[level]["double_rescale"] += max(1, per_level // 2)
+                level -= 2
+            else:
+                table[level]["rescale"] += per_level
+                level -= 1
+            if level < self.stc_stages + self.double_angle_steps + 1:
+                break
+
+        # --- Double-angle recovery of the sine argument ------------------------
+        # cos(2x) = 2cos(x)^2 - 1 applied `double_angle_steps` times, one
+        # squaring and one level each.
+        for _ in range(self.double_angle_steps):
+            level = max(level, self.stc_stages + 1)
+            table[level]["hmult"] += 1
+            table[level]["padd"] += 1
+            table[level]["rescale"] += 1
+            level -= 1
+
+        # --- SlotToCoeff ------------------------------------------------------
+        for _ in range(self.stc_stages):
+            level = max(level, 1)
+            table[level]["hrotate"] += baby_giant
+            table[level]["pmult"] += 2 * radix
+            table[level]["hadd"] += 2 * radix
+            table[level]["rescale"] += 1
+            level -= 1
+
+        # ModRaise + conjugation clean-up.
+        top = params.max_level
+        table[top]["padd"] += 2
+        table[top]["hrotate"] += 1  # conjugation for imaginary-part removal
+        return {lvl: dict(ops) for lvl, ops in table.items()}
+
+    def time_s(self, ctx: NeoContext) -> float:
+        """Per-ciphertext (batch-amortised) time of one bootstrapping."""
+        return ctx.schedule_time_s(self.schedule(ctx.params)) / ctx.batch
+
+    def operation_totals(self, params: ParameterSet) -> Dict[str, int]:
+        """Total operation counts across all levels (for reporting)."""
+        totals: Dict[str, int] = defaultdict(int)
+        for ops in self.schedule(params).values():
+            for op, count in ops.items():
+                totals[op] += count
+        return dict(totals)

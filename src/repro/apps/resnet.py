@@ -1,0 +1,84 @@
+"""ResNet-20/32/56 FHE inference (Table 5, columns 3-5).
+
+The paper runs the CKKS ResNet construction of Lee et al. (multiplexed
+parallel convolutions) on one 32x32x3 CIFAR-10 image.  A ResNet of depth
+``6n + 2`` has ``6n`` residual convolution layers plus the stem and the
+FC head; every ReLU is a high-degree polynomial approximation that burns
+enough levels to require a bootstrapping per activation.
+
+The per-layer operation counts below follow the multiplexed-convolution
+structure: a 3x3 convolution over ``c`` packed channels costs ~9 plaintext
+multiplications and ~(9 + 2*log2(c)) rotations, the ReLU approximation is
+a depth-~10 composition of three polynomials (~15 non-scalar
+multiplications), and each activation is followed by a bootstrap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict
+
+from ..ckks.params import ParameterSet
+from ..core.neo_context import NeoContext
+from .bootstrap_app import PackBootstrap, Schedule
+
+#: depth -> n with depth = 6n + 2.
+SUPPORTED_DEPTHS = {20: 3, 32: 5, 56: 9}
+
+
+class ResNetApp:
+    """Schedule builder for one ResNet-`depth` CKKS inference."""
+
+    def __init__(self, depth: int = 20, single_scaling: bool = False):
+        if depth not in SUPPORTED_DEPTHS:
+            raise ValueError(
+                f"depth must be one of {sorted(SUPPORTED_DEPTHS)}, got {depth}"
+            )
+        self.depth = depth
+        self.name = f"resnet{depth}"
+        self._bootstrap = PackBootstrap(use_double_rescale=not single_scaling)
+
+    @property
+    def conv_layers(self) -> int:
+        """Convolution layers: stem + 6n residual convolutions."""
+        return 1 + 6 * SUPPORTED_DEPTHS[self.depth]
+
+    def schedule(self, params: ParameterSet) -> Schedule:
+        table: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        top = params.max_level
+        channels = 16  # CIFAR stage-1 channel count; stages widen 16->32->64
+
+        boot = self._bootstrap.schedule(params)
+        for layer in range(self.conv_layers):
+            stage = min(2, layer * 3 // self.conv_layers)
+            c = channels << stage
+            log_c = max(1, math.ceil(math.log2(c)))
+            conv_level = max(3, top - 2)
+            # Multiplexed 3x3 convolution.
+            table[conv_level]["pmult"] += 9
+            table[conv_level]["hrotate"] += 9 + 2 * log_c
+            table[conv_level]["hadd"] += 9 + 2 * log_c
+            table[conv_level]["rescale"] += 1
+            # BatchNorm folds into the conv; residual add.
+            table[conv_level]["hadd"] += 1
+            # ReLU: composite polynomial approximation (~15 HMULTs).
+            relu_level = max(3, top - 4)
+            table[relu_level]["hmult"] += 15
+            table[relu_level]["rescale"] += 15
+            # One bootstrap per activation.
+            for lvl, ops in boot.items():
+                for op, count in ops.items():
+                    table[lvl][op] += count
+        # Average-pool + FC head.
+        table[max(3, top - 4)]["hrotate"] += 6
+        table[max(3, top - 4)]["hadd"] += 6
+        table[max(3, top - 4)]["pmult"] += 10
+        return {lvl: dict(ops) for lvl, ops in table.items()}
+
+    def time_s(self, ctx: NeoContext) -> float:
+        """Per-ciphertext-batch time of one inference."""
+        return ctx.schedule_time_s(self.schedule(ctx.params)) / ctx.batch
+
+    def bootstrap_count(self) -> int:
+        return self.conv_layers

@@ -1,0 +1,13 @@
+"""Comparator systems: TensorFHE, HEonGPU and the CPU reference."""
+
+from .cpu import CPU_DEVICE, CPU_CONFIG, CpuModel
+from .heongpu import HeonGpuModel
+from .tensorfhe import TensorFheModel
+
+__all__ = [
+    "CPU_CONFIG",
+    "CPU_DEVICE",
+    "CpuModel",
+    "HeonGpuModel",
+    "TensorFheModel",
+]

@@ -1,0 +1,55 @@
+"""CPU reference model.
+
+The paper's CPU rows (Table 5/6) are cited from Craterlake and 100x rather
+than measured; we model a 32-core server (Table 3's Hygon C86 7285) as a
+"device" with CPU-class arithmetic and memory rates driving the same
+operation pipelines.  Shape expectation: two to three orders of magnitude
+slower than any GPU implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ckks.params import ParameterSet
+from ..core.neo_context import NeoContext
+from ..core.pipeline import PipelineConfig
+from ..gpu.device import DeviceSpec
+
+#: A 32-core server-class CPU: ~1 TFLOP/s FP64 peak with FHE-typical
+#: attainment, ~100 GB/s of DDR4 bandwidth, negligible "launch" cost.
+CPU_DEVICE = DeviceSpec(
+    name="32-core server CPU",
+    sm_count=32,
+    cuda_fp64_tflops=1.0,
+    tcu_fp64_tflops=0.0,
+    tcu_int8_tops=0.0,
+    hbm_bandwidth_gbs=100.0,
+    kernel_launch_us=0.1,
+    cuda_efficiency=0.06,
+    memory_efficiency=0.6,
+    memory_gib=512.0,
+    compute_half_batch=0.0,  # CPUs are not occupancy-limited
+    memory_half_batch=0.0,
+)
+
+#: CPU libraries (SEAL/HEAAN-style): Hybrid KS, butterfly NTT, no batching.
+CPU_CONFIG = PipelineConfig(
+    keyswitch="hybrid",
+    bconv_style="gemm",  # cache-blocked loops: read-once traffic
+    ip_style="gemm",
+    ntt_style="butterfly",
+    ntt_component="cuda",
+    bconv_component="cuda",
+    ip_component="cuda",
+    hybrid_accumulate_ntt=True,
+    fused=True,
+    streams=1,
+)
+
+
+class CpuModel(NeoContext):
+    """A :class:`NeoContext` pinned to the CPU device and configuration."""
+
+    def __init__(self, params: ParameterSet | str = "H", batch: Optional[int] = 1):
+        super().__init__(params, device=CPU_DEVICE, config=CPU_CONFIG, batch=batch)

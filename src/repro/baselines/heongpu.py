@@ -1,0 +1,28 @@
+"""HEonGPU (Ozcan & Savas, ePrint 2024/1543) performance model.
+
+A modern, well-engineered CUDA-core-only CKKS library: classic butterfly
+NTT, read-once fused kernels, Hybrid key switching with NTT-domain
+accumulation -- but no tensor-core usage at all.  The paper evaluates it
+at Set E (its native 60-bit WordSize parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ckks.params import ParameterSet
+from ..core.neo_context import NeoContext
+from ..core.pipeline import HEONGPU_CONFIG
+from ..gpu.device import A100, DeviceSpec
+
+
+class HeonGpuModel(NeoContext):
+    """A :class:`NeoContext` pinned to the HEonGPU configuration."""
+
+    def __init__(
+        self,
+        params: ParameterSet | str = "E",
+        device: DeviceSpec = A100,
+        batch: Optional[int] = 128,
+    ):
+        super().__init__(params, device=device, config=HEONGPU_CONFIG, batch=batch)

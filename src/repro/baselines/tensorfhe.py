@@ -1,0 +1,39 @@
+"""TensorFHE (Fan et al., HPCA'23) performance model.
+
+TensorFHE is the paper's principal baseline: the first GPU CKKS system to
+use tensor cores, but only for the NTT, only through the INT8 components
+(Booth-split into 8-bit planes), and with element-wise BConv/IP kernels.
+The paper re-implements it with Double Rescale integrated (Table 5 note),
+which is what the Set-A/B/C rows of our reproduction model too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ckks.params import ParameterSet
+from ..core.neo_context import NeoContext
+from ..core.pipeline import TENSORFHE_CONFIG
+from ..gpu.device import A100, DeviceSpec
+
+
+class TensorFheModel(NeoContext):
+    """A :class:`NeoContext` pinned to the TensorFHE configuration.
+
+    Evaluated at the paper's Sets A, B and C (all Hybrid key switching --
+    TensorFHE has no KLSS implementation, so Set C runs with its
+    ``dnum``/``WordSize`` but the Hybrid method).
+    """
+
+    def __init__(
+        self,
+        params: ParameterSet | str = "A",
+        device: DeviceSpec = A100,
+        batch: Optional[int] = None,
+    ):
+        super().__init__(
+            params,
+            device=device,
+            config=TENSORFHE_CONFIG.with_overrides(keyswitch="hybrid"),
+            batch=batch,
+        )

@@ -1,0 +1,67 @@
+"""CKKS ciphertexts.
+
+A ciphertext is a pair ``(c0, c1)`` over the level-``l`` basis that
+decrypts as ``c0 + c1 * s ~ m``; an unrelinearised product temporarily
+carries a third component ``d2`` (the coefficient of ``s**2``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..math.polynomial import RnsPolynomial
+from .params import CkksParameters
+
+
+class Ciphertext:
+    """An encryption of a packed complex vector at a given level and scale."""
+
+    __slots__ = ("c0", "c1", "c2", "scale", "params")
+
+    def __init__(
+        self,
+        c0: RnsPolynomial,
+        c1: RnsPolynomial,
+        scale: float,
+        params: CkksParameters,
+        c2: Optional[RnsPolynomial] = None,
+    ):
+        if c0.basis != c1.basis:
+            raise ValueError("ciphertext components live in different bases")
+        if c2 is not None and c2.basis != c0.basis:
+            raise ValueError("c2 lives in a different basis")
+        self.c0 = c0
+        self.c1 = c1
+        self.c2 = c2
+        self.scale = float(scale)
+        self.params = params
+
+    @property
+    def level(self) -> int:
+        """Current level ``l`` (number of remaining rescalings)."""
+        return len(self.c0.basis) - 1
+
+    @property
+    def degree(self) -> int:
+        return self.c0.degree
+
+    @property
+    def is_relinearised(self) -> bool:
+        return self.c2 is None
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(
+            self.c0.copy(),
+            self.c1.copy(),
+            self.scale,
+            self.params,
+            None if self.c2 is None else self.c2.copy(),
+        )
+
+    def __repr__(self) -> str:
+        extra = "" if self.c2 is None else ", +s^2 term"
+        return (
+            f"Ciphertext(level={self.level}, "
+            f"scale=2^{math.log2(self.scale):.1f}{extra})"
+        )

@@ -1,0 +1,93 @@
+"""Encryption and decryption."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..math.polynomial import RnsPolynomial
+from .ciphertext import Ciphertext
+from .encoder import Plaintext
+from .keys import PublicKey, SecretKey, sample_error, sample_ternary
+from .params import CkksParameters
+
+
+class Encryptor:
+    """Public-key (or symmetric) encryption of plaintexts."""
+
+    def __init__(
+        self,
+        params: CkksParameters,
+        public_key: Optional[PublicKey] = None,
+        secret_key: Optional[SecretKey] = None,
+        seed: Optional[int] = None,
+    ):
+        if public_key is None and secret_key is None:
+            raise ValueError("need a public or secret key to encrypt")
+        self.params = params
+        self.public_key = public_key
+        self.secret_key = secret_key
+        self.rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt at the plaintext's level."""
+        if self.public_key is not None:
+            return self._encrypt_public(plaintext)
+        return self._encrypt_symmetric(plaintext)
+
+    def _encrypt_public(self, plaintext: Plaintext) -> Ciphertext:
+        params = self.params
+        level = plaintext.level
+        basis = params.q_basis(level)
+        degree = params.degree
+        # v: ternary ephemeral key; e0, e1: fresh errors.
+        v = RnsPolynomial.from_int_coeffs(
+            sample_ternary(degree, self.rng), degree, basis
+        )
+        e0 = RnsPolynomial.from_int_coeffs(
+            sample_error(degree, params.error_std, self.rng), degree, basis
+        )
+        e1 = RnsPolynomial.from_int_coeffs(
+            sample_error(degree, params.error_std, self.rng), degree, basis
+        )
+        b = self.public_key.b.keep_limbs(level + 1)
+        a = self.public_key.a.keep_limbs(level + 1)
+        c0 = v.multiply(b).from_ntt().add(e0).add(plaintext.poly)
+        c1 = v.multiply(a).from_ntt().add(e1)
+        return Ciphertext(c0, c1, plaintext.scale, params)
+
+    def _encrypt_symmetric(self, plaintext: Plaintext) -> Ciphertext:
+        from .keys import sample_uniform  # local import to avoid cycle noise
+
+        params = self.params
+        level = plaintext.level
+        basis = params.q_basis(level)
+        a = sample_uniform(params.degree, basis, self.rng)
+        e = RnsPolynomial.from_int_coeffs(
+            sample_error(params.degree, params.error_std, self.rng),
+            params.degree,
+            basis,
+        )
+        s = self.secret_key.poly(basis)
+        c0 = a.multiply(s).from_ntt().negate().add(e).add(plaintext.poly)
+        return Ciphertext(c0, a.from_ntt(), plaintext.scale, params)
+
+
+class Decryptor:
+    """Decryption: ``m ~ c0 + c1*s (+ c2*s**2)``."""
+
+    def __init__(self, params: CkksParameters, secret_key: SecretKey):
+        self.params = params
+        self.secret_key = secret_key
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        basis = ciphertext.c0.basis
+        s = self.secret_key.poly(basis)
+        message = ciphertext.c0.add(ciphertext.c1.multiply(s).from_ntt())
+        if ciphertext.c2 is not None:
+            s_sq = s.multiply(s).from_ntt()
+            message = message.add(ciphertext.c2.multiply(s_sq).from_ntt())
+        from .encoder import Plaintext
+
+        return Plaintext(message, ciphertext.scale)

@@ -1,0 +1,88 @@
+"""Hoisted rotations: share one ModUp across many rotations.
+
+Rotating the same ciphertext by several steps -- the inner loop of every
+BSGS linear transform -- naively repeats the full KeySwitch per step.  The
+hoisting trick (Halevi-Shoup) exploits that digit decomposition and ModUp
+act coefficient-wise, hence commute with the Galois automorphism::
+
+    digits(tau_k(c1)) = tau_k(digits(c1))
+
+so the expensive decompose + ModUp runs **once**, and each rotation only
+pays the automorphism permutation, the inner product against its own key,
+and ModDown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .ciphertext import Ciphertext
+from .keys import GaloisKeys, rotation_galois_power
+from .keyswitch import hybrid
+from .params import CkksParameters
+
+
+class HoistedRotator:
+    """Precomputes the raised digits of one ciphertext for many rotations."""
+
+    def __init__(self, ct: Ciphertext, params: CkksParameters):
+        if ct.c2 is not None:
+            raise ValueError("hoisting requires a relinearised ciphertext")
+        self.ct = ct
+        self.params = params
+        self.level = ct.level
+        digits = hybrid.decompose_digits(ct.c1, params)
+        #: ModUp'd digits of c1, shared by every rotation (the hoisted part).
+        self.raised = [
+            hybrid.mod_up(digit, j, params, self.level)
+            for j, digit in enumerate(digits)
+        ]
+
+    def rotate(self, steps: int, galois_keys: GaloisKeys) -> Ciphertext:
+        """One rotation using the shared raised digits."""
+        params = self.params
+        power = rotation_galois_power(steps, params.degree)
+        key = galois_keys.get(power)
+        pairs = hybrid._key_pairs_at_level(key, params, self.level)
+        pq = params.pq_basis(self.level)
+        from ..math.polynomial import RnsPolynomial
+
+        acc_b = RnsPolynomial.zero(self.ct.degree, pq, is_ntt=True)
+        acc_a = RnsPolynomial.zero(self.ct.degree, pq, is_ntt=True)
+        for j, raised in enumerate(self.raised):
+            rotated = raised.automorphism(power).to_ntt()
+            b_j, a_j = pairs[j]
+            acc_b = acc_b.add(rotated.multiply(b_j))
+            acc_a = acc_a.add(rotated.multiply(a_j))
+        p0 = hybrid.mod_down(acc_b.from_ntt(), params, self.level)
+        p1 = hybrid.mod_down(acc_a.from_ntt(), params, self.level)
+        rotated_c0 = self.ct.c0.automorphism(power)
+        return Ciphertext(
+            rotated_c0.add(p0), p1, self.ct.scale, params
+        )
+
+    def rotate_many(
+        self, steps: Sequence[int], galois_keys: GaloisKeys
+    ) -> Dict[int, Ciphertext]:
+        """All requested rotations off the single hoisted ModUp."""
+        return {s: self.rotate(s, galois_keys) for s in steps}
+
+
+def hoisted_rotations(
+    ct: Ciphertext,
+    steps: Sequence[int],
+    galois_keys: GaloisKeys,
+    params: CkksParameters,
+) -> Dict[int, Ciphertext]:
+    """Convenience wrapper: rotate `ct` by every step with one ModUp."""
+    return HoistedRotator(ct, params).rotate_many(steps, galois_keys)
+
+
+def hoisting_modup_savings(beta: int, rotations: int) -> float:
+    """Fraction of ModUp work saved versus naive per-rotation KeySwitch.
+
+    Naive: ``rotations * beta`` digit conversions; hoisted: ``beta``.
+    """
+    if rotations < 1:
+        raise ValueError("need at least one rotation")
+    return 1.0 - 1.0 / rotations

@@ -1,0 +1,241 @@
+"""Key material and key generation for CKKS.
+
+Keys follow the hybrid-dnum layout of Han-Ki (the paper's Table 1): a
+key-switching key for ``s' -> s`` is one ``(b_j, a_j)`` pair per digit
+``j < dnum`` over the extended basis ``PQ``, where::
+
+    b_j = -a_j * s + e_j + P * W_j * s'   (mod PQ)
+    W_j = (Q / Q_j) * [(Q / Q_j)^{-1}]_{Q_j}
+
+The KLSS method (Section 2.2) consumes the *same* key material -- it is a
+key *decomposition* technique -- so :class:`KeySwitchKey` is shared by both
+key-switching back-ends.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..math import modarith
+from ..math.polynomial import RnsPolynomial
+from ..math.rns import RnsBasis
+from .params import CkksParameters
+
+
+def sample_ternary(degree: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform ternary secret coefficients in {-1, 0, 1}."""
+    return rng.integers(-1, 2, size=degree).astype(object)
+
+
+def sample_sparse_ternary(
+    degree: int, hamming_weight: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Ternary secret with exactly `hamming_weight` nonzero coefficients.
+
+    Sparse secrets bound the ``q0 * I`` overflow during bootstrapping's
+    ModRaise (|I| grows with the secret's weight), which is why
+    bootstrappable parameter sets use them.
+    """
+    if not 0 < hamming_weight <= degree:
+        raise ValueError(f"hamming weight must be in (0, {degree}]")
+    coeffs = np.zeros(degree, dtype=object)
+    positions = rng.choice(degree, size=hamming_weight, replace=False)
+    signs = rng.choice([-1, 1], size=hamming_weight)
+    for pos, sign in zip(positions, signs):
+        coeffs[pos] = int(sign)
+    return coeffs
+
+
+def sample_error(degree: int, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Rounded Gaussian error coefficients."""
+    return np.round(rng.normal(0.0, std, size=degree)).astype(np.int64).astype(object)
+
+
+def sample_uniform(degree: int, basis: RnsBasis, rng: np.random.Generator) -> RnsPolynomial:
+    """A uniformly random ring element, sampled limb-wise (CRT-uniform)."""
+    limbs = [
+        rng.integers(0, q, size=degree, dtype=np.int64).astype(object)
+        if q < 2**62
+        else np.array([int.from_bytes(rng.bytes(16), "little") % q for _ in range(degree)], dtype=object)
+        for q in basis.moduli
+    ]
+    return RnsPolynomial(degree, basis, limbs, is_ntt=False)
+
+
+class SecretKey:
+    """The ternary secret ``s``, kept as integer coefficients."""
+
+    def __init__(self, coeffs: np.ndarray, params: CkksParameters):
+        self.coeffs = np.asarray(coeffs, dtype=object)
+        self.params = params
+        self._cache: Dict[Tuple[int, ...], RnsPolynomial] = {}
+
+    def poly(self, basis: RnsBasis) -> RnsPolynomial:
+        """The secret as a ring element over `basis` (cached)."""
+        key = basis.moduli
+        poly = self._cache.get(key)
+        if poly is None:
+            poly = RnsPolynomial.from_int_coeffs(
+                self.coeffs, self.params.degree, basis
+            )
+            self._cache[key] = poly
+        return poly
+
+
+class PublicKey:
+    """An encryption key ``(b, a) = (-a*s + e, a)`` over the top-level basis."""
+
+    def __init__(self, b: RnsPolynomial, a: RnsPolynomial):
+        self.b = b
+        self.a = a
+
+
+class KeySwitchKey:
+    """Hybrid-dnum key-switching key: one ``(b_j, a_j)`` pair per digit.
+
+    Pairs are stored in coefficient form over ``pq_basis(L)``; the
+    key-switching back-ends convert to their working domains on demand.
+    """
+
+    def __init__(self, pairs: Sequence[Tuple[RnsPolynomial, RnsPolynomial]]):
+        if not pairs:
+            raise ValueError("a key-switching key needs at least one digit")
+        self.pairs: List[Tuple[RnsPolynomial, RnsPolynomial]] = list(pairs)
+
+    @property
+    def dnum(self) -> int:
+        return len(self.pairs)
+
+
+class GaloisKeys:
+    """Rotation/conjugation keys indexed by Galois power."""
+
+    def __init__(self):
+        self._keys: Dict[int, KeySwitchKey] = {}
+
+    def add(self, galois_power: int, key: KeySwitchKey):
+        self._keys[galois_power] = key
+
+    def get(self, galois_power: int) -> KeySwitchKey:
+        try:
+            return self._keys[galois_power]
+        except KeyError:
+            raise KeyError(
+                f"no Galois key for power {galois_power}; generate it first"
+            )
+
+    def __contains__(self, galois_power: int) -> bool:
+        return galois_power in self._keys
+
+
+def rotation_galois_power(steps: int, degree: int) -> int:
+    """The Galois power implementing a rotation by `steps` slots."""
+    two_n = 2 * degree
+    return pow(5, steps % (degree // 2), two_n)
+
+
+CONJUGATION_POWER_OFFSET = -1  # conjugation is X -> X**(2N - 1)
+
+
+def conjugation_galois_power(degree: int) -> int:
+    return 2 * degree - 1
+
+
+class KeyGenerator:
+    """Generates all key material from a seeded RNG (deterministic tests)."""
+
+    def __init__(self, params: CkksParameters, seed: Optional[int] = None):
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+
+    # -- basic keys ---------------------------------------------------------------
+
+    def secret_key(self, hamming_weight: Optional[int] = None) -> SecretKey:
+        """Sample a secret key (sparse ternary when a weight is given)."""
+        if hamming_weight is None:
+            coeffs = sample_ternary(self.params.degree, self.rng)
+        else:
+            coeffs = sample_sparse_ternary(
+                self.params.degree, hamming_weight, self.rng
+            )
+        return SecretKey(coeffs, self.params)
+
+    def public_key(self, secret: SecretKey) -> PublicKey:
+        params = self.params
+        basis = params.q_basis(params.max_level)
+        a = sample_uniform(params.degree, basis, self.rng)
+        e = RnsPolynomial.from_int_coeffs(
+            sample_error(params.degree, params.error_std, self.rng),
+            params.degree,
+            basis,
+        )
+        s = secret.poly(basis)
+        b = a.multiply(s).from_ntt().negate().add(e)
+        return PublicKey(b, a)
+
+    # -- key-switching keys --------------------------------------------------------
+
+    def keyswitch_key(self, source_coeffs: np.ndarray, secret: SecretKey) -> KeySwitchKey:
+        """Key switching ``s' -> s`` where `source_coeffs` is ``s'``."""
+        params = self.params
+        level = params.max_level
+        pq = params.pq_basis(level)
+        s = secret.poly(pq)
+        source = RnsPolynomial.from_int_coeffs(source_coeffs, params.degree, pq)
+        p_product = params.special_product
+        pairs = []
+        # dnum may not divide the chain length; only beta(L) digits exist.
+        for digit in range(params.beta(level)):
+            w_factor = self._gadget_factor(digit, level)
+            a_j = sample_uniform(params.degree, pq, self.rng)
+            e_j = RnsPolynomial.from_int_coeffs(
+                sample_error(params.degree, params.error_std, self.rng),
+                params.degree,
+                pq,
+            )
+            keyed = source.multiply_scalar(p_product * w_factor)
+            b_j = a_j.multiply(s).from_ntt().negate().add(e_j).add(keyed)
+            pairs.append((b_j, a_j))
+        return KeySwitchKey(pairs)
+
+    def _gadget_factor(self, digit: int, level: int) -> int:
+        """``W_j = (Q/Q_j) * [(Q/Q_j)^{-1}]_{Q_j}`` for the top-level chain."""
+        params = self.params
+        moduli = params.moduli[: level + 1]
+        start, stop = params.digit_range(digit, level)
+        group = reduce(lambda a, b: a * b, moduli[start:stop], 1)
+        q_total = reduce(lambda a, b: a * b, moduli, 1)
+        q_hat = q_total // group
+        return q_hat * modarith.inv_mod(q_hat % group, group)
+
+    def relinearisation_key(self, secret: SecretKey) -> KeySwitchKey:
+        """Key for ``s**2 -> s`` (used by HMULT)."""
+        basis = self.params.q_basis(self.params.max_level)
+        s = secret.poly(basis)
+        s_squared = s.multiply(s).from_ntt().to_int_coeffs()
+        return self.keyswitch_key(s_squared, secret)
+
+    def galois_key(self, secret: SecretKey, galois_power: int) -> KeySwitchKey:
+        """Key for ``tau_k(s) -> s`` (used by HROTATE / conjugation)."""
+        # Apply the automorphism on exact integer coefficients.
+        two_n = 2 * self.params.degree
+        out = np.zeros(self.params.degree, dtype=object)
+        for i, c in enumerate(secret.coeffs):
+            exponent = (i * galois_power) % two_n
+            if exponent < self.params.degree:
+                out[exponent] += c
+            else:
+                out[exponent - self.params.degree] -= c
+        return self.keyswitch_key(out, secret)
+
+    def rotation_keys(self, secret: SecretKey, steps: Sequence[int]) -> GaloisKeys:
+        """Galois keys for a set of slot rotations (plus conjugation helper)."""
+        keys = GaloisKeys()
+        for step in steps:
+            power = rotation_galois_power(step, self.params.degree)
+            if power not in keys:
+                keys.add(power, self.galois_key(secret, power))
+        return keys

@@ -1,0 +1,5 @@
+"""Key-switching back-ends: Hybrid (Han-Ki) and KLSS (Kim-Lee-Seo-Song)."""
+
+from . import hybrid, klss
+
+__all__ = ["hybrid", "klss"]

@@ -1,0 +1,152 @@
+"""Hybrid (Han-Ki dnum) key switching.
+
+The classic GPU pipeline the paper compares against (Fig. 5, left path):
+
+1. **Digit decomposition** -- split the input into ``beta`` digits of
+   ``alpha`` limbs each.
+2. **Mod Up** -- BConv each digit from its group basis to the full ``PQ``
+   basis (approximate conversion; the small ``u * Q_j`` slack is absorbed
+   by the special modulus).
+3. **NTT** over ``PQ``, **Inner Product** with the evk digit pairs,
+   **INTT**.
+4. **Mod Down** -- divide by ``P`` and return to the ciphertext basis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...math import modarith
+from ...math.polynomial import RnsPolynomial
+from ...math.rns import RnsBasis, bconv_approx
+from ..keys import KeySwitchKey
+from ..params import CkksParameters
+
+
+def decompose_digits(
+    poly: RnsPolynomial, params: CkksParameters
+) -> List[RnsPolynomial]:
+    """Split `poly` (coefficient form, level-``l`` basis) into digits.
+
+    Digit ``j`` is simply the limbs of group ``j`` -- its residues *are*
+    the RNS representation of ``poly mod Q_j``.
+    """
+    poly = poly.from_ntt()
+    level = len(poly.basis) - 1
+    digits = []
+    for j in range(params.beta(level)):
+        start, stop = params.digit_range(j, level)
+        basis = RnsBasis(poly.basis.moduli[start:stop])
+        digits.append(
+            RnsPolynomial(poly.degree, basis, poly.limbs[start:stop], is_ntt=False)
+        )
+    return digits
+
+
+def mod_up(
+    digit: RnsPolynomial, digit_index: int, params: CkksParameters, level: int
+) -> RnsPolynomial:
+    """Raise one digit to the ``PQ`` basis (paper's Mod Up / BConv step).
+
+    Limbs belonging to the digit's own group are copied verbatim; all other
+    limbs come from the approximate base conversion, so the limbs jointly
+    represent ``c_j + u * Q_j`` for some ``0 <= u < alpha``.
+    """
+    pq = params.pq_basis(level)
+    start, stop = params.digit_range(digit_index, level)
+    own = dict(zip(range(start, stop), digit.limbs))
+    other_moduli = [
+        q for idx, q in enumerate(pq.moduli) if not start <= idx < stop
+    ]
+    converted = bconv_approx(digit.limbs, digit.basis, RnsBasis(other_moduli))
+    converted_iter = iter(converted)
+    limbs = []
+    for idx in range(len(pq.moduli)):
+        if start <= idx < stop:
+            limbs.append(own[idx])
+        else:
+            limbs.append(next(converted_iter))
+    return RnsPolynomial(digit.degree, pq, limbs, is_ntt=False)
+
+
+def restrict_to_pq(
+    poly: RnsPolynomial, params: CkksParameters, level: int
+) -> RnsPolynomial:
+    """Restrict a top-level ``PQ_L`` polynomial to the level-``l`` ``PQ`` basis."""
+    top = params.max_level
+    q_limbs = poly.limbs[: level + 1]
+    p_limbs = poly.limbs[top + 1 : top + 1 + len(params.special_primes)]
+    return RnsPolynomial(
+        poly.degree, params.pq_basis(level), q_limbs + p_limbs, poly.is_ntt
+    )
+
+
+def mod_down(
+    poly: RnsPolynomial, params: CkksParameters, level: int
+) -> RnsPolynomial:
+    """Divide by ``P`` and drop the special limbs (paper's Mod Down)."""
+    poly = poly.from_ntt()
+    q_basis = params.q_basis(level)
+    p_basis = params.p_basis()
+    q_count = level + 1
+    q_limbs = poly.limbs[:q_count]
+    p_limbs = poly.limbs[q_count:]
+    converted = bconv_approx(p_limbs, p_basis, q_basis)
+    limbs = []
+    for limb, conv, q in zip(q_limbs, converted, q_basis.moduli):
+        p_inv = modarith.inv_mod(params.special_product % q, q)
+        limbs.append(
+            modarith.scalar_mul_mod(modarith.sub_mod(limb, conv, q), p_inv, q)
+        )
+    return RnsPolynomial(poly.degree, q_basis, limbs, is_ntt=False)
+
+
+def _key_pairs_at_level(
+    ksk: KeySwitchKey, params: CkksParameters, level: int
+) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
+    """Evk pairs restricted to the level-``l`` PQ basis, NTT form, cached."""
+    cache = getattr(ksk, "_hybrid_cache", None)
+    if cache is None:
+        cache = {}
+        ksk._hybrid_cache = cache
+    pairs = cache.get(level)
+    if pairs is None:
+        pairs = [
+            (
+                restrict_to_pq(b, params, level).to_ntt(),
+                restrict_to_pq(a, params, level).to_ntt(),
+            )
+            for b, a in ksk.pairs
+        ]
+        cache[level] = pairs
+    return pairs
+
+
+def keyswitch(
+    poly: RnsPolynomial, ksk: KeySwitchKey, params: CkksParameters
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
+    """Switch `poly` (a coefficient of ``s'``) to the key ``s``.
+
+    Returns ``(p0, p1)`` over the ciphertext basis such that
+    ``p0 + p1 * s ~ poly * s'`` (up to key-switching noise).
+    """
+    level = len(poly.basis) - 1
+    digits = decompose_digits(poly, params)
+    if len(digits) > ksk.dnum:
+        raise ValueError(
+            f"key has {ksk.dnum} digits but level {level} needs {len(digits)}"
+        )
+    pairs = _key_pairs_at_level(ksk, params, level)
+    pq = params.pq_basis(level)
+    acc_b = RnsPolynomial.zero(poly.degree, pq, is_ntt=True)
+    acc_a = RnsPolynomial.zero(poly.degree, pq, is_ntt=True)
+    for j, digit in enumerate(digits):
+        raised = mod_up(digit, j, params, level).to_ntt()  # Mod Up + NTT
+        b_j, a_j = pairs[j]
+        acc_b = acc_b.add(raised.multiply(b_j))  # Inner Product
+        acc_a = acc_a.add(raised.multiply(a_j))
+    p0 = mod_down(acc_b.from_ntt(), params, level)  # INTT + Mod Down
+    p1 = mod_down(acc_a.from_ntt(), params, level)
+    return p0, p1

@@ -1,0 +1,211 @@
+"""KLSS key switching (Kim-Lee-Seo-Song, CRYPTO'23) -- Section 2.2.
+
+The six-step pipeline of the paper's Fig. 5:
+
+1. **Mod Up** -- BConv each of the ``beta`` ciphertext digits from its
+   ``alpha``-limb group basis into the auxiliary basis ``T`` (``alpha'``
+   limbs of ``WordSize_T`` bits).  Because ``T`` far exceeds the digit
+   bound, the limbs of ``T`` represent the digit *exactly* as an integer.
+2. **NTT** over ``R_T``.
+3. **IP** -- multiply-accumulate against ``beta~ x beta`` evk digit pairs.
+   The evk digits are the RNS gadget decomposition (groups of ``alpha~``
+   limbs of the ``PQ`` chain) of the *hybrid* evk -- KLSS is a key
+   decomposition technique, so the key material is shared.
+4. **INTT** over ``R_T``.
+5. **Recover Limbs** -- the accumulated integers are below ``T/2`` in
+   magnitude (Eq. 4), so an exact signed base conversion brings each of
+   the ``beta~`` groups back to ``R_PQ``, where they are recombined with
+   the gadget factors ``G_hat_i``.
+6. **Mod Down** -- divide by ``P`` (shared with the hybrid back-end).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import List, Tuple
+
+import numpy as np
+
+from ...math import modarith
+from ...math.polynomial import RnsPolynomial
+from ...math.rns import RnsBasis, bconv_approx
+from ..keys import KeySwitchKey
+from ..params import CkksParameters
+from . import hybrid
+
+
+class KlssBoundError(ValueError):
+    """Raised when the auxiliary modulus cannot hold the IP exactly (Eq. 4)."""
+
+
+class _KlssLevelKey:
+    """The evk of one level, gadget-decomposed into the auxiliary basis."""
+
+    def __init__(
+        self,
+        t_basis: RnsBasis,
+        digit_pairs: List[List[Tuple[RnsPolynomial, RnsPolynomial]]],
+        gadget_factors: List[int],
+        pq_basis: RnsBasis,
+    ):
+        #: ``digit_pairs[i][j]`` = digit ``i`` of evk pair ``j``, over ``R_T`` (NTT).
+        self.t_basis = t_basis
+        self.digit_pairs = digit_pairs
+        #: ``gadget_factors[i] = G_hat_i = PQ_l / G_i`` (exact integers).
+        self.gadget_factors = gadget_factors
+        self.pq_basis = pq_basis
+
+    @property
+    def beta_tilde(self) -> int:
+        return len(self.digit_pairs)
+
+
+def _limb_groups(n_limbs: int, alpha_tilde: int) -> List[Tuple[int, int]]:
+    """Half-open limb ranges of the ``alpha~``-sized gadget groups."""
+    return [
+        (start, min(start + alpha_tilde, n_limbs))
+        for start in range(0, n_limbs, alpha_tilde)
+    ]
+
+
+def _check_ip_bound(params: CkksParameters, level: int, t_basis: RnsBasis):
+    """Assert the Eq. 4 correctness bound: ``T > 2 * N * beta * B * B~``."""
+    pq_moduli = params.pq_basis(level).moduli
+    alpha = params.alpha
+    beta = params.beta(level)
+    digit_bound = 0
+    for j in range(beta):
+        start, stop = params.digit_range(j, level)
+        group = reduce(lambda a, b: a * b, params.moduli[start:stop], 1)
+        digit_bound = max(digit_bound, group)
+    b_bound = (alpha + 1) * digit_bound  # Mod Up overflow slack included
+    groups = _limb_groups(len(pq_moduli), params.klss.alpha_tilde)
+    key_digit_bound = max(
+        reduce(lambda a, b: a * b, pq_moduli[start:stop], 1) for start, stop in groups
+    )
+    required = 2 * params.degree * beta * b_bound * key_digit_bound
+    if t_basis.product <= required:
+        raise KlssBoundError(
+            f"auxiliary modulus T (~2^{t_basis.product.bit_length()}) too small: "
+            f"Eq. 4 needs > 2^{required.bit_length()} at level {level}"
+        )
+
+
+def decompose_key(
+    ksk: KeySwitchKey, params: CkksParameters, level: int
+) -> _KlssLevelKey:
+    """Gadget-decompose the hybrid evk for use at `level` (cached on the key)."""
+    if params.klss is None:
+        raise ValueError("parameters carry no KLSS configuration")
+    cache = getattr(ksk, "_klss_cache", None)
+    if cache is None:
+        cache = {}
+        ksk._klss_cache = cache
+    decomposed = cache.get(level)
+    if decomposed is not None:
+        return decomposed
+
+    alpha_prime, beta, _ = params.klss_dims(level)
+    t_basis = params.aux_basis.subbasis(0, alpha_prime)
+    _check_ip_bound(params, level, t_basis)
+
+    pq = params.pq_basis(level)
+    groups = _limb_groups(len(pq.moduli), params.klss.alpha_tilde)
+    pq_product = pq.product
+    gadget_factors = []
+    group_data = []  # (group_basis, inv_factor, start, stop)
+    for start, stop in groups:
+        group_basis = RnsBasis(pq.moduli[start:stop])
+        g_hat = pq_product // group_basis.product
+        inv = modarith.inv_mod(g_hat % group_basis.product, group_basis.product)
+        gadget_factors.append(g_hat)
+        group_data.append((group_basis, inv, start, stop))
+
+    digit_pairs: List[List[Tuple[RnsPolynomial, RnsPolynomial]]] = []
+    restricted = [
+        (
+            hybrid.restrict_to_pq(b, params, level),
+            hybrid.restrict_to_pq(a, params, level),
+        )
+        for b, a in ksk.pairs[:beta]
+    ]
+    for group_basis, inv, start, stop in group_data:
+        row: List[Tuple[RnsPolynomial, RnsPolynomial]] = []
+        for b, a in restricted:
+            row.append(
+                (
+                    _extract_digit(b, group_basis, inv, start, stop, t_basis),
+                    _extract_digit(a, group_basis, inv, start, stop, t_basis),
+                )
+            )
+        digit_pairs.append(row)
+    decomposed = _KlssLevelKey(t_basis, digit_pairs, gadget_factors, pq)
+    cache[level] = decomposed
+    return decomposed
+
+
+def _extract_digit(
+    poly: RnsPolynomial,
+    group_basis: RnsBasis,
+    inv_factor: int,
+    start: int,
+    stop: int,
+    t_basis: RnsBasis,
+) -> RnsPolynomial:
+    """Digit ``[v * G_hat^{-1}]_{G}`` of `poly`, lifted exactly into ``R_T``."""
+    group_value = group_basis.compose(poly.limbs[start:stop])
+    digit = (group_value * inv_factor) % group_basis.product
+    limbs = t_basis.decompose(digit)
+    return RnsPolynomial(poly.degree, t_basis, limbs, is_ntt=False).to_ntt()
+
+
+def keyswitch(
+    poly: RnsPolynomial, ksk: KeySwitchKey, params: CkksParameters
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
+    """KLSS key switch of `poly`; same contract as :func:`hybrid.keyswitch`."""
+    level = len(poly.basis) - 1
+    key = decompose_key(ksk, params, level)
+    t_basis = key.t_basis
+    degree = poly.degree
+
+    # Step 1 + 2: Mod Up into R_T, then NTT.
+    raised: List[RnsPolynomial] = []
+    for digit in hybrid.decompose_digits(poly, params):
+        limbs = bconv_approx(digit.limbs, digit.basis, t_basis)
+        raised.append(
+            RnsPolynomial(degree, t_basis, limbs, is_ntt=False).to_ntt()
+        )
+
+    # Step 3: Inner Product over R_T (beta~ accumulator pairs).
+    acc = [
+        (
+            RnsPolynomial.zero(degree, t_basis, is_ntt=True),
+            RnsPolynomial.zero(degree, t_basis, is_ntt=True),
+        )
+        for _ in range(key.beta_tilde)
+    ]
+    for i in range(key.beta_tilde):
+        acc_b, acc_a = acc[i]
+        for j, digit in enumerate(raised):
+            evk_b, evk_a = key.digit_pairs[i][j]
+            acc_b = acc_b.add(digit.multiply(evk_b))
+            acc_a = acc_a.add(digit.multiply(evk_a))
+        acc[i] = (acc_b, acc_a)
+
+    # Step 4 + 5: INTT, then Recover Limbs back into R_PQ.
+    pq = key.pq_basis
+    out_shape = poly.batch_shape + (degree,)
+    sum_b = np.zeros(out_shape, dtype=object)
+    sum_a = np.zeros(out_shape, dtype=object)
+    for (acc_b, acc_a), g_hat in zip(acc, key.gadget_factors):
+        r_b = t_basis.compose_signed(acc_b.from_ntt().limbs)
+        r_a = t_basis.compose_signed(acc_a.from_ntt().limbs)
+        sum_b += r_b * g_hat
+        sum_a += r_a * g_hat
+    recovered_b = RnsPolynomial(degree, pq, pq.decompose(sum_b), is_ntt=False)
+    recovered_a = RnsPolynomial(degree, pq, pq.decompose(sum_a), is_ntt=False)
+
+    # Step 6: Mod Down by P.
+    p0 = hybrid.mod_down(recovered_b, params, level)
+    p1 = hybrid.mod_down(recovered_a, params, level)
+    return p0, p1

@@ -1,0 +1,120 @@
+"""Homomorphic linear transforms via the diagonal (BSGS) method.
+
+CoeffToSlot / SlotToCoeff in bootstrapping, and any slot-space matrix
+multiplication, reduce to::
+
+    (M z)_i = sum_d  diag_d(M)_i * z_{i+d}
+
+i.e. a sum of rotated ciphertexts weighted by plaintext diagonals.  The
+baby-step/giant-step arrangement cuts the rotation count from ``#diags``
+to roughly ``2 * sqrt(#diags)``:
+
+    M z = sum_g rot( sum_b  rot^{-g*n1}(diag_{g*n1+b}) * rot^b(z), g*n1 )
+
+This module turns a complex ``slots x slots`` matrix into encoded diagonal
+plaintexts and applies it to a ciphertext with an :class:`Evaluator`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder
+from .evaluator import Evaluator
+from .params import CkksParameters
+
+
+def matrix_diagonals(matrix: np.ndarray, tol: float = 0.0) -> Dict[int, np.ndarray]:
+    """Extract the (generalised) diagonals of a square matrix.
+
+    ``diag_d[i] = M[i, (i + d) mod n]``; diagonals whose max magnitude is
+    at or below `tol` are dropped (sparse transforms like the DFT factors
+    have few nonzero diagonals).
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    diagonals = {}
+    for d in range(n):
+        diag = np.array([matrix[i, (i + d) % n] for i in range(n)])
+        if np.abs(diag).max() > tol:
+            diagonals[d] = diag
+    return diagonals
+
+
+class LinearTransform:
+    """A slots-space matrix, preprocessed for homomorphic application.
+
+    Args:
+        encoder: the CKKS encoder (defines slot count and scales).
+        matrix: ``slots x slots`` complex matrix.
+        bsgs_ratio: giant-step size is ``~sqrt(#diags * bsgs_ratio)``.
+
+    Consumes one multiplicative level per application (a single Rescale).
+    """
+
+    def __init__(
+        self,
+        encoder: CkksEncoder,
+        matrix: np.ndarray,
+        bsgs_ratio: float = 1.0,
+    ):
+        self.encoder = encoder
+        self.slots = encoder.slots
+        diagonals = matrix_diagonals(matrix)
+        if not diagonals:
+            raise ValueError("matrix has no nonzero diagonals")
+        self.diagonal_indices = sorted(diagonals)
+        self.baby = max(1, round(math.sqrt(len(diagonals) * bsgs_ratio)))
+        #: plan[g][b] = plaintext diagonal for rotation g*baby + b (pre-rotated).
+        self._plan: Dict[int, Dict[int, np.ndarray]] = {}
+        for d, diag in diagonals.items():
+            g, b = divmod(d, self.baby)
+            # Pre-rotate the diagonal so the giant-step rotation commutes.
+            self._plan.setdefault(g, {})[b] = np.roll(diag, g * self.baby)
+
+    def required_rotations(self) -> List[int]:
+        """Slot rotations whose Galois keys must exist before `apply`."""
+        steps = {b for plan in self._plan.values() for b in plan if b}
+        steps |= {g * self.baby for g in self._plan if g}
+        return sorted(steps)
+
+    def apply(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+        """Homomorphically compute ``M z`` (one level consumed)."""
+        level = ct.level
+        baby_rotations: Dict[int, Ciphertext] = {0: ct}
+        for plan in self._plan.values():
+            for b in plan:
+                if b not in baby_rotations:
+                    baby_rotations[b] = evaluator.rotate(ct, b)
+        outer: Optional[Ciphertext] = None
+        for g, plan in sorted(self._plan.items()):
+            inner: Optional[Ciphertext] = None
+            for b, diag in sorted(plan.items()):
+                pt = self.encoder.encode(diag, level=level)
+                term = evaluator.multiply_plain(baby_rotations[b], pt)
+                inner = term if inner is None else evaluator.add(inner, term)
+            if g:
+                inner = evaluator.rotate(inner, g * self.baby)
+            outer = inner if outer is None else evaluator.add(outer, inner)
+        return evaluator.rescale(outer)
+
+
+def identity_transform(encoder: CkksEncoder) -> LinearTransform:
+    """The identity matrix as a transform (useful for tests)."""
+    return LinearTransform(encoder, np.eye(encoder.slots, dtype=np.complex128))
+
+
+def rotation_keys_for(
+    transforms: List[LinearTransform],
+) -> List[int]:
+    """Union of rotation steps a set of transforms requires."""
+    steps = set()
+    for transform in transforms:
+        steps.update(transform.required_rotations())
+    return sorted(steps)

@@ -1,0 +1,158 @@
+"""Noise measurement and budget estimation.
+
+CKKS correctness is a budget question: the invariant noise must stay well
+below the scale, and the scaled message below the remaining modulus.  This
+module provides
+
+* :func:`measure_noise_bits` -- the *ground truth*: decrypt with the secret
+  key and compare against a reference plaintext (test/diagnostic use only).
+* :func:`remaining_budget_bits` -- how many bits of modulus stand between
+  the scaled message and overflow.
+* :class:`NoiseEstimator` -- conservative analytic propagation of noise
+  bounds through the evaluator's operations, usable without any key.  The
+  test-suite checks the estimate upper-bounds the measurement on random
+  circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder, Plaintext
+from .keys import SecretKey
+from .params import CkksParameters
+
+
+def exact_decrypt_poly(ct: Ciphertext, secret: SecretKey):
+    """The raw decryption polynomial ``c0 + c1*s (+ c2*s^2)``, centred."""
+    s = secret.poly(ct.c0.basis)
+    message = ct.c0.add(ct.c1.multiply(s).from_ntt())
+    if ct.c2 is not None:
+        s_sq = s.multiply(s).from_ntt()
+        message = message.add(ct.c2.multiply(s_sq).from_ntt())
+    return message.to_int_coeffs()
+
+
+def measure_noise_bits(
+    ct: Ciphertext, secret: SecretKey, reference: Plaintext
+) -> float:
+    """log2 of the largest coefficient error versus `reference`.
+
+    `reference` must be encoded at the ciphertext's level and scale (the
+    exact plaintext the ciphertext is supposed to carry).
+    """
+    got = exact_decrypt_poly(ct, secret)
+    want = reference.poly.to_int_coeffs()
+    diff = np.abs((got - want).astype(object))
+    worst = max((int(d) for d in diff), default=0)
+    return math.log2(worst) if worst else 0.0
+
+
+def remaining_budget_bits(ct: Ciphertext, noise_bits: float) -> float:
+    """Bits of modulus headroom above ``scale * message + noise``.
+
+    When this reaches zero the ciphertext wraps and decryption fails.
+    """
+    modulus_bits = math.log2(ct.c0.basis.product)
+    used = max(math.log2(ct.scale), noise_bits)
+    return modulus_bits - used
+
+
+@dataclass
+class NoiseEstimate:
+    """An upper bound on the coefficient noise, in bits."""
+
+    bits: float
+
+    def __repr__(self) -> str:
+        return f"NoiseEstimate({self.bits:.1f} bits)"
+
+
+class NoiseEstimator:
+    """Conservative analytic noise propagation (no key material needed).
+
+    Bounds follow the usual CKKS heuristics with a safety margin: fresh
+    encryption noise ~ ``sigma * (2*sqrt(N) + N)``; addition sums bounds;
+    plaintext multiplication scales by the plaintext's canonical norm;
+    ciphertext multiplication cross-multiplies message and noise; rescale
+    divides by the dropped prime and adds a rounding term ~ ``sqrt(N)``;
+    key switching adds a term governed by the special modulus.
+    """
+
+    #: extra safety margin (bits) applied to every bound.
+    MARGIN_BITS = 2.0
+
+    def __init__(self, params: CkksParameters):
+        self.params = params
+        self.degree = params.degree
+        self.sigma = params.error_std
+
+    def _wrap(self, value: float) -> NoiseEstimate:
+        return NoiseEstimate(math.log2(max(value, 1.0)) + self.MARGIN_BITS)
+
+    def fresh(self) -> NoiseEstimate:
+        n = self.degree
+        bound = self.sigma * (2 * math.sqrt(n) + n)
+        return self._wrap(bound)
+
+    def after_add(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        return NoiseEstimate(max(a.bits, b.bits) + 1.0)
+
+    def after_multiply_plain(
+        self, noise: NoiseEstimate, plaintext_magnitude: float
+    ) -> NoiseEstimate:
+        """`plaintext_magnitude`: max slot magnitude of the plaintext."""
+        pt_norm = abs(plaintext_magnitude) * self.params.scale
+        return self._wrap(2**noise.bits * pt_norm * math.sqrt(self.degree))
+
+    def after_multiply(
+        self,
+        a: NoiseEstimate,
+        b: NoiseEstimate,
+        message_scale_bits: float = None,
+    ) -> NoiseEstimate:
+        """Noise of a ciphertext-ciphertext product (before key switching)."""
+        msg = (
+            math.log2(self.params.scale)
+            if message_scale_bits is None
+            else message_scale_bits
+        )
+        # noise_a * msg_b + noise_b * msg_a + noise_a * noise_b
+        term = max(a.bits + msg, b.bits + msg, a.bits + b.bits)
+        return NoiseEstimate(term + 0.5 * math.log2(self.degree) + 1.0)
+
+    def after_keyswitch(self, noise: NoiseEstimate, level: int) -> NoiseEstimate:
+        """Key-switch noise: digit sums scaled down by the special modulus."""
+        beta = self.params.beta(level)
+        digit_bits = self.params.wordsize * self.params.alpha
+        added = (
+            digit_bits
+            + math.log2(beta * self.degree * self.sigma * 8)
+            - math.log2(self.params.special_product)
+        )
+        return NoiseEstimate(max(noise.bits, added, 0.0) + 1.0)
+
+    def after_rescale(self, noise: NoiseEstimate, dropped_prime: int) -> NoiseEstimate:
+        rounded = 2 ** max(noise.bits - math.log2(dropped_prime), 0.0)
+        rounding_term = math.sqrt(self.degree) * (self.params.alpha + 2)
+        return self._wrap(rounded + rounding_term)
+
+    def multiplication_depth_budget(self) -> int:
+        """How many multiply+rescale steps fit before the noise eats the
+        message at the last level (a coarse planning aid)."""
+        level = self.params.max_level
+        noise = self.fresh()
+        depth = 0
+        while level > 0:
+            noise = self.after_multiply(noise, noise)
+            noise = self.after_keyswitch(noise, level)
+            noise = self.after_rescale(noise, self.params.moduli[level])
+            level -= 1
+            if noise.bits >= math.log2(self.params.scale):
+                break
+            depth += 1
+        return depth

@@ -1,0 +1,287 @@
+"""CKKS parameter sets: functional (reduced-N) and the paper's Table 4.
+
+Two kinds of parameter objects live here:
+
+* :class:`CkksParameters` -- a *functional* parameter set with concrete
+  prime chains, usable for real encryption at any ring degree.  Tests use
+  reduced degrees (``N = 2**5 .. 2**12``) with fast-backend moduli.
+* :class:`ParameterSet` -- the *analytic* description of the paper's sets
+  A-H (Table 4) at ``N = 2**16``, which feed the performance model without
+  materialising 36/60-bit prime chains.
+
+KLSS hyper-parameters (``WordSize_T``, ``alpha~``) and derived quantities
+(``alpha'``, ``beta~``, the Eq. 4 security/correctness bound) are computed
+in :class:`KlssConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Dict, Optional, Tuple
+
+from ..math.primes import disjoint_prime_chains
+from ..math.rns import RnsBasis
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class KlssConfig:
+    """Hyper-parameters of the KLSS key-switching method."""
+
+    #: Bit width of the auxiliary primes ``t_i`` (paper: 36 / 48 / 64).
+    wordsize_t: int
+    #: Number of PQ limbs grouped into one evk digit (paper's alpha~).
+    alpha_tilde: int
+
+    def beta_tilde(self, level: int, alpha: int) -> int:
+        """Digit count after IP: ``ceil((l + alpha + 1) / alpha~)`` (Table 1)."""
+        return ceil_div(level + alpha + 1, self.alpha_tilde)
+
+    def alpha_prime(self, level: int, alpha: int, wordsize: int, log_degree: int) -> int:
+        """Limbs of the auxiliary basis ``T`` (Eq. 4 correctness bound).
+
+        ``T`` must exceed the worst-case integer inner product
+        ``beta * N * B * B~`` (with a factor 2 for signs), where ``B`` bounds
+        a mod-upped ciphertext digit (``alpha`` limbs plus the approximate
+        BConv overflow) and ``B~`` bounds an evk digit (``alpha~`` limbs).
+        """
+        beta = ceil_div(level + 1, alpha)
+        bound_bits = (
+            1  # sign
+            + math.ceil(math.log2(max(beta, 1))) + 1
+            + log_degree
+            + wordsize * alpha + 8 + math.ceil(math.log2(alpha + 1))  # B (q0 slack)
+            + (wordsize + 1) * self.alpha_tilde  # B~ (special primes are w+1 bits)
+        )
+        return ceil_div(bound_bits, self.wordsize_t)
+
+
+@dataclass(frozen=True)
+class ParameterSet:
+    """One column of the paper's Table 4 (analytic, for the cost model)."""
+
+    name: str
+    log_degree: int
+    max_level: int
+    wordsize: int
+    dnum: int
+    security: int
+    batch_size: Optional[int] = 128
+    klss: Optional[KlssConfig] = None
+    #: Which KeySwitch the set drives (Hybrid unless a KLSS config is given).
+    keyswitch: str = field(init=False, default="hybrid")
+
+    def __post_init__(self):
+        object.__setattr__(self, "keyswitch", "klss" if self.klss else "hybrid")
+
+    @property
+    def degree(self) -> int:
+        return 1 << self.log_degree
+
+    @property
+    def alpha(self) -> int:
+        """Limbs per digit: ``ceil((L + 1) / dnum)`` (Table 1)."""
+        return ceil_div(self.max_level + 1, self.dnum)
+
+    def beta(self, level: int) -> int:
+        """Digit count at `level`: ``ceil((l + 1) / alpha)`` (Table 1)."""
+        return ceil_div(level + 1, self.alpha)
+
+    def klss_dims(self, level: int) -> Tuple[int, int, int]:
+        """``(alpha', beta, beta~)`` at `level` for the KLSS method."""
+        if self.klss is None:
+            raise ValueError(f"set {self.name} has no KLSS configuration")
+        alpha_prime = self.klss.alpha_prime(
+            level, self.alpha, self.wordsize, self.log_degree
+        )
+        return alpha_prime, self.beta(level), self.klss.beta_tilde(level, self.alpha)
+
+
+def _table4() -> Dict[str, ParameterSet]:
+    """The paper's Table 4 parameter sets."""
+    sets = [
+        ParameterSet("A", 16, 35, 36, dnum=1, security=128),
+        ParameterSet("B", 16, 35, 36, dnum=3, security=128),
+        ParameterSet("C", 16, 35, 36, dnum=9, security=128,
+                     klss=KlssConfig(wordsize_t=48, alpha_tilde=5)),
+        ParameterSet("D", 16, 35, 60, dnum=36, security=128,
+                     klss=KlssConfig(wordsize_t=64, alpha_tilde=3)),
+        ParameterSet("E", 16, 35, 60, dnum=36, security=128, batch_size=None),
+        ParameterSet("F", 16, 23, 36, dnum=1, security=128),
+        ParameterSet("G", 16, 23, 36, dnum=6, security=128,
+                     klss=KlssConfig(wordsize_t=48, alpha_tilde=5)),
+        ParameterSet("H", 16, 44, 60, dnum=45, security=98, batch_size=None),
+    ]
+    return {s.name: s for s in sets}
+
+
+#: Table 4, keyed by set name ("A" .. "H").
+TABLE4: Dict[str, ParameterSet] = _table4()
+
+
+def get_set(name: str) -> ParameterSet:
+    """Look up one of the paper's parameter sets by letter."""
+    try:
+        return TABLE4[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown parameter set {name!r}; choose from {sorted(TABLE4)}")
+
+
+class CkksParameters:
+    """A concrete, functional CKKS parameter set with real prime chains.
+
+    Args:
+        degree: ring degree ``N`` (power of two).
+        max_level: ``L``; the chain has ``L + 1`` ciphertext primes.
+        wordsize: bit width of the rescaling primes ``q_1 .. q_L``.
+        dnum: key-switching digit count (Hybrid and KLSS).
+        first_prime_bits: bit width of ``q_0`` (noise headroom; defaults to
+            ``wordsize + 5``).
+        scale_bits: encoding scale is ``2**scale_bits`` (defaults to
+            `wordsize`).
+        klss: optional KLSS configuration; when present, an auxiliary basis
+            ``T`` is materialised and KLSS key-switching becomes available.
+        error_std: Gaussian error standard deviation (sigma = 3.2).
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        max_level: int,
+        wordsize: int,
+        dnum: int,
+        first_prime_bits: Optional[int] = None,
+        scale_bits: Optional[int] = None,
+        klss: Optional[KlssConfig] = None,
+        error_std: float = 3.2,
+    ):
+        if degree & (degree - 1) or degree < 8:
+            raise ValueError(f"degree must be a power of two >= 8, got {degree}")
+        if max_level < 1:
+            raise ValueError("max_level must be >= 1")
+        self.degree = degree
+        self.log_degree = degree.bit_length() - 1
+        self.max_level = max_level
+        self.wordsize = wordsize
+        self.dnum = dnum
+        self.alpha = ceil_div(max_level + 1, dnum)
+        self.scale_bits = wordsize if scale_bits is None else scale_bits
+        self.scale = float(1 << self.scale_bits)
+        self.error_std = error_std
+        self.klss = klss
+        first_bits = wordsize + 5 if first_prime_bits is None else first_prime_bits
+
+        chain_specs = [(first_bits, 1), (wordsize, max_level), (wordsize + 1, self.alpha)]
+        if klss is not None:
+            alpha_prime = klss.alpha_prime(
+                max_level, self.alpha, wordsize, self.log_degree
+            )
+            chain_specs.append((klss.wordsize_t, alpha_prime))
+        chains = disjoint_prime_chains(
+            [bits for bits, _ in chain_specs], degree, [n for _, n in chain_specs]
+        )
+        q0 = chains[0]
+        q_rest = chains[1]
+        self.special_primes: Tuple[int, ...] = tuple(chains[2])
+        self.moduli: Tuple[int, ...] = tuple(q0 + q_rest)
+        self.aux_primes: Tuple[int, ...] = tuple(chains[3]) if klss else ()
+
+        #: ``P`` = product of the special primes.
+        self.special_product: int = reduce(lambda a, b: a * b, self.special_primes, 1)
+        self._q_basis_cache: Dict[int, RnsBasis] = {}
+        self._pq_basis_cache: Dict[int, RnsBasis] = {}
+        self.aux_basis: Optional[RnsBasis] = (
+            RnsBasis(self.aux_primes) if self.aux_primes else None
+        )
+
+    # -- bases -------------------------------------------------------------------
+
+    def q_basis(self, level: int) -> RnsBasis:
+        """The ciphertext basis ``q_0 .. q_level``."""
+        self._check_level(level)
+        basis = self._q_basis_cache.get(level)
+        if basis is None:
+            basis = RnsBasis(self.moduli[: level + 1])
+            self._q_basis_cache[level] = basis
+        return basis
+
+    def pq_basis(self, level: int) -> RnsBasis:
+        """The extended basis ``q_0 .. q_level, p_0 .. p_{alpha-1}``."""
+        self._check_level(level)
+        basis = self._pq_basis_cache.get(level)
+        if basis is None:
+            basis = RnsBasis(self.moduli[: level + 1] + self.special_primes)
+            self._pq_basis_cache[level] = basis
+        return basis
+
+    def p_basis(self) -> RnsBasis:
+        return RnsBasis(self.special_primes)
+
+    def _check_level(self, level: int):
+        if not 0 <= level <= self.max_level:
+            raise ValueError(f"level {level} outside [0, {self.max_level}]")
+
+    # -- digit machinery -----------------------------------------------------------
+
+    def beta(self, level: int) -> int:
+        """Hybrid digit count at `level`."""
+        return ceil_div(level + 1, self.alpha)
+
+    def digit_range(self, digit: int, level: int) -> Tuple[int, int]:
+        """Half-open limb range ``[start, stop)`` of `digit` at `level`."""
+        start = digit * self.alpha
+        stop = min(start + self.alpha, level + 1)
+        if start >= stop:
+            raise ValueError(f"digit {digit} empty at level {level}")
+        return start, stop
+
+    def klss_dims(self, level: int) -> Tuple[int, int, int]:
+        """``(alpha', beta, beta~)`` at `level`."""
+        if self.klss is None:
+            raise ValueError("parameters built without a KLSS configuration")
+        alpha_prime = self.klss.alpha_prime(
+            level, self.alpha, self.wordsize, self.log_degree
+        )
+        if alpha_prime > len(self.aux_primes):
+            raise ValueError(
+                f"auxiliary basis too small at level {level}: "
+                f"need {alpha_prime} limbs, have {len(self.aux_primes)}"
+            )
+        return alpha_prime, self.beta(level), self.klss.beta_tilde(level, self.alpha)
+
+    @property
+    def slots(self) -> int:
+        return self.degree // 2
+
+    def __repr__(self) -> str:
+        ks = "klss" if self.klss else "hybrid"
+        return (
+            f"CkksParameters(N={self.degree}, L={self.max_level}, "
+            f"w={self.wordsize}, dnum={self.dnum}, {ks})"
+        )
+
+
+def small_test_parameters(
+    degree: int = 32,
+    max_level: int = 5,
+    wordsize: int = 25,
+    dnum: int = 3,
+    klss: Optional[KlssConfig] = None,
+) -> CkksParameters:
+    """Reduced-size functional parameters used across the test-suite.
+
+    25-bit primes keep every limb on the fast ``uint64`` backend while the
+    KLSS auxiliary basis (28-bit) still satisfies the Eq. 4 bound.
+    """
+    return CkksParameters(
+        degree=degree,
+        max_level=max_level,
+        wordsize=wordsize,
+        dnum=dnum,
+        klss=klss,
+    )

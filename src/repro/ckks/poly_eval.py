@@ -1,0 +1,170 @@
+"""Homomorphic polynomial evaluation (Paterson-Stockmeyer).
+
+EvalMod in bootstrapping -- and any smooth non-linearity (sigmoid, ReLU
+approximations) -- is a polynomial evaluated on every slot.  The
+Paterson-Stockmeyer arrangement uses ``~2*sqrt(d)`` ciphertext-ciphertext
+multiplications and ``log2(d)`` depth instead of Horner's ``d`` and ``d``:
+
+    p(x) = sum_j chunk_j(x) * x**(j*m),   deg(chunk_j) < m
+
+with the baby powers ``x .. x**m`` and giant powers ``x**(j*m)`` shared.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder
+from .evaluator import Evaluator
+
+
+def _power_plan(max_power: int) -> Dict[int, tuple]:
+    """How to build each needed power from smaller ones (binary splits)."""
+    plan = {}
+    for p in range(2, max_power + 1):
+        half = 1 << (p.bit_length() - 1)
+        if half == p:
+            plan[p] = (half // 2, half // 2)
+        else:
+            plan[p] = (half, p - half)
+    return plan
+
+
+class PolynomialEvaluator:
+    """Evaluates real/complex-coefficient polynomials on ciphertext slots."""
+
+    def __init__(self, encoder: CkksEncoder, evaluator: Evaluator):
+        self.encoder = encoder
+        self.evaluator = evaluator
+
+    # -- power ladder ----------------------------------------------------------
+
+    def powers(self, ct: Ciphertext, max_power: int) -> Dict[int, Ciphertext]:
+        """``{p: ct**p}`` for p = 1 .. max_power, built with log depth."""
+        if max_power < 1:
+            raise ValueError("max_power must be >= 1")
+        ev = self.evaluator
+        table: Dict[int, Ciphertext] = {1: ct}
+        for p, (a, b) in _power_plan(max_power).items():
+            left, right = table[a], table[b]
+            level = min(left.level, right.level)
+            left = ev.mod_switch_to_level(left, level)
+            right = ev.mod_switch_to_level(right, level)
+            table[p] = ev.rescale(ev.multiply(left, right))
+        return table
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, ct: Ciphertext, coeffs: Sequence[complex]) -> Ciphertext:
+        """Compute ``p(x) = sum_k coeffs[k] * x**k`` slot-wise.
+
+        Consumes roughly ``log2(deg) + 2`` levels.  Coefficients below
+        1e-12 in magnitude are skipped.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.complex128)
+        while len(coeffs) > 1 and abs(coeffs[-1]) < 1e-12:
+            coeffs = coeffs[:-1]
+        degree = len(coeffs) - 1
+        if degree == 0:
+            pt = self.encoder.encode_constant(
+                complex(coeffs[0]), level=ct.level, scale=ct.scale
+            )
+            zero = self.evaluator.sub(ct, ct)
+            return self.evaluator.add_plain(zero, pt)
+
+        ev = self.evaluator
+        m = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
+        chunk_count = -(-(degree + 1) // m)
+        max_giant = (chunk_count - 1) * m
+        table = self.powers(ct, max(m, 2))
+        # Giant powers x**(j*m), j >= 1, extending the ladder as needed.
+        giants: Dict[int, Ciphertext] = {m: table[m]}
+        for j in range(2, chunk_count):
+            prev = giants[(j - 1) * m]
+            base = table[m]
+            level = min(prev.level, base.level)
+            giants[j * m] = ev.rescale(
+                ev.multiply(
+                    ev.mod_switch_to_level(prev, level),
+                    ev.mod_switch_to_level(base, level),
+                )
+            )
+
+        result: Optional[Ciphertext] = None
+        for j in range(chunk_count):
+            chunk = coeffs[j * m : (j + 1) * m]
+            partial = self._evaluate_chunk(ct, table, chunk)
+            if j > 0 and partial is not None:
+                giant = giants[j * m]
+                level = min(partial.level, giant.level)
+                partial = ev.rescale(
+                    ev.multiply(
+                        ev.mod_switch_to_level(partial, level),
+                        ev.mod_switch_to_level(giant, level),
+                    )
+                )
+            if partial is None:
+                continue
+            result = partial if result is None else ev.add(result, partial)
+        if result is None:
+            raise ValueError("polynomial is numerically zero")
+        return result
+
+    def _evaluate_chunk(
+        self, ct: Ciphertext, table: Dict[int, Ciphertext], chunk: np.ndarray
+    ) -> Optional[Ciphertext]:
+        """``sum_b chunk[b] * x**b`` using the shared baby powers."""
+        ev = self.evaluator
+        result: Optional[Ciphertext] = None
+        for b, coeff in enumerate(chunk):
+            if abs(coeff) < 1e-12 or b == 0:
+                continue
+            power = table[b]
+            pt = self.encoder.encode_constant(complex(coeff), level=power.level)
+            term = ev.rescale(ev.multiply_plain(power, pt))
+            result = term if result is None else ev.add(result, term)
+        constant = complex(chunk[0]) if len(chunk) else 0.0
+        if abs(constant) >= 1e-12:
+            if result is None:
+                # Constant-only chunk: encode on a zero ciphertext.
+                zero = ev.sub(ct, ct)
+                zero = ev.rescale(
+                    ev.multiply_plain(
+                        zero, self.encoder.encode_constant(1.0, level=zero.level)
+                    )
+                )
+                result = ev.add_plain(
+                    zero,
+                    self.encoder.encode_constant(
+                        constant, level=zero.level, scale=zero.scale
+                    ),
+                )
+            else:
+                result = ev.add_plain(
+                    result,
+                    self.encoder.encode_constant(
+                        constant, level=result.level, scale=result.scale
+                    ),
+                )
+        return result
+
+
+def chebyshev_coefficients(
+    func, degree: int, domain: float
+) -> np.ndarray:
+    """Power-basis coefficients of the Chebyshev fit of `func` on
+    ``[-domain, domain]``.
+
+    Suitable up to degree ~20 (the basis conversion amplifies roundoff by
+    ``~2**degree``); bootstrapping's EvalMod uses degree <= 15 here.
+    """
+    xs = np.cos(np.pi * (np.arange(4 * degree + 4) + 0.5) / (4 * degree + 4))
+    xs = xs * domain
+    fit = np.polynomial.chebyshev.Chebyshev.fit(
+        xs, np.asarray([func(x) for x in xs]), deg=degree, domain=[-domain, domain]
+    )
+    return fit.convert(kind=np.polynomial.Polynomial).coef

@@ -1,0 +1,226 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro report              # headline summary
+    python -m repro table 2|5|6|7|8     # one evaluation table
+    python -m repro fig 3|14|16|17      # one evaluation figure (as text)
+    python -m repro params [A-H]        # parameter-set details
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from .analysis import booth, complexity
+from .analysis.memory_footprint import (
+    ciphertext_bytes,
+    hybrid_evk_bytes,
+    klss_evk_bytes,
+    max_batch_size,
+)
+from .analysis.reporting import format_table
+from .analysis.security import estimated_security_bits, total_modulus_bits
+from .apps import standard_applications
+from .baselines import CpuModel, HeonGpuModel, TensorFheModel
+from .ckks.params import TABLE4, KlssConfig, get_set
+from .core import ABLATION_STEPS, NEO_CONFIG, NeoContext
+
+OPS = ("hmult", "hrotate", "pmult", "hadd", "padd", "rescale")
+
+
+def _print(text: str):
+    print(text)
+    print()
+
+
+def cmd_report(_args) -> int:
+    cmd_table(argparse.Namespace(number="5"))
+    cmd_table(argparse.Namespace(number="7"))
+    cmd_fig(argparse.Namespace(number="14"))
+    return 0
+
+
+def cmd_table(args) -> int:
+    number = str(args.number)
+    if number == "2":
+        params = get_set("C")
+        table = complexity.complexity_table(params)
+        rows = [
+            [step, table["Hybrid"][step], table["KLSS"][step]]
+            for step in complexity.TABLE2_ROWS
+        ]
+        _print(format_table(["Breakdown", "Hybrid", "KLSS"], rows,
+                            title="Table 2 (Set C, l = 35)"))
+    elif number == "5":
+        systems = [
+            ("CPU(H)", CpuModel("H")),
+            ("TensorFHE(A)", TensorFheModel("A")),
+            ("TensorFHE(B)", TensorFheModel("B")),
+            ("HEonGPU(E)", HeonGpuModel("E")),
+            ("Neo(C)", NeoContext("C", config=NEO_CONFIG)),
+            ("Neo(D)", NeoContext("D", config=NEO_CONFIG)),
+        ]
+        apps = standard_applications()
+        rows = [
+            [label] + [f"{app.time_s(ctx):.2f}" for app in apps]
+            for label, ctx in systems
+        ]
+        _print(format_table(["system"] + [a.name for a in apps], rows,
+                            title="Table 5: application time (s)"))
+    elif number == "6":
+        systems = [
+            ("TensorFHE(A)", TensorFheModel("A")),
+            ("TensorFHE(B)", TensorFheModel("B")),
+            ("HEonGPU(E)", HeonGpuModel("E")),
+            ("Neo(C)", NeoContext("C", config=NEO_CONFIG)),
+        ]
+        rows = [
+            [label] + [f"{ctx.operation_time_us(op, 35):.1f}" for op in OPS]
+            for label, ctx in systems
+        ]
+        _print(format_table(["system"] + [o.upper() for o in OPS], rows,
+                            title="Table 6: operation time at l = 35 (us)"))
+    elif number == "7":
+        neo = NeoContext("B", config=NEO_CONFIG.with_overrides(keyswitch="hybrid"))
+        tfhe = TensorFheModel("B")
+        rows = []
+        for kernel in ("bconv", "ip", "ntt"):
+            ratio = neo.kernel_throughput(kernel) / tfhe.kernel_throughput(kernel)
+            rows.append([kernel, f"{neo.kernel_throughput(kernel):.0f}",
+                         f"{tfhe.kernel_throughput(kernel):.0f}", f"{ratio:.2f}x"])
+        _print(format_table(["kernel", "Neo/s", "TensorFHE/s", "speedup"], rows,
+                            title="Table 7: kernel throughput (Set B)"))
+    elif number == "8":
+        base = get_set("B")
+        rows = []
+        for at in (4, 5, 6, 7):
+            row = [f"a~={at}"]
+            for dn in (4, 6, 9, 12, 18):
+                p = dataclasses.replace(
+                    base, dnum=dn, klss=KlssConfig(wordsize_t=48, alpha_tilde=at)
+                )
+                ctx = NeoContext(p, config=NEO_CONFIG)
+                row.append(f"{ctx.keyswitch_time_us(35) / 1e3:.2f}")
+            rows.append(row)
+        _print(format_table(["alpha~"] + [f"dnum={d}" for d in (4, 6, 9, 12, 18)],
+                            rows, title="Table 8: KeySwitch ms"))
+    else:
+        print(f"unknown table {number!r}; choose from 2, 5, 6, 7, 8", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_fig(args) -> int:
+    number = str(args.number)
+    if number == "3":
+        rows = []
+        for name, steps in booth.fig3_comparison().items():
+            rows.append([name, steps.plane_products, f"{steps.total_s * 1e3:.3f}"])
+        _print(format_table(["component/WS", "planes", "total ms"], rows,
+                            title="Fig. 3: INT8 vs FP64 GEMM"))
+    elif number == "14":
+        rows = []
+        base: Optional[float] = None
+        for label, config in ABLATION_STEPS:
+            ctx = NeoContext("C" if config.keyswitch == "klss" else "B", config=config)
+            t = ctx.operation_time_us("hmult", 35)
+            base = base or t
+            rows.append([label, f"{t:.0f}", f"{t / base:.3f}"])
+        _print(format_table(["step", "HMULT us", "norm"], rows,
+                            title="Fig. 14: ablation"))
+    elif number == "16":
+        base = get_set("B")
+        hybrid = NeoContext(base, config=NEO_CONFIG.with_overrides(keyswitch="hybrid"))
+        rows = [["Hybrid", f"{hybrid.keyswitch_time_us(35):.0f}"]]
+        for wst in (36, 48, 64):
+            p = dataclasses.replace(
+                base, dnum=9, klss=KlssConfig(wordsize_t=wst, alpha_tilde=5)
+            )
+            ctx = NeoContext(p, config=NEO_CONFIG)
+            rows.append([f"KLSS-{wst}", f"{ctx.keyswitch_time_us(35):.0f}"])
+        _print(format_table(["method", "KeySwitch us (l=35)"], rows,
+                            title="Fig. 16: WordSize_T trade-off"))
+    elif number == "17":
+        apps = standard_applications()[:3]
+        rows = []
+        reference = None
+        for batch in (8, 16, 32, 64, 128):
+            ctx = NeoContext("C", config=NEO_CONFIG, batch=batch)
+            times = {a.name: a.time_s(ctx) for a in apps}
+            reference = reference or dict(times)
+            rows.append([batch] + [f"{times[a.name] / reference[a.name]:.2f}"
+                                   for a in apps])
+        _print(format_table(["BatchSize"] + [a.name for a in apps], rows,
+                            title="Fig. 17: BatchSize scaling (normalised to 8)"))
+    else:
+        print(f"unknown figure {number!r}; choose from 3, 14, 16, 17",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_params(args) -> int:
+    names = [args.set.upper()] if args.set else sorted(TABLE4)
+    rows = []
+    for name in names:
+        try:
+            p = get_set(name)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        klss = f"T={p.klss.wordsize_t}, a~={p.klss.alpha_tilde}" if p.klss else "-"
+        rows.append(
+            [
+                p.name,
+                f"2^{p.log_degree}",
+                p.max_level,
+                p.wordsize,
+                p.dnum,
+                klss,
+                f"{total_modulus_bits(p):.0f}",
+                f"{estimated_security_bits(p):.0f}",
+                f"{ciphertext_bytes(p) / 2**20:.0f} MiB",
+                f"{(klss_evk_bytes(p) if p.klss else hybrid_evk_bytes(p)) / 2**20:.0f} MiB",
+                max_batch_size(p),
+            ]
+        )
+    _print(
+        format_table(
+            ["set", "N", "L", "WS", "dnum", "KLSS", "logQP", "~sec bits",
+             "ct size", "evk size", "max batch"],
+            rows,
+            title="Table 4 parameter sets",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Neo (ISCA'25) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("report", help="headline results").set_defaults(func=cmd_report)
+    t = sub.add_parser("table", help="regenerate a paper table")
+    t.add_argument("number", help="2, 5, 6, 7 or 8")
+    t.set_defaults(func=cmd_table)
+    f = sub.add_parser("fig", help="regenerate a paper figure (text form)")
+    f.add_argument("number", help="3, 14, 16 or 17")
+    f.set_defaults(func=cmd_fig)
+    p = sub.add_parser("params", help="parameter-set details")
+    p.add_argument("set", nargs="?", help="A-H (default: all)")
+    p.set_defaults(func=cmd_params)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

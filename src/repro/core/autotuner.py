@@ -1,0 +1,103 @@
+"""KLSS parameter auto-tuning (automating the paper's Table 8 / Fig. 16).
+
+The paper hand-sweeps ``(dnum, alpha~)`` and ``WordSize_T`` to find the
+KeySwitch optimum (dnum = 9, alpha~ = 5, WordSize_T = 48 at Set B/C scale).
+:func:`tune_keyswitch` runs that search on the cost model for any base
+parameter set and device, returning the ranked configurations -- the tool a
+deployment would actually use when levels, word sizes or hardware change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..ckks.params import KlssConfig, ParameterSet
+from ..gpu.device import A100, DeviceSpec
+from .neo_context import NeoContext
+from .pipeline import NEO_CONFIG, PipelineConfig
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """One evaluated configuration."""
+
+    dnum: int
+    alpha_tilde: int
+    wordsize_t: int
+    keyswitch_us: float
+    alpha_prime: int
+
+    def config(self) -> KlssConfig:
+        return KlssConfig(wordsize_t=self.wordsize_t, alpha_tilde=self.alpha_tilde)
+
+
+def tune_keyswitch(
+    base: ParameterSet,
+    level: Optional[int] = None,
+    dnums: Sequence[int] = (3, 4, 6, 9, 12, 18),
+    alpha_tildes: Sequence[int] = (3, 4, 5, 6, 7, 8),
+    wordsizes_t: Sequence[int] = (36, 48, 64),
+    device: DeviceSpec = A100,
+    config: PipelineConfig = NEO_CONFIG,
+) -> List[TuningResult]:
+    """Exhaustively evaluate the KLSS hyper-parameter grid.
+
+    Returns results sorted fastest-first.  Configurations whose auxiliary
+    basis would be degenerate (``alpha' < 2``) are skipped.
+    """
+    level = base.max_level if level is None else level
+    results: List[TuningResult] = []
+    for dnum in dnums:
+        for alpha_tilde in alpha_tildes:
+            for wordsize_t in wordsizes_t:
+                params = dataclasses.replace(
+                    base,
+                    dnum=dnum,
+                    klss=KlssConfig(
+                        wordsize_t=wordsize_t, alpha_tilde=alpha_tilde
+                    ),
+                )
+                try:
+                    alpha_prime, _, _ = params.klss_dims(level)
+                except ValueError:
+                    continue
+                if alpha_prime < 2:
+                    continue
+                ctx = NeoContext(params, device=device, config=config)
+                results.append(
+                    TuningResult(
+                        dnum=dnum,
+                        alpha_tilde=alpha_tilde,
+                        wordsize_t=wordsize_t,
+                        keyswitch_us=ctx.keyswitch_time_us(level),
+                        alpha_prime=alpha_prime,
+                    )
+                )
+    if not results:
+        raise ValueError("no admissible configuration in the search grid")
+    return sorted(results, key=lambda r: r.keyswitch_us)
+
+
+def best_configuration(
+    base: ParameterSet, level: Optional[int] = None, **kwargs
+) -> TuningResult:
+    """The fastest configuration of :func:`tune_keyswitch`'s grid."""
+    return tune_keyswitch(base, level=level, **kwargs)[0]
+
+
+def hybrid_vs_best_klss(
+    base: ParameterSet,
+    level: Optional[int] = None,
+    device: DeviceSpec = A100,
+    config: PipelineConfig = NEO_CONFIG,
+) -> Tuple[float, TuningResult]:
+    """(Hybrid KeySwitch time, best KLSS result) for a base set."""
+    level = base.max_level if level is None else level
+    hybrid_ctx = NeoContext(
+        base, device=device, config=config.with_overrides(keyswitch="hybrid")
+    )
+    return hybrid_ctx.keyswitch_time_us(level), best_configuration(
+        base, level=level, device=device, config=config
+    )

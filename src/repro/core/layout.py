@@ -1,0 +1,60 @@
+"""Data layout pre/post-processing for the GEMM-form kernels (Section 4.3).
+
+Neo reorders limb tensors so that the accumulation axis of each kernel
+becomes the K dimension of a GEMM:
+
+* BConv (Fig. 6): ``(alpha, BatchSize, N) -> (N, BatchSize, alpha)`` --
+  accumulation runs over ``alpha``.
+* IP (Fig. 8): limbs ``(beta, alpha', BS, N) -> (N, alpha', BS, beta)`` and
+  evaluation keys ``(beta~, beta, alpha', N) -> (N, alpha', beta, beta~)`` --
+  accumulation runs over ``beta``.
+
+The transforms are pure permutations (numpy transposes); their inverses
+restore the original limb-contiguous layout.  On the GPU these reorders are
+the CUDA-core "Data Reorder" steps of Algorithms 2 and 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _require_rank(tensor: np.ndarray, rank: int, name: str):
+    if tensor.ndim != rank:
+        raise ValueError(f"{name} must have rank {rank}, got shape {tensor.shape}")
+
+
+def bconv_forward(tensor: np.ndarray) -> np.ndarray:
+    """``(alpha, BS, N) -> (N, BS, alpha)`` (Algorithm 2, step 1 reorder)."""
+    _require_rank(tensor, 3, "BConv input")
+    return np.ascontiguousarray(np.transpose(tensor, (2, 1, 0)))
+
+
+def bconv_backward(tensor: np.ndarray) -> np.ndarray:
+    """``(N, BS, alpha') -> (alpha', BS, N)`` (Algorithm 2, step 8 reorder)."""
+    _require_rank(tensor, 3, "BConv output")
+    return np.ascontiguousarray(np.transpose(tensor, (2, 1, 0)))
+
+
+def ip_limbs_forward(tensor: np.ndarray) -> np.ndarray:
+    """``(beta, alpha', BS, N) -> (N, alpha', BS, beta)`` (Algorithm 4)."""
+    _require_rank(tensor, 4, "IP limb input")
+    return np.ascontiguousarray(np.transpose(tensor, (3, 1, 2, 0)))
+
+
+def ip_limbs_backward(tensor: np.ndarray) -> np.ndarray:
+    """``(N, alpha', BS, beta~) -> (beta~, alpha', BS, N)`` (Algorithm 4)."""
+    _require_rank(tensor, 4, "IP limb output")
+    return np.ascontiguousarray(np.transpose(tensor, (3, 1, 2, 0)))
+
+
+def ip_evk_forward(tensor: np.ndarray) -> np.ndarray:
+    """``(beta~, beta, alpha', N) -> (N, alpha', beta, beta~)`` (Fig. 8)."""
+    _require_rank(tensor, 4, "IP evk input")
+    return np.ascontiguousarray(np.transpose(tensor, (3, 2, 1, 0)))
+
+
+def ip_evk_backward(tensor: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`ip_evk_forward`."""
+    _require_rank(tensor, 4, "IP evk tensor")
+    return np.ascontiguousarray(np.transpose(tensor, (3, 2, 1, 0)))

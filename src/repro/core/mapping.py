@@ -1,0 +1,75 @@
+"""Kernel -> compute-component mapping policy (Section 4.5, Figs. 4/11/12).
+
+Neo maps every GEMM to the FP64 tensor cores *except* the IP GEMM, whose
+``beta~ x beta`` dimensions shrink as the level drops: when the valid
+proportion of the padded ``8x8x4`` fragments falls below the empirical 80%
+threshold, the split/merge overhead no longer pays off and the GEMM runs on
+CUDA cores instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..gpu.fragments import FP64_FRAGMENT, valid_proportion
+
+#: Valid-proportion threshold above which the TCU wins for IP (Section 4.5.3).
+IP_TCU_THRESHOLD = 0.8
+
+#: Kernels that never involve GEMM and always run on CUDA cores (Fig. 4).
+CUDA_ONLY_KERNELS = ("modadd", "modmul", "auto")
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """The GEMM dimensions of one kernel invocation."""
+
+    m: int
+    n: int
+    k: int
+
+    def fp64_valid_proportion(self) -> float:
+        return valid_proportion(self.m, self.n, self.k, FP64_FRAGMENT)
+
+
+def ntt_gemm_shape(degree: int, batch_limbs: int, radix: int = 16) -> GemmShape:
+    """Shape of one radix stage: ``(BS * N / radix) x radix x radix``."""
+    return GemmShape(batch_limbs * degree // radix, radix, radix)
+
+
+def bconv_gemm_shape(alpha: int, alpha_out: int, batch: int, degree: int) -> GemmShape:
+    """Shape of the BConv GEMM: ``(BS * N) x alpha' x alpha`` (Section 4.5.2)."""
+    return GemmShape(batch * degree, alpha_out, alpha)
+
+
+def ip_gemm_shape(beta: int, beta_tilde: int, batch: int, degree: int) -> GemmShape:
+    """Shape of the IP GEMM: ``(BS * N) x beta~ x beta`` (Section 4.5.3)."""
+    return GemmShape(batch * degree, beta_tilde, beta)
+
+
+def choose_ip_component(shape: GemmShape, threshold: float = IP_TCU_THRESHOLD) -> str:
+    """Neo's dynamic mapping for IP: TCU FP64 above the threshold, else CUDA."""
+    if shape.fp64_valid_proportion() > threshold:
+        return "tcu_fp64"
+    return "cuda"
+
+
+def neo_component_map(
+    degree: int,
+    batch: int,
+    alpha: int,
+    alpha_prime: int,
+    beta: int,
+    beta_tilde: int,
+) -> Dict[str, str]:
+    """The full kernel -> component table of Fig. 4 for given parameters."""
+    ip_shape = ip_gemm_shape(beta, beta_tilde, batch, degree)
+    return {
+        "ntt": "tcu_fp64",
+        "bconv": "tcu_fp64",
+        "ip": choose_ip_component(ip_shape),
+        "modadd": "cuda",
+        "modmul": "cuda",
+        "auto": "cuda",
+    }

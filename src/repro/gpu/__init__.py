@@ -1,0 +1,71 @@
+"""GPGPU substrate: device model, fragments, tensor-core emulation, costs."""
+
+from .device import A100, A100_NO_TCU, H100, DeviceSpec
+from .fragments import (
+    FP64_FRAGMENT,
+    INT8_FRAGMENTS,
+    FragmentShape,
+    best_int8_fragment,
+    fragment_ops,
+    padded_dims,
+    tile_counts,
+    valid_proportion,
+)
+from .kernels import (
+    CUDA_MODMUL_FLOPS,
+    KernelCost,
+    elementwise_cost,
+    gemm_cost_cuda,
+    gemm_cost_tcu_fp64,
+    gemm_cost_tcu_int8,
+    word_bytes,
+    zero_cost,
+)
+from .tensorcore import (
+    PrecisionOverflowError,
+    SplitPlan,
+    fp64_gemm_mod,
+    int8_gemm_mod,
+    make_tcu_gemm,
+    plan_fp64_split,
+    plan_int8_split,
+    reference_gemm_mod,
+)
+from .multi_gpu import NVLINK3, PCIE4, Interconnect, MultiGpuModel
+from .trace import ExecutionTrace
+
+__all__ = [
+    "A100",
+    "A100_NO_TCU",
+    "CUDA_MODMUL_FLOPS",
+    "DeviceSpec",
+    "ExecutionTrace",
+    "FP64_FRAGMENT",
+    "FragmentShape",
+    "H100",
+    "INT8_FRAGMENTS",
+    "Interconnect",
+    "KernelCost",
+    "MultiGpuModel",
+    "NVLINK3",
+    "PCIE4",
+    "PrecisionOverflowError",
+    "SplitPlan",
+    "best_int8_fragment",
+    "elementwise_cost",
+    "fp64_gemm_mod",
+    "fragment_ops",
+    "gemm_cost_cuda",
+    "gemm_cost_tcu_fp64",
+    "gemm_cost_tcu_int8",
+    "int8_gemm_mod",
+    "make_tcu_gemm",
+    "padded_dims",
+    "plan_fp64_split",
+    "plan_int8_split",
+    "reference_gemm_mod",
+    "tile_counts",
+    "valid_proportion",
+    "word_bytes",
+    "zero_cost",
+]

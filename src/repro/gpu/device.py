@@ -1,0 +1,130 @@
+"""GPGPU device models.
+
+The paper evaluates on one NVIDIA A100-40GB (Table 3).  Because this
+reproduction has no GPU, timing is produced by an analytic device model:
+peak rates come from the A100 whitepaper (the same source the paper cites,
+Section 2.3), derated by a fixed *attainable-fraction* per component.  The
+efficiency factors are global constants -- they are set once here and never
+tuned per experiment, so relative results (who wins, crossovers) are
+produced by the algorithms, not by calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance-relevant parameters of a GPGPU.
+
+    Rates are peak hardware numbers; ``*_efficiency`` is the fraction of
+    peak a well-tuned kernel attains in practice.
+    """
+
+    name: str
+    sm_count: int
+    #: CUDA-core FP64 peak, TFLOP/s (A100: 9.7).
+    cuda_fp64_tflops: float
+    #: Tensor-core FP64 peak, TFLOP/s (A100: 19.5).
+    tcu_fp64_tflops: float
+    #: Tensor-core INT8 peak, TOP/s (A100: 624).
+    tcu_int8_tops: float
+    #: HBM bandwidth, GB/s (A100-40GB: 1555).
+    hbm_bandwidth_gbs: float
+    #: Fixed host-side cost of one kernel launch, microseconds.
+    kernel_launch_us: float = 3.0
+    #: Attainable fraction of peak per component.  Compute attainment is
+    #: low in absolute terms because FHE kernels issue small (16-wide)
+    #: GEMM fragments and integer-heavy inner loops; streaming kernels get
+    #: close to peak DRAM bandwidth.  Calibrated once against the paper's
+    #: Table 6 absolute times and held fixed for every experiment.
+    cuda_efficiency: float = 0.22
+    tcu_fp64_efficiency: float = 0.18
+    tcu_int8_efficiency: float = 0.10
+    memory_efficiency: float = 0.80
+    #: Global memory capacity in GiB (bounds BatchSize).
+    memory_gib: float = 40.0
+    #: Occupancy model: batches below this half-saturation point leave SMs
+    #: idle, derating compute throughput (the Fig. 17 effect).  Zero
+    #: disables it (CPUs are not occupancy-limited).
+    compute_half_batch: float = 32.0
+    #: Same for memory transactions (milder: coalescing saturates earlier).
+    memory_half_batch: float = 8.0
+
+    # -- occupancy -------------------------------------------------------------
+
+    def _utilization(self, batch: int, half: float) -> float:
+        """Saturating utilisation, normalised to 1.0 at BatchSize = 128."""
+        if half <= 0 or batch <= 0:
+            return 1.0
+        return (batch * (128 + half)) / (128 * (batch + half))
+
+    def derated_for_batch(self, batch: int) -> "DeviceSpec":
+        """The device as seen by a workload batched `batch` ciphertexts wide."""
+        cu = self._utilization(batch, self.compute_half_batch)
+        mu = self._utilization(batch, self.memory_half_batch)
+        if cu == 1.0 and mu == 1.0:
+            return self
+        return self.with_overrides(
+            cuda_efficiency=self.cuda_efficiency * cu,
+            tcu_fp64_efficiency=self.tcu_fp64_efficiency * cu,
+            tcu_int8_efficiency=self.tcu_int8_efficiency * cu,
+            memory_efficiency=self.memory_efficiency * mu,
+        )
+
+    # -- effective rates ------------------------------------------------------
+
+    @property
+    def cuda_fp64_flops(self) -> float:
+        """Attainable CUDA-core FP64 throughput, FLOP/s."""
+        return self.cuda_fp64_tflops * 1e12 * self.cuda_efficiency
+
+    @property
+    def tcu_fp64_flops(self) -> float:
+        """Attainable tensor-core FP64 throughput, FLOP/s."""
+        return self.tcu_fp64_tflops * 1e12 * self.tcu_fp64_efficiency
+
+    @property
+    def tcu_int8_ops(self) -> float:
+        """Attainable tensor-core INT8 throughput, OP/s."""
+        return self.tcu_int8_tops * 1e12 * self.tcu_int8_efficiency
+
+    @property
+    def memory_bytes_per_s(self) -> float:
+        """Attainable global-memory bandwidth, bytes/s."""
+        return self.hbm_bandwidth_gbs * 1e9 * self.memory_efficiency
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with some fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+#: The evaluation platform of the paper (Table 3).
+A100 = DeviceSpec(
+    name="NVIDIA A100-40GB",
+    sm_count=108,
+    cuda_fp64_tflops=9.7,
+    tcu_fp64_tflops=19.5,
+    tcu_int8_tops=624.0,
+    hbm_bandwidth_gbs=1555.0,
+)
+
+#: NVIDIA H100-SXM5 (Hopper): the obvious next target for Neo's mapping.
+#: FP64 tensor cores grow ~3.4x, INT8 ~3.2x, HBM3 bandwidth ~2.2x over A100.
+H100 = DeviceSpec(
+    name="NVIDIA H100-SXM5-80GB",
+    sm_count=132,
+    cuda_fp64_tflops=33.5,
+    tcu_fp64_tflops=66.9,
+    tcu_int8_tops=1979.0,
+    hbm_bandwidth_gbs=3350.0,
+    memory_gib=80.0,
+)
+
+#: A CUDA-core-only view of the A100, used by the HEonGPU baseline model.
+A100_NO_TCU = A100.with_overrides(
+    name="NVIDIA A100-40GB (CUDA cores only)",
+    tcu_fp64_tflops=0.0,
+    tcu_int8_tops=0.0,
+)

@@ -1,0 +1,104 @@
+"""Tensor-core fragment shapes, tiling and padding arithmetic.
+
+TCUs execute GEMM on fixed *fragment* shapes (Section 3.4): FP64 supports
+only ``8x8x4``; INT8 supports ``16x16x16``, ``32x8x16`` and ``8x32x16``.
+When the problem dimensions do not divide the fragment dimensions the
+operands are zero-padded and part of the computation is wasted -- the
+paper's *valid proportion* (Fig. 11 and Fig. 12), which drives Neo's
+kernel-mapping policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FragmentShape:
+    """One WMMA fragment: a warp-level ``m x n x k`` matrix multiply."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def volume(self) -> int:
+        """Multiply-accumulate count of one fragment operation."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """FLOPs of one fragment operation (2 per MAC)."""
+        return 2 * self.volume
+
+    def __str__(self) -> str:
+        return f"{self.m}x{self.n}x{self.k}"
+
+
+#: The only FP64 fragment shape on Ampere.
+FP64_FRAGMENT = FragmentShape(8, 8, 4)
+
+#: The INT8 fragment shapes on Ampere.
+INT8_FRAGMENTS: Tuple[FragmentShape, ...] = (
+    FragmentShape(16, 16, 16),
+    FragmentShape(32, 8, 16),
+    FragmentShape(8, 32, 16),
+)
+
+
+def tile_counts(m: int, n: int, k: int, shape: FragmentShape) -> Tuple[int, int, int]:
+    """Fragments needed along each dimension for an ``m x n x k`` GEMM."""
+    _validate_dims(m, n, k)
+    return (
+        math.ceil(m / shape.m),
+        math.ceil(n / shape.n),
+        math.ceil(k / shape.k),
+    )
+
+
+def fragment_ops(m: int, n: int, k: int, shape: FragmentShape) -> int:
+    """Total fragment operations (including padded, wasted ones)."""
+    tm, tn, tk = tile_counts(m, n, k, shape)
+    return tm * tn * tk
+
+
+def padded_dims(m: int, n: int, k: int, shape: FragmentShape) -> Tuple[int, int, int]:
+    """Problem dimensions after zero-padding up to fragment multiples."""
+    tm, tn, tk = tile_counts(m, n, k, shape)
+    return tm * shape.m, tn * shape.n, tk * shape.k
+
+def valid_proportion(m: int, n: int, k: int, shape: FragmentShape) -> float:
+    """Fraction of fragment MACs that compute real (non-padding) data.
+
+    This is the quantity plotted in Fig. 12; Neo maps IP to the TCU only
+    when it exceeds 0.8 (Section 4.5.3).
+    """
+    pm, pn, pk = padded_dims(m, n, k, shape)
+    return (m * n * k) / (pm * pn * pk)
+
+
+def best_fragment(
+    m: int, n: int, k: int, shapes: Sequence[FragmentShape]
+) -> FragmentShape:
+    """The shape from `shapes` with the highest valid proportion.
+
+    Ties break toward fewer total fragment ops, then declaration order.
+    """
+    if not shapes:
+        raise ValueError("need at least one candidate shape")
+    return max(
+        shapes,
+        key=lambda s: (valid_proportion(m, n, k, s), -fragment_ops(m, n, k, s)),
+    )
+
+
+def best_int8_fragment(m: int, n: int, k: int) -> FragmentShape:
+    """The best INT8 fragment shape for an ``m x n x k`` GEMM."""
+    return best_fragment(m, n, k, INT8_FRAGMENTS)
+
+
+def _validate_dims(m: int, n: int, k: int):
+    if min(m, n, k) < 1:
+        raise ValueError(f"GEMM dims must be positive, got {(m, n, k)}")

@@ -1,0 +1,91 @@
+"""Multi-GPU scaling model (extension beyond the paper).
+
+The paper's related work cites HE-Booster's multi-GPU parallelisation with
+fine-grained data partitioning.  This module extends the single-device
+cost model to ``G`` devices: compute divides across GPUs while the
+partitioned NTT/BConv stages exchange polynomial shards over the
+interconnect, so scaling efficiency decays with GPU count -- the classic
+compute-vs-communication trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import A100, DeviceSpec
+from .trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """GPU-to-GPU link (per-GPU aggregate bandwidth)."""
+
+    name: str
+    bandwidth_gbs: float
+    latency_us: float
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+
+#: Third-generation NVLink, as on A100 systems (600 GB/s aggregate).
+NVLINK3 = Interconnect(name="NVLink3", bandwidth_gbs=600.0, latency_us=5.0)
+
+#: PCIe 4.0 x16 fallback.
+PCIE4 = Interconnect(name="PCIe4 x16", bandwidth_gbs=32.0, latency_us=15.0)
+
+
+class MultiGpuModel:
+    """Time a trace across `gpus` devices with shard-exchange overheads.
+
+    Model: compute (and local memory traffic) divides evenly across GPUs;
+    every kernel that reads data redistributes ``(G-1)/G`` of its input
+    across the interconnect (fine-grained polynomial partitioning needs an
+    all-to-all at each transpose-like stage), plus a fixed synchronisation
+    latency per kernel.
+    """
+
+    def __init__(
+        self,
+        gpus: int,
+        device: DeviceSpec = A100,
+        interconnect: Interconnect = NVLINK3,
+    ):
+        if gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.gpus = gpus
+        self.device = device
+        self.interconnect = interconnect
+
+    def time_s(self, trace: ExecutionTrace, streams: int = 8) -> float:
+        """Wall time of `trace` on the multi-GPU system."""
+        if self.gpus == 1:
+            return trace.overlapped_time_s(self.device, streams)
+        shard = trace.scaled(1.0 / self.gpus)
+        compute = shard.overlapped_time_s(self.device, streams)
+        exchange_bytes = (
+            sum(e.bytes_read for e in trace.events)
+            * (self.gpus - 1)
+            / self.gpus
+            / self.gpus  # each GPU sends/receives its shard's share
+        )
+        comm = (
+            exchange_bytes / self.interconnect.bytes_per_s
+            + sum(e.launches for e in trace.events)
+            * self.interconnect.latency_us
+            * 1e-6
+        )
+        # Communication overlaps with compute only partially (conservative:
+        # the longer of the two plus half the shorter).
+        longer, shorter = max(compute, comm), min(compute, comm)
+        return longer + 0.5 * shorter
+
+    def speedup(self, trace: ExecutionTrace, streams: int = 8) -> float:
+        """Speedup of `gpus` devices over one."""
+        single = MultiGpuModel(1, self.device, self.interconnect)
+        return single.time_s(trace, streams) / self.time_s(trace, streams)
+
+    def scaling_efficiency(self, trace: ExecutionTrace, streams: int = 8) -> float:
+        """``speedup / gpus`` -- 1.0 is perfect linear scaling."""
+        return self.speedup(trace, streams) / self.gpus

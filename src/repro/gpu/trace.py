@@ -1,0 +1,98 @@
+"""Execution traces: sequences of kernel costs with stream-overlap timing.
+
+Neo partitions work across CUDA streams so tensor-core and CUDA-core phases
+of different batches overlap (Section 4.6).  The trace model exposes both
+the serial time (one stream, kernels back to back) and the overlapped time
+(the per-resource lower bound that perfect multi-stream scheduling
+approaches, never beating any single resource's total demand).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from .device import DeviceSpec
+from .kernels import KernelCost
+
+
+@dataclass
+class ExecutionTrace:
+    """An ordered list of kernel executions."""
+
+    events: List[KernelCost] = field(default_factory=list)
+
+    def add(self, cost: KernelCost) -> "ExecutionTrace":
+        self.events.append(cost)
+        return self
+
+    def extend(self, costs: Iterable[KernelCost]) -> "ExecutionTrace":
+        self.events.extend(costs)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- timing -----------------------------------------------------------------
+
+    def serial_time_s(self, device: DeviceSpec) -> float:
+        """Single-stream execution: kernels run strictly back to back."""
+        return sum(event.time_s(device) for event in self.events)
+
+    def overlapped_time_s(self, device: DeviceSpec, streams: int = 8) -> float:
+        """Multi-stream execution time.
+
+        Model: with ``streams > 1``, work on different components (CUDA
+        cores, FP64 TCU, INT8 TCU, memory) proceeds concurrently across
+        streams, so the makespan approaches the busiest resource's total
+        demand; launch overhead is amortised across streams.  The result
+        is clamped to never beat ``serial / streams`` (finite parallelism)
+        and never exceed the serial time.
+        """
+        if streams <= 1:
+            return self.serial_time_s(device)
+        cuda = sum(
+            e.cuda_flops / device.cuda_fp64_flops for e in self.events if e.cuda_flops
+        )
+        tcu = sum(
+            e.tcu_fp64_flops / device.tcu_fp64_flops
+            for e in self.events
+            if e.tcu_fp64_flops
+        )
+        tcu += sum(
+            e.tcu_int8_ops / device.tcu_int8_ops for e in self.events if e.tcu_int8_ops
+        )
+        memory = sum(e.memory_time_s(device) for e in self.events)
+        launches = sum(e.launches for e in self.events)
+        overhead = launches * device.kernel_launch_us * 1e-6 / streams
+        bound = max(cuda, tcu, memory) + overhead
+        serial = self.serial_time_s(device)
+        return min(serial, max(bound, serial / streams))
+
+    # -- accounting ---------------------------------------------------------------
+
+    def breakdown_s(self, device: DeviceSpec) -> Dict[str, float]:
+        """Serial time aggregated by kernel name."""
+        table: Dict[str, float] = defaultdict(float)
+        for event in self.events:
+            table[event.name] += event.time_s(device)
+        return dict(table)
+
+    def total_bytes(self) -> float:
+        """Total global-memory traffic of the trace."""
+        return sum(e.bytes_read + e.bytes_written for e in self.events)
+
+    def bytes_by_kernel(self) -> Dict[str, float]:
+        """Global-memory traffic aggregated by kernel name."""
+        table: Dict[str, float] = defaultdict(float)
+        for event in self.events:
+            table[event.name] += event.bytes_read + event.bytes_written
+        return dict(table)
+
+    def merged(self, other: "ExecutionTrace") -> "ExecutionTrace":
+        return ExecutionTrace(events=self.events + other.events)
+
+    def scaled(self, factor: float) -> "ExecutionTrace":
+        """The trace repeated `factor` times (for per-iteration -> app time)."""
+        return ExecutionTrace(events=[e.scaled(factor) for e in self.events])

@@ -1,0 +1,140 @@
+"""Vectorised modular arithmetic with two interchangeable backends.
+
+FHE word sizes in the Neo paper are 36-60 bits, whose products overflow
+``numpy.uint64``.  We therefore provide two backends selected per modulus:
+
+* **fast** -- ``numpy.uint64`` arrays, valid for moduli below ``2**31`` so
+  that every product of two reduced residues fits in 64 bits.  Used by the
+  functional kernels when the caller picks small demonstration moduli.
+* **exact** -- ``dtype=object`` arrays of Python integers, valid for any
+  modulus.  Used for the paper's real 36/48/60-bit word sizes in the
+  correctness tests (at reduced ring degree), where bit-exactness matters
+  and throughput does not.
+
+All functions accept and return numpy arrays and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest modulus for which the ``uint64`` backend is safe: residues are
+#: below ``2**31`` so products stay below ``2**62`` and sums below ``2**63``.
+FAST_MODULUS_BOUND = 1 << 31
+
+
+def uses_fast_backend(modulus: int) -> bool:
+    """Return True when `modulus` qualifies for the ``uint64`` backend."""
+    return 1 < modulus < FAST_MODULUS_BOUND
+
+
+def backend_dtype(modulus: int):
+    """Return the numpy dtype used to store residues modulo `modulus`."""
+    return np.uint64 if uses_fast_backend(modulus) else object
+
+
+def asarray_mod(values, modulus: int) -> np.ndarray:
+    """Coerce `values` into a reduced residue array for `modulus`.
+
+    Negative inputs are mapped into ``[0, modulus)``.
+    """
+    if modulus <= 1:
+        raise ValueError(f"modulus must be > 1, got {modulus}")
+    arr = np.asarray(values, dtype=object)
+    reduced = np.mod(arr, modulus)
+    if uses_fast_backend(modulus):
+        return reduced.astype(np.uint64)
+    return reduced
+
+
+def zeros_mod(shape, modulus: int) -> np.ndarray:
+    """Return an all-zero residue array of the backend dtype for `modulus`."""
+    if uses_fast_backend(modulus):
+        return np.zeros(shape, dtype=np.uint64)
+    zero_filled = np.empty(shape, dtype=object)
+    zero_filled[...] = 0
+    return zero_filled
+
+
+def add_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(a + b) mod modulus`` for reduced inputs."""
+    if uses_fast_backend(modulus):
+        # Sums of two reduced residues stay below 2**32: plain modulo is safe.
+        return (a + b) % np.uint64(modulus)
+    return (a + b) % modulus
+
+
+def sub_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(a - b) mod modulus`` for reduced inputs."""
+    if uses_fast_backend(modulus):
+        return (a + np.uint64(modulus) - b) % np.uint64(modulus)
+    return (a - b) % modulus
+
+
+def neg_mod(a: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(-a) mod modulus`` for reduced inputs."""
+    if uses_fast_backend(modulus):
+        return np.where(a == 0, a, np.uint64(modulus) - a)
+    return (-a) % modulus
+
+
+def mul_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod modulus`` for reduced inputs."""
+    if uses_fast_backend(modulus):
+        return (a * b) % np.uint64(modulus)
+    return (a * b) % modulus
+
+
+def scalar_mul_mod(a: np.ndarray, scalar: int, modulus: int) -> np.ndarray:
+    """Element-wise ``(a * scalar) mod modulus`` with a Python-int scalar."""
+    scalar %= modulus
+    if uses_fast_backend(modulus):
+        return (a * np.uint64(scalar)) % np.uint64(modulus)
+    return (a * scalar) % modulus
+
+
+def dot_mod(matrix: np.ndarray, vector: np.ndarray, modulus: int) -> np.ndarray:
+    """Matrix-vector product modulo `modulus` (exact in both backends)."""
+    if uses_fast_backend(modulus):
+        acc = (matrix.astype(object) @ vector.astype(object)) % modulus
+        return acc.astype(np.uint64)
+    return (matrix @ vector) % modulus
+
+
+def matmul_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Matrix product ``(a @ b) mod modulus`` computed exactly.
+
+    Object arithmetic is used for the accumulation so that the result is
+    correct regardless of the modulus size; this is the *reference* GEMM
+    against which the tensor-core emulations are checked.
+    """
+    product = a.astype(object) @ b.astype(object)
+    reduced = product % modulus
+    if uses_fast_backend(modulus):
+        return reduced.astype(np.uint64)
+    return reduced
+
+
+def pow_mod(base: int, exponent: int, modulus: int) -> int:
+    """Scalar modular exponentiation (thin wrapper over ``pow``)."""
+    return pow(int(base), int(exponent), int(modulus))
+
+
+def inv_mod(value: int, modulus: int) -> int:
+    """Scalar modular inverse; raises ``ValueError`` if not invertible."""
+    try:
+        return pow(int(value), -1, int(modulus))
+    except ValueError as exc:
+        raise ValueError(f"{value} has no inverse modulo {modulus}") from exc
+
+
+def to_signed(values: np.ndarray, modulus: int) -> np.ndarray:
+    """Map residues into the centred interval ``(-modulus/2, modulus/2]``."""
+    arr = np.asarray(values, dtype=object)
+    half = modulus // 2
+    return np.where(arr > half, arr - modulus, arr)
+
+
+def from_signed(values, modulus: int) -> np.ndarray:
+    """Inverse of :func:`to_signed`: map centred values back to residues."""
+    return asarray_mod(values, modulus)

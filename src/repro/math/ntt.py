@@ -1,0 +1,303 @@
+"""Number-theoretic transforms over NTT-friendly prime fields.
+
+Three functionally equivalent implementations are provided, mirroring the
+paper's discussion (Section 4.4):
+
+* :class:`NttPlan` -- the classic in-place iterative negacyclic NTT
+  (Cooley-Tukey forward / Gentleman-Sande inverse with merged ``psi``
+  twisting).  This is the bit-exact reference.
+* :func:`four_step_ntt` / :func:`multi_step_ntt` -- the matrix-multiplication
+  formulations (four-step and the generalised "ten-step"/radix-16
+  decomposition) that Neo maps onto tensor cores.  They operate on the
+  *cyclic* DFT after an explicit ``psi``-twist, exactly as Fig. 9 shows
+  ("Mul & Trans" = twist + transpose between GEMMs).
+
+All transforms agree element-for-element; the test-suite asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from . import modarith
+from .primes import root_of_unity
+
+_PLAN_CACHE: Dict[Tuple[int, int], "NttPlan"] = {}
+
+
+def _bit_reverse_permutation(n: int) -> np.ndarray:
+    """Indices of the bit-reversal permutation for power-of-two `n`."""
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when `n` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class NttPlan:
+    """Precomputed tables for the negacyclic NTT of a fixed ``(degree, q)``.
+
+    The transform maps coefficient vectors of ``Z_q[X]/(X^N + 1)`` to their
+    evaluations at the odd powers of a primitive ``2N``-th root ``psi``;
+    multiplication becomes element-wise in that domain.
+    """
+
+    def __init__(self, degree: int, modulus: int):
+        if not is_power_of_two(degree):
+            raise ValueError(f"degree must be a power of two, got {degree}")
+        if (modulus - 1) % (2 * degree) != 0:
+            raise ValueError(f"modulus {modulus} is not NTT-friendly for degree {degree}")
+        self.degree = degree
+        self.modulus = modulus
+        self.psi = root_of_unity(2 * degree, modulus)
+        self.psi_inv = modarith.inv_mod(self.psi, modulus)
+        self.degree_inv = modarith.inv_mod(degree, modulus)
+        rev = _bit_reverse_permutation(degree)
+        powers = self._power_table(self.psi)
+        inv_powers = self._power_table(self.psi_inv)
+        self._psi_rev = powers[rev]
+        self._psi_inv_rev = inv_powers[rev]
+
+    def _power_table(self, base: int) -> np.ndarray:
+        table = np.empty(self.degree, dtype=object)
+        value = 1
+        for i in range(self.degree):
+            table[i] = value
+            value = value * base % self.modulus
+        if modarith.uses_fast_backend(self.modulus):
+            return table.astype(np.uint64)
+        return table
+
+    def _check_shape(self, arr: np.ndarray):
+        if arr.ndim < 1 or arr.shape[-1] != self.degree:
+            raise ValueError(
+                f"last axis must have length {self.degree}, got shape {arr.shape}"
+            )
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT (Cooley-Tukey; composes with
+        :meth:`inverse` to the identity).
+
+        Accepts a single coefficient vector or a *batch*: any array whose
+        last axis has length ``degree`` -- the butterflies vectorise over
+        the leading axes (the paper's BatchSize dimension).
+        """
+        q = self.modulus
+        a = modarith.asarray_mod(coeffs, q)
+        self._check_shape(a)
+        t = self.degree
+        m = 1
+        while m < self.degree:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                s = self._psi_rev[m + i]
+                lo = a[..., j1 : j1 + t]
+                hi = a[..., j1 + t : j1 + 2 * t]
+                v = modarith.scalar_mul_mod(hi, int(s), q)
+                new_lo = modarith.add_mod(lo, v, q)
+                new_hi = modarith.sub_mod(lo, v, q)
+                a[..., j1 : j1 + t] = new_lo
+                a[..., j1 + t : j1 + 2 * t] = new_hi
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT (Gentleman-Sande); batches like
+        :meth:`forward`."""
+        q = self.modulus
+        a = modarith.asarray_mod(values, q)
+        self._check_shape(a)
+        t = 1
+        m = self.degree
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                s = self._psi_inv_rev[h + i]
+                lo = a[..., j1 : j1 + t]
+                hi = a[..., j1 + t : j1 + 2 * t]
+                total = modarith.add_mod(lo, hi, q)
+                scaled_diff = modarith.scalar_mul_mod(
+                    modarith.sub_mod(lo, hi, q), int(s), q
+                )
+                a[..., j1 : j1 + t] = total
+                a[..., j1 + t : j1 + 2 * t] = scaled_diff
+                j1 += 2 * t
+            t *= 2
+            m = h
+        return modarith.scalar_mul_mod(a, self.degree_inv, q)
+
+
+def get_plan(degree: int, modulus: int) -> NttPlan:
+    """Return the cached :class:`NttPlan` for ``(degree, modulus)``."""
+    key = (degree, modulus)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = NttPlan(degree, modulus)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Matrix-multiplication NTT formulations (the forms Neo maps onto TCUs)
+# ---------------------------------------------------------------------------
+
+
+def dft_matrix(size: int, root: int, modulus: int) -> np.ndarray:
+    """The `size` x `size` DFT matrix ``W[j, k] = root**(j*k) mod modulus``."""
+    exponents = np.outer(np.arange(size), np.arange(size)) % size
+    flat = np.array(
+        [pow(root, int(e), modulus) for e in exponents.ravel()], dtype=object
+    ).reshape(size, size)
+    if modarith.uses_fast_backend(modulus):
+        return flat.astype(np.uint64)
+    return flat
+
+
+def cyclic_dft(coeffs: np.ndarray, modulus: int, root: int) -> np.ndarray:
+    """Dense (O(n^2)) cyclic DFT; ground truth for the fast decompositions."""
+    w = dft_matrix(len(coeffs), root, modulus)
+    return modarith.matmul_mod(w, modarith.asarray_mod(coeffs, modulus), modulus)
+
+
+def multi_step_ntt(
+    coeffs: np.ndarray,
+    modulus: int,
+    root: int,
+    factors: Sequence[int],
+    gemm=None,
+) -> np.ndarray:
+    """Cyclic DFT of ``len(coeffs)`` via recursive Cooley-Tukey GEMM steps.
+
+    ``factors`` is the radix decomposition of the transform size: ``(n1, n2)``
+    gives the paper's four-step NTT; ``(16, 16, 16, 16)`` at ``N = 2**16``
+    gives the Radix-16 ("ten-step") NTT of Section 4.4.  Every butterfly
+    stage is expressed as a modular GEMM so that a tensor-core GEMM emulation
+    can be injected through ``gemm`` (defaults to the exact integer GEMM).
+
+    Output is in natural (not bit-reversed) order.
+    """
+    n = len(coeffs)
+    if int(np.prod(factors)) != n:
+        raise ValueError(f"factors {tuple(factors)} do not multiply to {n}")
+    if gemm is None:
+        gemm = modarith.matmul_mod
+    x = modarith.asarray_mod(coeffs, modulus)
+    return _ct_recursive(x, modulus, root, list(factors), gemm)
+
+
+def _ct_recursive(x, modulus, root, factors, gemm):
+    """Recursive Cooley-Tukey split X = DFT_a combined with DFT_b blocks."""
+    n = len(x)
+    if len(factors) == 1:
+        w = dft_matrix(n, root, modulus)
+        return gemm(w, x.reshape(n, 1), modulus).reshape(n)
+    a = factors[0]
+    b = n // a
+    # x[j] with j = j1*b + j2  ->  M[j2, j1]
+    m = x.reshape(a, b).T.copy()
+    # Step 1: DFT of size a along rows:  A[j2, k1] = sum_j1 M[j2, j1] w_a^{j1 k1}
+    w_a = dft_matrix(a, modarith.pow_mod(root, b, modulus), modulus)
+    stage = gemm(m, w_a, modulus)
+    # Step 2: twiddle by root^{j2 * k1}
+    twiddle_exp = np.outer(np.arange(b), np.arange(a)) % n
+    twiddle = np.array(
+        [pow(root, int(e), modulus) for e in twiddle_exp.ravel()], dtype=object
+    ).reshape(b, a)
+    stage = modarith.mul_mod(stage.astype(object), twiddle, modulus)
+    if modarith.uses_fast_backend(modulus):
+        stage = stage.astype(np.uint64)
+    # Step 3: size-b DFT down each column, recursively decomposed.
+    root_b = modarith.pow_mod(root, a, modulus)
+    columns = []
+    for k1 in range(a):
+        columns.append(_ct_recursive(stage[:, k1], modulus, root_b, factors[1:], gemm))
+    result = np.stack(columns, axis=1)  # result[k2, k1]
+    return result.reshape(n)  # X[k1 + a*k2] = result[k2, k1]
+
+
+def four_step_ntt(coeffs, modulus, root, n1=None, gemm=None):
+    """The paper's four-step NTT: one (n1, n2) GEMM split of the cyclic DFT."""
+    n = len(coeffs)
+    if n1 is None:
+        n1 = 1 << ((n.bit_length() - 1) // 2)
+    return multi_step_ntt(coeffs, modulus, root, (n1, n // n1), gemm=gemm)
+
+
+def negacyclic_twist(coeffs: np.ndarray, degree: int, modulus: int) -> np.ndarray:
+    """Multiply coefficient ``i`` by ``psi**i``, mapping negacyclic to cyclic."""
+    plan = get_plan(degree, modulus)
+    twist = np.array(
+        [pow(plan.psi, i, modulus) for i in range(degree)], dtype=object
+    )
+    out = modarith.mul_mod(modarith.asarray_mod(coeffs, modulus).astype(object), twist, modulus)
+    if modarith.uses_fast_backend(modulus):
+        return out.astype(np.uint64)
+    return out
+
+
+def negacyclic_untwist(coeffs: np.ndarray, degree: int, modulus: int) -> np.ndarray:
+    """Inverse of :func:`negacyclic_twist` (multiply by ``psi**-i``)."""
+    plan = get_plan(degree, modulus)
+    untwist = np.array(
+        [pow(plan.psi_inv, i, modulus) for i in range(degree)], dtype=object
+    )
+    out = modarith.mul_mod(modarith.asarray_mod(coeffs, modulus).astype(object), untwist, modulus)
+    if modarith.uses_fast_backend(modulus):
+        return out.astype(np.uint64)
+    return out
+
+
+def negacyclic_ntt_via_gemm(
+    coeffs: np.ndarray, modulus: int, factors: Sequence[int], gemm=None
+) -> np.ndarray:
+    """Negacyclic NTT = psi-twist followed by the GEMM-decomposed cyclic DFT.
+
+    Returns evaluations in natural order: entry ``k`` is the polynomial
+    evaluated at ``psi**(2k+1)``.
+    """
+    degree = len(coeffs)
+    plan = get_plan(degree, modulus)
+    omega = plan.psi * plan.psi % modulus
+    twisted = negacyclic_twist(coeffs, degree, modulus)
+    return multi_step_ntt(twisted, modulus, omega, factors, gemm=gemm)
+
+
+def negacyclic_intt_via_gemm(
+    values: np.ndarray, modulus: int, factors: Sequence[int], gemm=None
+) -> np.ndarray:
+    """Inverse of :func:`negacyclic_ntt_via_gemm`."""
+    degree = len(values)
+    plan = get_plan(degree, modulus)
+    omega_inv = modarith.inv_mod(plan.psi * plan.psi % modulus, modulus)
+    spectrum = multi_step_ntt(values, modulus, omega_inv, factors, gemm=gemm)
+    scaled = modarith.scalar_mul_mod(spectrum, plan.degree_inv, modulus)
+    return negacyclic_untwist(scaled, degree, modulus)
+
+
+def natural_order_negacyclic(plan: NttPlan, coeffs: np.ndarray) -> np.ndarray:
+    """Reference dense negacyclic NTT in natural order (for cross-checks)."""
+    degree = plan.degree
+    modulus = plan.modulus
+    points = [pow(plan.psi, 2 * k + 1, modulus) for k in range(degree)]
+    vandermonde_rows: List[np.ndarray] = []
+    for point in points:
+        row = np.empty(degree, dtype=object)
+        value = 1
+        for i in range(degree):
+            row[i] = value
+            value = value * point % modulus
+        vandermonde_rows.append(row)
+    matrix = np.stack(vandermonde_rows)
+    return modarith.matmul_mod(
+        matrix, modarith.asarray_mod(coeffs, modulus).astype(object).reshape(-1, 1), modulus
+    ).reshape(degree)

@@ -1,0 +1,269 @@
+"""Negacyclic ring polynomials in RNS (double-CRT) representation.
+
+Elements of ``R_Q = Z_Q[X] / (X^N + 1)`` are stored as one residue array per
+RNS limb ("limb" in the paper's terminology), optionally in NTT (evaluation)
+form.  This is the double-CRT layout every GPU FHE library uses, and the
+object the Neo kernels reorder and multiply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from . import modarith
+from .ntt import get_plan, is_power_of_two
+from .rns import RnsBasis
+
+
+def negacyclic_multiply_schoolbook(a, b, degree: int, modulus: int) -> np.ndarray:
+    """O(N^2) reference product in ``Z_q[X]/(X^N + 1)``."""
+    a = modarith.asarray_mod(a, modulus).astype(object)
+    b = modarith.asarray_mod(b, modulus).astype(object)
+    out = np.zeros(degree, dtype=object)
+    for i in range(degree):
+        if a[i] == 0:
+            continue
+        for j in range(degree):
+            k = i + j
+            term = a[i] * b[j]
+            if k < degree:
+                out[k] += term
+            else:
+                out[k - degree] -= term
+    return modarith.asarray_mod(out % modulus, modulus)
+
+
+def negacyclic_multiply(a, b, degree: int, modulus: int) -> np.ndarray:
+    """NTT-based product in ``Z_q[X]/(X^N + 1)``."""
+    plan = get_plan(degree, modulus)
+    fa = plan.forward(a)
+    fb = plan.forward(b)
+    return plan.inverse(modarith.mul_mod(fa, fb, modulus))
+
+
+_AUTO_CACHE: dict = {}
+
+
+def _automorphism_tables(galois_power: int, degree: int):
+    """(destination index, sign) tables of ``X -> X**galois_power``.
+
+    Coefficient ``i`` lands at ``dest[i]`` with sign ``sign[i]`` -- the AUTO
+    kernel is a signed permutation, which is why the paper maps it to CUDA
+    cores as pure data movement (Fig. 4).
+    """
+    key = (galois_power, degree)
+    cached = _AUTO_CACHE.get(key)
+    if cached is not None:
+        return cached
+    two_n = 2 * degree
+    exponents = (np.arange(degree, dtype=np.int64) * galois_power) % two_n
+    wraps = exponents >= degree
+    dest = np.where(wraps, exponents - degree, exponents)
+    sign = np.where(wraps, -1, 1).astype(np.int64)
+    _AUTO_CACHE[key] = (dest, sign)
+    return dest, sign
+
+
+def automorphism(coeffs: np.ndarray, galois_power: int, degree: int, modulus: int) -> np.ndarray:
+    """Apply ``X -> X**galois_power`` in coefficient form (AUTO kernel).
+
+    ``galois_power`` must be odd so the map is a ring automorphism of
+    ``Z_q[X]/(X^N + 1)``.  HROTATE uses powers ``5**r mod 2N``; conjugation
+    uses ``2N - 1``.  Vectorises over leading (batch) axes.
+    """
+    if galois_power % 2 == 0:
+        raise ValueError("Galois power must be odd")
+    coeffs = modarith.asarray_mod(coeffs, modulus)
+    dest, sign = _automorphism_tables(galois_power, degree)
+    signed = np.where(sign < 0, modarith.neg_mod(coeffs, modulus), coeffs)
+    out = modarith.zeros_mod(coeffs.shape, modulus)
+    out[..., dest] = signed
+    return out
+
+
+class RnsPolynomial:
+    """A ring element held limb-wise over an :class:`RnsBasis`.
+
+    Attributes:
+        degree: ring degree ``N``.
+        basis: the RNS basis of the limbs.
+        limbs: list of residue arrays, one per basis modulus.  Each limb's
+            *last* axis has length ``degree``; leading axes, when present,
+            are a ciphertext batch (the paper's BatchSize dimension) and
+            every operation vectorises over them.
+        is_ntt: True when the limbs are in evaluation (NTT) form.
+    """
+
+    __slots__ = ("degree", "basis", "limbs", "is_ntt")
+
+    def __init__(
+        self,
+        degree: int,
+        basis: RnsBasis,
+        limbs: Sequence[np.ndarray],
+        is_ntt: bool = False,
+    ):
+        if not is_power_of_two(degree):
+            raise ValueError(f"degree must be a power of two, got {degree}")
+        if len(limbs) != len(basis):
+            raise ValueError(
+                f"expected {len(basis)} limbs, got {len(limbs)}"
+            )
+        self.degree = degree
+        self.basis = basis
+        self.limbs = [
+            modarith.asarray_mod(limb, q) for limb, q in zip(limbs, basis.moduli)
+        ]
+        shape = self.limbs[0].shape if self.limbs else (degree,)
+        for limb in self.limbs:
+            if limb.shape[-1] != degree or limb.shape != shape:
+                raise ValueError(
+                    f"limb shape {limb.shape} incompatible with degree {degree}"
+                )
+        self.is_ntt = is_ntt
+
+    @property
+    def batch_shape(self):
+        """Leading (batch) axes of the limbs; ``()`` for a single element."""
+        return self.limbs[0].shape[:-1]
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(
+        cls,
+        degree: int,
+        basis: RnsBasis,
+        is_ntt: bool = False,
+        batch_shape: tuple = (),
+    ) -> "RnsPolynomial":
+        shape = tuple(batch_shape) + (degree,)
+        return cls(
+            degree, basis, [modarith.zeros_mod(shape, q) for q in basis.moduli], is_ntt
+        )
+
+    @classmethod
+    def from_int_coeffs(cls, coeffs, degree: int, basis: RnsBasis) -> "RnsPolynomial":
+        """Build from (possibly signed) integer coefficients."""
+        arr = np.asarray(coeffs, dtype=object)
+        if arr.shape[-1] != degree:
+            raise ValueError(
+                f"coefficient shape {arr.shape} incompatible with degree {degree}"
+            )
+        return cls(degree, basis, basis.decompose(arr), is_ntt=False)
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(
+            self.degree, self.basis, [limb.copy() for limb in self.limbs], self.is_ntt
+        )
+
+    # -- representation changes ---------------------------------------------
+
+    def to_ntt(self) -> "RnsPolynomial":
+        if self.is_ntt:
+            return self
+        limbs = [
+            get_plan(self.degree, q).forward(limb)
+            for limb, q in zip(self.limbs, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.degree, self.basis, limbs, is_ntt=True)
+
+    def from_ntt(self) -> "RnsPolynomial":
+        if not self.is_ntt:
+            return self
+        limbs = [
+            get_plan(self.degree, q).inverse(limb)
+            for limb, q in zip(self.limbs, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.degree, self.basis, limbs, is_ntt=False)
+
+    def to_int_coeffs(self) -> np.ndarray:
+        """CRT-recompose to centred integer coefficients (coefficient form)."""
+        poly = self.from_ntt()
+        return poly.basis.compose_signed(poly.limbs)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPolynomial"):
+        if self.basis != other.basis or self.degree != other.degree:
+            raise ValueError("operands live in different rings")
+        if self.is_ntt != other.is_ntt:
+            raise ValueError("operands are in different domains (NTT vs coeff)")
+
+    def _map_limbs(
+        self, other: "RnsPolynomial", op: Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+    ) -> "RnsPolynomial":
+        self._check_compatible(other)
+        limbs = [
+            op(a, b, q)
+            for a, b, q in zip(self.limbs, other.limbs, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        return self._map_limbs(other, modarith.add_mod)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        return self._map_limbs(other, modarith.sub_mod)
+
+    def negate(self) -> "RnsPolynomial":
+        limbs = [modarith.neg_mod(a, q) for a, q in zip(self.limbs, self.basis.moduli)]
+        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+
+    def multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Ring product; converts to NTT form if necessary (ModMUL kernel)."""
+        if self.is_ntt and other.is_ntt:
+            return self._map_limbs(other, modarith.mul_mod)
+        return self.to_ntt().multiply(other.to_ntt())
+
+    def multiply_scalar(self, scalar: int) -> "RnsPolynomial":
+        """Multiply by a Python integer (reduced per limb)."""
+        limbs = [
+            modarith.scalar_mul_mod(a, scalar, q)
+            for a, q in zip(self.limbs, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+
+    def multiply_scalar_per_limb(self, scalars: Sequence[int]) -> "RnsPolynomial":
+        """Multiply limb ``i`` by ``scalars[i]`` (used by Rescale/ModDown)."""
+        if len(scalars) != len(self.basis):
+            raise ValueError("need one scalar per limb")
+        limbs = [
+            modarith.scalar_mul_mod(a, s, q)
+            for a, s, q in zip(self.limbs, scalars, self.basis.moduli)
+        ]
+        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+
+    def automorphism(self, galois_power: int) -> "RnsPolynomial":
+        """Apply ``X -> X**galois_power`` (requires coefficient form)."""
+        poly = self.from_ntt()
+        limbs = [
+            automorphism(limb, galois_power, self.degree, q)
+            for limb, q in zip(poly.limbs, poly.basis.moduli)
+        ]
+        return RnsPolynomial(self.degree, self.basis, limbs, is_ntt=False)
+
+    # -- basis surgery --------------------------------------------------------
+
+    def keep_limbs(self, count: int) -> "RnsPolynomial":
+        """Restrict to the first `count` limbs (level drop)."""
+        if not 0 < count <= len(self.basis):
+            raise ValueError(f"cannot keep {count} of {len(self.basis)} limbs")
+        return RnsPolynomial(
+            self.degree,
+            self.basis.subbasis(0, count),
+            self.limbs[:count],
+            self.is_ntt,
+        )
+
+    def limb_stack(self) -> np.ndarray:
+        """The limbs as one object-dtype matrix of shape (limbs, N)."""
+        return np.stack([np.asarray(l, dtype=object) for l in self.limbs])
+
+    def __repr__(self) -> str:
+        domain = "ntt" if self.is_ntt else "coeff"
+        return (
+            f"RnsPolynomial(N={self.degree}, limbs={len(self.basis)}, {domain})"
+        )

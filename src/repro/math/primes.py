@@ -1,0 +1,185 @@
+"""NTT-friendly prime generation.
+
+CKKS in RNS form needs chains of primes ``q ≡ 1 (mod 2N)`` so that the
+negacyclic NTT of degree ``N`` exists modulo each limb.  This module
+provides deterministic Miller-Rabin primality testing (exact below 3.3e24,
+probabilistic with extra random bases above) and generators for prime
+chains of a requested bit width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+# Deterministic witness set for n < 3,317,044,064,679,887,385,961,981
+# (Sorenson & Webster); covers every modulus size used in this library.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+
+def is_prime(candidate: int) -> bool:
+    """Miller-Rabin primality test, deterministic for all sizes we use."""
+    if candidate < 2:
+        return False
+    for small in _SMALL_PRIMES:
+        if candidate == small:
+            return True
+        if candidate % small == 0:
+            return False
+    # Write candidate - 1 = d * 2**r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _MR_WITNESSES:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def ntt_primes(bits: int, degree: int, count: int, descending: bool = True) -> List[int]:
+    """Return `count` primes of exactly `bits` bits with ``p ≡ 1 (mod 2N)``.
+
+    Args:
+        bits: requested bit width (``p`` satisfies ``2**(bits-1) <= p < 2**bits``).
+        degree: ring degree ``N``; primes are 1 modulo ``2 * degree``.
+        count: how many distinct primes to return.
+        descending: scan down from ``2**bits`` (True) or up from
+            ``2**(bits-1)`` (False); lets callers build disjoint chains.
+    """
+    primes: List[int] = []
+    for p in _iter_ntt_primes(bits, degree, descending):
+        primes.append(p)
+        if len(primes) == count:
+            return primes
+    raise ValueError(
+        f"could not find {count} primes of {bits} bits congruent to 1 mod {2 * degree}"
+    )
+
+
+def _iter_ntt_primes(bits: int, degree: int, descending: bool) -> Iterator[int]:
+    """Yield `bits`-bit primes congruent to 1 modulo ``2 * degree``."""
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    step = 2 * degree
+    if 1 << (bits - 1) <= step:
+        raise ValueError(f"{bits}-bit primes cannot be 1 mod {step}")
+    low, high = 1 << (bits - 1), 1 << bits
+    if descending:
+        start = (high - 1) - ((high - 1 - 1) % step)  # largest value ≡ 1 mod step
+        candidates = range(start, low, -step)
+    else:
+        start = low + ((1 - low) % step)
+        candidates = range(start, high, step)
+    for candidate in candidates:
+        if is_prime(candidate):
+            yield candidate
+
+
+def disjoint_prime_chains(
+    bits_per_chain: Sequence[int], degree: int, counts: Sequence[int]
+) -> List[List[int]]:
+    """Build several chains of NTT primes guaranteed pairwise disjoint.
+
+    Used to carve the main modulus chain ``Q``, the special primes ``P`` and
+    the KLSS auxiliary basis ``T`` out of non-overlapping prime pools even
+    when they share a bit width.
+    """
+    if len(bits_per_chain) != len(counts):
+        raise ValueError("bits_per_chain and counts must have equal length")
+    used = set()
+    chains: List[List[int]] = []
+    for bits, count in zip(bits_per_chain, counts):
+        chain: List[int] = []
+        for p in _iter_ntt_primes(bits, degree, descending=True):
+            if p in used:
+                continue
+            chain.append(p)
+            used.add(p)
+            if len(chain) == count:
+                break
+        if len(chain) != count:
+            raise ValueError(
+                f"exhausted {bits}-bit primes before collecting {count} of them"
+            )
+        chains.append(chain)
+    return chains
+
+
+def primitive_root(modulus: int) -> int:
+    """Find the smallest primitive root of the prime `modulus`."""
+    if not is_prime(modulus):
+        raise ValueError(f"{modulus} is not prime")
+    order = modulus - 1
+    factors = _factorise(order)
+    for g in range(2, modulus):
+        if all(pow(g, order // f, modulus) != 1 for f in factors):
+            return g
+    raise ValueError(f"no primitive root found for {modulus}")  # pragma: no cover
+
+
+def root_of_unity(order: int, modulus: int) -> int:
+    """Return a primitive `order`-th root of unity modulo the prime `modulus`."""
+    if (modulus - 1) % order != 0:
+        raise ValueError(f"{order} does not divide {modulus} - 1")
+    g = primitive_root(modulus)
+    root = pow(g, (modulus - 1) // order, modulus)
+    # Sanity: root has exact multiplicative order `order`.
+    if pow(root, order // 2, modulus) == 1:
+        raise ValueError(f"{root} is not a primitive {order}-th root")  # pragma: no cover
+    return root
+
+
+def _factorise(value: int) -> List[int]:
+    """Return the distinct prime factors of `value` (trial division + Pollard rho)."""
+    factors = set()
+    for p in _SMALL_PRIMES:
+        while value % p == 0:
+            factors.add(p)
+            value //= p
+    stack = [value] if value > 1 else []
+    while stack:
+        n = stack.pop()
+        if n == 1:
+            continue
+        if is_prime(n):
+            factors.add(n)
+            continue
+        divisor = _pollard_rho(n)
+        stack.extend((divisor, n // divisor))
+    return sorted(factors)
+
+
+def _pollard_rho(n: int) -> int:
+    """Pollard's rho factorisation step for odd composite `n`."""
+    if n % 2 == 0:
+        return 2
+    for increment in range(1, 64):
+        x = y = 2
+        d = 1
+        while d == 1:
+            x = (x * x + increment) % n
+            y = (y * y + increment) % n
+            y = (y * y + increment) % n
+            d = _gcd(abs(x - y), n)
+        if d != n:
+            return d
+    raise ValueError(f"pollard rho failed for {n}")  # pragma: no cover
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

@@ -1,0 +1,142 @@
+"""Residue Number System (RNS) bases and base conversion (BConv).
+
+The CKKS modulus chain ``Q = q_0 ... q_L``, the special modulus ``P`` and the
+KLSS auxiliary modulus ``T`` are all RNS bases.  ``BConv`` is the paper's
+central memory-bound kernel (Algorithm 1/2): it maps the residues of a value
+from one basis to another.
+
+Two conversions are provided:
+
+* :func:`bconv_approx` -- the standard full-RNS conversion of Cheon et al.
+  [SAC'18], which returns ``x + u*Q`` for a small overflow ``0 <= u < len(Q)``.
+  This is the kernel whose dataflow Neo optimises; the slack is absorbed by
+  the noise budget in ModUp/ModDown.
+* :func:`bconv_exact` -- exact conversion through CRT recomposition, used
+  where overflow would corrupt the result (KLSS Recover Limbs) and as the
+  ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from . import modarith
+
+
+class RnsBasis:
+    """An ordered set of pairwise-coprime prime moduli with CRT tables."""
+
+    def __init__(self, moduli: Sequence[int]):
+        moduli = tuple(int(q) for q in moduli)
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("RNS moduli must be distinct")
+        if not moduli:
+            raise ValueError("RNS basis needs at least one modulus")
+        self.moduli: Tuple[int, ...] = moduli
+        self.product: int = reduce(lambda a, b: a * b, moduli, 1)
+        #: ``q_hat_i = Q / q_i`` as exact integers.
+        self.q_hat: Tuple[int, ...] = tuple(self.product // q for q in moduli)
+        #: ``q_hat_i^{-1} mod q_i``.
+        self.q_hat_inv: Tuple[int, ...] = tuple(
+            modarith.inv_mod(h % q, q) for h, q in zip(self.q_hat, moduli)
+        )
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RnsBasis) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(self.moduli)
+
+    def __repr__(self) -> str:
+        bits = [q.bit_length() for q in self.moduli]
+        return f"RnsBasis({len(self.moduli)} limbs, {min(bits)}-{max(bits)} bits)"
+
+    def subbasis(self, start: int, stop: int) -> "RnsBasis":
+        """The basis formed by moduli ``[start:stop]``."""
+        return RnsBasis(self.moduli[start:stop])
+
+    def decompose(self, values) -> List[np.ndarray]:
+        """Split integer array `values` into one residue array per limb."""
+        arr = np.asarray(values, dtype=object)
+        return [modarith.asarray_mod(arr, q) for q in self.moduli]
+
+    def compose(self, limbs: Sequence[np.ndarray]) -> np.ndarray:
+        """CRT-recompose residue arrays into integers in ``[0, product)``."""
+        if len(limbs) != len(self.moduli):
+            raise ValueError(
+                f"expected {len(self.moduli)} limb arrays, got {len(limbs)}"
+            )
+        acc = np.zeros(np.asarray(limbs[0]).shape, dtype=object)
+        for limb, q, q_hat, q_hat_inv in zip(
+            limbs, self.moduli, self.q_hat, self.q_hat_inv
+        ):
+            partial = (np.asarray(limb, dtype=object) * q_hat_inv) % q
+            acc += partial * q_hat
+        return acc % self.product
+
+    def compose_signed(self, limbs: Sequence[np.ndarray]) -> np.ndarray:
+        """CRT-recompose into centred integers in ``(-product/2, product/2]``."""
+        return modarith.to_signed(self.compose(limbs), self.product)
+
+
+def bconv_approx(
+    limbs: Sequence[np.ndarray], from_basis: RnsBasis, to_basis: RnsBasis
+) -> List[np.ndarray]:
+    """Approximate RNS base conversion (the paper's Algorithm 1 semantics).
+
+    For input residues of ``x`` (with ``0 <= x < Q``), the output residues
+    represent ``x + u*Q`` modulo each target limb, where ``0 <= u < len(Q)``.
+    Every input coefficient participates in ``len(to_basis)`` scalar
+    multiply-accumulates -- the poor-data-reuse pattern Neo rewrites as GEMM.
+    """
+    if len(limbs) != len(from_basis):
+        raise ValueError("limb count does not match source basis")
+    # y_i = [x_i * q_hat_inv_i]_{q_i}  (exact small integers)
+    scaled = [
+        np.asarray(
+            modarith.scalar_mul_mod(
+                modarith.asarray_mod(limb, q), q_hat_inv, q
+            ),
+            dtype=object,
+        )
+        for limb, q, q_hat_inv in zip(limbs, from_basis.moduli, from_basis.q_hat_inv)
+    ]
+    out: List[np.ndarray] = []
+    for p in to_basis.moduli:
+        acc = np.zeros(scaled[0].shape, dtype=object)
+        for y, q_hat in zip(scaled, from_basis.q_hat):
+            acc = (acc + y * (q_hat % p)) % p
+        out.append(modarith.asarray_mod(acc, p))
+    return out
+
+
+def bconv_exact(
+    limbs: Sequence[np.ndarray], from_basis: RnsBasis, to_basis: RnsBasis
+) -> List[np.ndarray]:
+    """Exact base conversion of the value ``x in [0, from_basis.product)``."""
+    values = from_basis.compose(limbs)
+    return to_basis.decompose(values)
+
+
+def bconv_matrix(from_basis: RnsBasis, to_basis: RnsBasis) -> np.ndarray:
+    """The ``len(from) x len(to)`` matrix ``B[i, j] = q_hat_i mod p_j``.
+
+    This is matrix ``B`` of the paper's Algorithm 2: after the per-limb
+    scalar multiplication by ``q_hat_inv_i``, BConv is exactly a GEMM with
+    this constant matrix (modulo each output prime).
+    """
+    rows = []
+    for q_hat in from_basis.q_hat:
+        rows.append([q_hat % p for p in to_basis.moduli])
+    return np.array(rows, dtype=object)
+
+
+def overflow_bound(from_basis: RnsBasis) -> int:
+    """Upper bound (exclusive) on the ``u`` overflow of :func:`bconv_approx`."""
+    return len(from_basis)

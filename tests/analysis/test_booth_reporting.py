@@ -1,0 +1,71 @@
+"""Tests for the Fig. 3 Booth analysis and the report formatting helpers."""
+
+import pytest
+
+from repro.analysis import booth, reporting
+
+
+class TestBooth:
+    def test_plane_products_match_paper(self):
+        bars = booth.fig3_comparison()
+        assert bars["int8_ws36"].plane_products == 25
+        assert bars["int8_ws48"].plane_products == 36
+        assert bars["fp64_ws36"].plane_products == 3
+        assert bars["fp64_ws48"].plane_products == 4
+
+    def test_fp64_wins_both_wordsizes(self):
+        assert booth.fp64_speedup(36) > 1.0
+        assert booth.fp64_speedup(48) > 1.0
+
+    def test_speedup_in_paper_ballpark(self):
+        """Paper: 1.65x at WS 36, 1.74x at WS 48 -- expect within ~2.5x."""
+        assert 1.0 < booth.fp64_speedup(36) < 4.5
+        assert 1.0 < booth.fp64_speedup(48) < 4.5
+
+    def test_total_is_sum_of_steps(self):
+        steps = booth.fp64_step_times(36)
+        assert steps.total_s == pytest.approx(
+            steps.split_s + steps.matmul_s + steps.merge_s
+        )
+
+    def test_int8_raw_matmul_is_fast_per_plane(self):
+        """Fig. 3's nuance: per plane set, the INT8 matmul step is quick --
+        the loss is the 25-36 plane products."""
+        int8 = booth.int8_step_times(36)
+        fp64 = booth.fp64_step_times(36)
+        per_plane_int8 = int8.matmul_s / int8.plane_products
+        per_plane_fp64 = fp64.matmul_s / fp64.plane_products
+        assert per_plane_int8 < per_plane_fp64
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = reporting.format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_table_none_dash(self):
+        text = reporting.format_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        assert reporting._cell(0.5) == "0.5"
+        assert reporting._cell(1234567.0) == "1.23e+06"
+        assert reporting._cell(0) == "0"
+        assert reporting._cell("abc") == "abc"
+
+    def test_format_series(self):
+        line = reporting.format_series("s", {1: 2.0, 2: 3.0}, unit="ms")
+        assert line.startswith("s: ")
+        assert "1=2ms" in line and "2=3ms" in line
+
+    def test_ratio_report(self):
+        line = reporting.ratio_report("x", measured=2.0, paper=1.0)
+        assert "x2.00" in line
+        assert "OK" in reporting.ratio_report("x", 1.05, 1.0, tolerance=0.1)
+        assert "DIVERGES" in reporting.ratio_report("x", 2.0, 1.0, tolerance=0.1)

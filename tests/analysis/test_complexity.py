@@ -1,0 +1,76 @@
+"""Tests for the Table 2 complexity formulas."""
+
+import pytest
+
+from repro.analysis import complexity
+from repro.ckks.params import get_set
+
+
+class TestFormulas:
+    def test_hybrid_formulas_verbatim(self):
+        """Table 2 left column at symbolic values."""
+        got = complexity.hybrid_complexity(level=35, alpha=4, beta=9)
+        assert got["Mod Up"] == 9 * 35 * 4
+        assert got["NTT"] == 9 * (35 + 4)
+        assert got["Inner Product"] == 2 * 9 * (35 + 4)
+        assert got["Inverse NTT"] == 2 * 9 * (35 + 4)
+        assert got["Recover Limbs"] == 0
+        assert got["Mod Down"] == 2 * (35 * 4 + 35)
+
+    def test_klss_formulas_verbatim(self):
+        got = complexity.klss_complexity(
+            level=35, alpha=4, beta=9, alpha_prime=8, beta_tilde=8
+        )
+        assert got["Mod Up"] == 9 * 4 * 8
+        assert got["NTT"] == 8 * 8
+        assert got["Inner Product"] == 9 * 8 * 8
+        assert got["Inverse NTT"] == 2 * 8 * 8
+        assert got["Recover Limbs"] == 2 * 8 * (35 + 4)
+        assert got["Mod Down"] == 2 * (35 * 4 + 35)
+
+    def test_rows_constant(self):
+        assert complexity.TABLE2_ROWS == (
+            "Mod Up", "NTT", "Inner Product", "Inverse NTT",
+            "Recover Limbs", "Mod Down",
+        )
+
+
+class TestTableBuilder:
+    def test_set_c_has_both_columns(self):
+        table = complexity.complexity_table(get_set("C"))
+        assert set(table) == {"Hybrid", "KLSS"}
+
+    def test_hybrid_only_set(self):
+        table = complexity.complexity_table(get_set("A"))
+        assert set(table) == {"Hybrid"}
+
+    def test_klss_wins_at_set_c(self):
+        """The paper's point: KLSS totals below Hybrid at Set C."""
+        assert complexity.klss_beats_hybrid(get_set("C"))
+
+    def test_klss_beats_hybrid_requires_config(self):
+        with pytest.raises(ValueError):
+            complexity.klss_beats_hybrid(get_set("A"))
+
+    def test_mod_down_identical_between_methods(self):
+        """Table 2: the Mod Down row is shared."""
+        table = complexity.complexity_table(get_set("C"))
+        assert table["Hybrid"]["Mod Down"] == table["KLSS"]["Mod Down"]
+
+    def test_complexity_grows_with_level(self):
+        params = get_set("C")
+        low = complexity.total_complexity(
+            complexity.complexity_table(params, 10)["KLSS"]
+        )
+        high = complexity.total_complexity(
+            complexity.complexity_table(params, 35)["KLSS"]
+        )
+        assert high > low
+
+    def test_klss_ip_exceeds_hybrid_ip_relatively(self):
+        """Section 2.2: KLSS 'exhibits higher complexity of IP' relative to
+        its other steps -- IP is the largest KLSS step besides recovery."""
+        table = complexity.complexity_table(get_set("C"))
+        klss = table["KLSS"]
+        assert klss["Inner Product"] >= klss["NTT"]
+        assert klss["Inner Product"] >= klss["Mod Up"]

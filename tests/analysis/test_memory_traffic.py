@@ -1,0 +1,94 @@
+"""Tests for the data-transfer model (Figs. 2 and 15)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import memory_traffic as mt
+from repro.ckks.params import get_set
+
+
+class TestKernelTransfer:
+    def test_bconv_original_amplifies_by_alpha_out(self):
+        base = mt.bconv_transfer_bytes(4, 8, 1, 16, 36, optimized=True)
+        orig = mt.bconv_transfer_bytes(4, 8, 1, 16, 36, optimized=False)
+        # original reads the input alpha' times: 4*8 + 8 vs 4 + 8 elements
+        assert orig == (4 * 8 + 8) * 16 * 8
+        assert base == (4 + 8) * 16 * 8
+
+    def test_ip_optimized_single_pass(self):
+        opt = mt.ip_transfer_bytes(3, 2, 4, 2, 16, 48, optimized=True)
+        limbs, evk, out = 3 * 4 * 2 * 16, 2 * 3 * 4 * 16, 2 * 4 * 2 * 16
+        assert opt == (2 * limbs + evk + 2 * out) * 8
+
+    def test_ip_original_larger(self):
+        opt = mt.ip_transfer_bytes(3, 2, 4, 2, 16, 48, optimized=True)
+        orig = mt.ip_transfer_bytes(3, 2, 4, 2, 16, 48, optimized=False)
+        assert orig > opt
+
+    def test_ntt_transfer(self):
+        assert mt.ntt_transfer_bytes(3, 2, 16, 36) == 2 * 3 * 2 * 16 * 8
+
+
+class TestKeySwitchBreakdown:
+    @pytest.mark.parametrize("set_name", ["B", "C"])
+    def test_shares_sum_to_one(self, set_name):
+        shares = mt.keyswitch_transfer_shares(get_set(set_name), 35)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == {"bconv", "ip", "ntt", "other"}
+
+    def test_bconv_and_ip_dominate_at_l35(self):
+        """Fig. 2's headline: BConv + IP are the transfer majority."""
+        shares = mt.keyswitch_transfer_shares(get_set("C"), 35)
+        assert shares["bconv"] + shares["ip"] > 0.5
+
+    def test_total_grows_with_level(self):
+        params = get_set("C")
+        totals = [
+            sum(mt.keyswitch_transfer_breakdown(params, l).values())
+            for l in (5, 15, 25, 35)
+        ]
+        assert totals == sorted(totals)
+
+    def test_hybrid_upper_bar_vs_klss_lower_bar(self):
+        """Fig. 2 draws Hybrid and KLSS bars; both must be positive and the
+        two methods must differ."""
+        hybrid = sum(mt.keyswitch_transfer_breakdown(get_set("B"), 35).values())
+        klss = sum(mt.keyswitch_transfer_breakdown(get_set("C"), 35).values())
+        assert hybrid > 0 and klss > 0
+        assert hybrid != klss
+
+
+class TestFig15Reduction:
+    def test_reduction_below_one(self):
+        params = get_set("C")
+        for kernel in ("bconv", "ip"):
+            assert mt.transfer_reduction(params, 35, kernel) < 1.0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            mt.transfer_reduction(get_set("C"), 35, "ntt")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=16),
+)
+def test_property_optimized_never_exceeds_original(alpha, alpha_out, batch):
+    opt = mt.bconv_transfer_bytes(alpha, alpha_out, batch, 64, 36, optimized=True)
+    orig = mt.bconv_transfer_bytes(alpha, alpha_out, batch, 64, 36, optimized=False)
+    assert opt <= orig
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_ip_optimized_never_exceeds_original(beta, beta_tilde, alpha_p, batch):
+    opt = mt.ip_transfer_bytes(beta, beta_tilde, alpha_p, batch, 64, 48, optimized=True)
+    orig = mt.ip_transfer_bytes(beta, beta_tilde, alpha_p, batch, 64, 48, optimized=False)
+    assert opt <= orig

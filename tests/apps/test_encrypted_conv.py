@@ -1,0 +1,104 @@
+"""Functional tests for the encrypted 2-D convolution."""
+
+import numpy as np
+import pytest
+
+from repro.apps.encrypted_conv import EncryptedConv2d
+from repro.ckks import (
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    small_test_parameters,
+)
+
+H = W = 4  # 4x4 image -> 16 slots at N = 32
+
+
+@pytest.fixture(scope="module")
+def conv_setup():
+    params = small_test_parameters(degree=32, max_level=4, wordsize=25, dnum=2)
+    gen = KeyGenerator(params, seed=55)
+    sk = gen.secret_key()
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(sk), seed=5)
+    decryptor = Decryptor(params, sk)
+    evaluator = Evaluator(params, relin_key=gen.relinearisation_key(sk))
+    return params, gen, sk, encoder, encryptor, decryptor, evaluator
+
+
+def _build(conv_setup, kernel):
+    params, gen, sk, encoder, encryptor, decryptor, evaluator = conv_setup
+    conv = EncryptedConv2d(encoder, evaluator, H, W, kernel)
+    galois = gen.rotation_keys(sk, conv.required_rotations())
+    evaluator.galois_keys = galois
+    return conv, encoder, encryptor, decryptor
+
+
+SOBEL = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=float) / 4
+BLUR = np.ones((3, 3)) / 9
+IDENTITY = np.array([[0, 0, 0], [0, 1, 0], [0, 0, 0]], dtype=float)
+
+
+@pytest.mark.parametrize("kernel", [IDENTITY, BLUR, SOBEL], ids=["id", "blur", "sobel"])
+def test_matches_plaintext_convolution(conv_setup, kernel):
+    conv, encoder, encryptor, decryptor = _build(conv_setup, kernel)
+    rng = np.random.default_rng(0)
+    image = rng.uniform(-1, 1, size=(H, W))
+    ct = encryptor.encrypt(encoder.encode(conv.pack(image)))
+    out = conv.apply(ct)
+    got = conv.unpack(encoder.decode(decryptor.decrypt(out)))
+    assert np.abs(got - conv.reference(image)).max() < 1e-2
+
+
+def test_identity_kernel_single_tap(conv_setup):
+    conv, *_ = _build(conv_setup, IDENTITY)
+    assert len(conv._taps) == 1
+    assert conv.required_rotations() == []
+
+
+def test_full_kernel_needs_eight_rotations(conv_setup):
+    conv, *_ = _build(conv_setup, BLUR)
+    # 9 taps, one of which (centre) needs no rotation.
+    assert len(conv.required_rotations()) == 8
+
+
+def test_consumes_one_level(conv_setup):
+    conv, encoder, encryptor, _ = _build(conv_setup, BLUR)
+    ct = encryptor.encrypt(encoder.encode(conv.pack(np.ones((H, W)))))
+    assert conv.apply(ct).level == ct.level - 1
+
+
+def test_border_handling_is_zero_padded(conv_setup):
+    """A corner pixel only sees in-bounds neighbours."""
+    conv, encoder, encryptor, decryptor = _build(conv_setup, BLUR)
+    image = np.zeros((H, W))
+    image[0, 0] = 1.0
+    ct = encryptor.encrypt(encoder.encode(conv.pack(image)))
+    got = conv.unpack(encoder.decode(decryptor.decrypt(conv.apply(ct))))
+    # The pulse spreads only to the 2x2 in-bounds neighbourhood.
+    assert got[0, 0] == pytest.approx(1 / 9, abs=1e-2)
+    assert abs(got[3, 3]) < 1e-2
+
+
+class TestValidation:
+    def test_non_square_kernel(self, conv_setup):
+        _, _, _, encoder, _, _, evaluator = conv_setup
+        with pytest.raises(ValueError):
+            EncryptedConv2d(encoder, evaluator, H, W, np.ones((2, 3)))
+
+    def test_even_kernel(self, conv_setup):
+        _, _, _, encoder, _, _, evaluator = conv_setup
+        with pytest.raises(ValueError):
+            EncryptedConv2d(encoder, evaluator, H, W, np.ones((2, 2)))
+
+    def test_image_too_large(self, conv_setup):
+        _, _, _, encoder, _, _, evaluator = conv_setup
+        with pytest.raises(ValueError):
+            EncryptedConv2d(encoder, evaluator, 8, 8, IDENTITY)
+
+    def test_pack_shape_checked(self, conv_setup):
+        conv, *_ = _build(conv_setup, IDENTITY)
+        with pytest.raises(ValueError):
+            conv.pack(np.ones((2, 2)))

@@ -1,0 +1,119 @@
+"""Tests for the application op-schedule builders."""
+
+import pytest
+
+from repro.apps import HelrApp, PackBootstrap, ResNetApp, standard_applications
+from repro.ckks.params import get_set
+from repro.core import NEO_CONFIG, NeoContext
+
+
+@pytest.fixture(scope="module")
+def neo():
+    return NeoContext("C", config=NEO_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return get_set("C")
+
+
+class TestPackBootstrap:
+    def test_schedule_structure(self, params):
+        schedule = PackBootstrap().schedule(params)
+        assert schedule, "schedule must not be empty"
+        for level, ops in schedule.items():
+            assert 0 <= level <= params.max_level
+            for op, count in ops.items():
+                assert count > 0
+                assert op in {
+                    "hmult", "hrotate", "pmult", "hadd", "padd",
+                    "rescale", "double_rescale",
+                }
+
+    def test_spans_many_levels(self, params):
+        schedule = PackBootstrap().schedule(params)
+        assert len(schedule) >= 8, "bootstrap consumes many levels"
+
+    def test_rotation_heavy(self, params):
+        """CtS/StC dominate the op mix with rotations and PMULTs."""
+        totals = PackBootstrap().operation_totals(params)
+        assert totals["hrotate"] > 50
+        assert totals["pmult"] > totals["hmult"]
+
+    def test_ds_toggle(self, params):
+        with_ds = PackBootstrap(use_double_rescale=True).operation_totals(params)
+        without = PackBootstrap(use_double_rescale=False).operation_totals(params)
+        assert "double_rescale" in with_ds
+        assert "double_rescale" not in without
+
+    def test_time_positive_and_sane(self, neo):
+        t = PackBootstrap().time_s(neo)
+        assert 0.01 < t < 10.0
+
+    def test_ds_bootstrap_slower_at_same_params(self, neo):
+        """DS burns two levels per step; the non-DS ladder is longer but the
+        per-step cost comparison still leaves both in the same ballpark."""
+        with_ds = PackBootstrap(use_double_rescale=True).time_s(neo)
+        without = PackBootstrap(use_double_rescale=False).time_s(neo)
+        assert 0.3 < with_ds / without < 3.0
+
+
+class TestHelr:
+    def test_schedule_has_gradient_pipeline(self, params):
+        schedule = HelrApp().schedule(params)
+        ops = set()
+        for level_ops in schedule.values():
+            ops.update(level_ops)
+        assert {"pmult", "hmult", "hrotate", "hadd"} <= ops
+
+    def test_iteration_time(self, neo):
+        t = HelrApp().time_s(neo)
+        assert 0.01 < t < 10.0
+
+    def test_more_features_cost_more(self, neo):
+        small = HelrApp(features=64).time_s(neo)
+        large = HelrApp(features=1024).time_s(neo)
+        assert large >= small
+
+    def test_bootstrap_amortisation(self, neo):
+        frequent = HelrApp(bootstrap_every=1).time_s(neo)
+        rare = HelrApp(bootstrap_every=10).time_s(neo)
+        assert frequent > rare
+
+
+class TestResNet:
+    def test_supported_depths(self):
+        for depth in (20, 32, 56):
+            assert ResNetApp(depth).name == f"resnet{depth}"
+        with pytest.raises(ValueError):
+            ResNetApp(44)
+
+    def test_layer_count(self):
+        assert ResNetApp(20).conv_layers == 19
+        assert ResNetApp(32).conv_layers == 31
+        assert ResNetApp(56).conv_layers == 55
+
+    def test_depth_scaling(self, neo):
+        """Paper: ResNet-56 ~ 2.9x ResNet-20."""
+        t20 = ResNetApp(20).time_s(neo)
+        t56 = ResNetApp(56).time_s(neo)
+        assert 2.3 < t56 / t20 < 3.5
+
+    def test_bootstrap_per_activation(self):
+        assert ResNetApp(20).bootstrap_count() == 19
+
+    def test_schedule_uses_hmult_for_relu(self, params):
+        schedule = ResNetApp(20).schedule(params)
+        total_hmult = sum(ops.get("hmult", 0) for ops in schedule.values())
+        assert total_hmult >= 19 * 15  # >= 15 mults per ReLU approximation
+
+
+class TestStandardApplications:
+    def test_five_apps_in_table5_order(self):
+        names = [app.name for app in standard_applications()]
+        assert names == ["packbootstrap", "helr", "resnet20", "resnet32", "resnet56"]
+
+    def test_fresh_instances(self):
+        a = standard_applications()
+        b = standard_applications()
+        assert a[0] is not b[0]

@@ -1,0 +1,92 @@
+"""Tests for the comparator models (TensorFHE, HEonGPU, CPU)."""
+
+import pytest
+
+from repro.baselines import CPU_CONFIG, CPU_DEVICE, CpuModel, HeonGpuModel, TensorFheModel
+from repro.core import NEO_CONFIG, NeoContext
+
+
+@pytest.fixture(scope="module")
+def neo():
+    return NeoContext("C", config=NEO_CONFIG)
+
+
+class TestTensorFhe:
+    def test_always_hybrid(self):
+        """TensorFHE never runs KLSS, even on a KLSS-capable set."""
+        model = TensorFheModel("C")
+        assert model.config.keyswitch == "hybrid"
+
+    def test_uses_int8_tensor_cores(self):
+        assert TensorFheModel("A").config.ntt_component == "tcu_int8"
+
+    def test_slower_than_neo(self, neo):
+        model = TensorFheModel("B")
+        assert model.operation_time_us("hmult", 35) > 1.5 * neo.operation_time_us(
+            "hmult", 35
+        )
+
+    def test_dnum_ordering(self):
+        """Table 6: HMULT grows A -> B -> C with dnum 1 -> 3 -> 9."""
+        times = [
+            TensorFheModel(s).operation_time_us("hmult", 35) for s in "ABC"
+        ]
+        assert times[0] < times[1] < times[2]
+
+
+class TestHeonGpu:
+    def test_no_tensor_core_usage(self):
+        model = HeonGpuModel("E")
+        trace = model.operation_trace("hmult", 35)
+        assert all(e.tcu_fp64_flops == 0 and e.tcu_int8_ops == 0 for e in trace.events)
+
+    def test_between_neo_and_tensorfhe(self, neo):
+        """The paper's ordering: Neo < HEonGPU < TensorFHE on HMULT."""
+        heon = HeonGpuModel("E").operation_time_us("hmult", 35)
+        tfhe = TensorFheModel("B").operation_time_us("hmult", 35)
+        assert neo.operation_time_us("hmult", 35) < heon < tfhe
+
+    def test_butterfly_ntt(self):
+        assert HeonGpuModel("E").config.ntt_style == "butterfly"
+
+
+class TestCpu:
+    def test_device_has_no_tcu(self):
+        assert CPU_DEVICE.tcu_fp64_tflops == 0
+        assert CPU_DEVICE.tcu_int8_tops == 0
+
+    def test_not_occupancy_limited(self):
+        assert CPU_DEVICE.derated_for_batch(1) is CPU_DEVICE
+
+    def test_orders_of_magnitude_slower(self, neo):
+        cpu = CpuModel("H")
+        ratio = cpu.operation_time_us("hmult", 35) / neo.operation_time_us("hmult", 35)
+        assert ratio > 50
+
+    def test_single_ciphertext_batch(self):
+        assert CpuModel("H").batch == 1
+
+    def test_config_is_hybrid_butterfly(self):
+        assert CPU_CONFIG.keyswitch == "hybrid"
+        assert CPU_CONFIG.ntt_style == "butterfly"
+
+
+class TestOccupancyDerating:
+    def test_small_batch_derates_compute(self):
+        full = NeoContext("C", config=NEO_CONFIG, batch=128)
+        small = NeoContext("C", config=NEO_CONFIG, batch=8)
+        assert small.device.cuda_efficiency < full.device.cuda_efficiency
+
+    def test_batch_128_is_reference(self):
+        from repro.gpu.device import A100
+
+        assert A100.derated_for_batch(128).cuda_efficiency == pytest.approx(
+            A100.cuda_efficiency
+        )
+
+    def test_per_ciphertext_time_improves_with_batch(self):
+        small = NeoContext("C", config=NEO_CONFIG, batch=8)
+        large = NeoContext("C", config=NEO_CONFIG, batch=128)
+        assert large.operation_time_us("hmult", 35) < small.operation_time_us(
+            "hmult", 35
+        )

@@ -1,0 +1,84 @@
+"""Shared fixtures: one small functional CKKS context for the whole suite."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    KlssConfig,
+    small_test_parameters,
+)
+
+DEGREE = 32
+MAX_LEVEL = 5
+
+
+@pytest.fixture(scope="session")
+def params():
+    return small_test_parameters(
+        degree=DEGREE,
+        max_level=MAX_LEVEL,
+        wordsize=25,
+        dnum=3,
+        klss=KlssConfig(wordsize_t=28, alpha_tilde=2),
+    )
+
+
+@pytest.fixture(scope="session")
+def keyset(params):
+    gen = KeyGenerator(params, seed=42)
+    secret = gen.secret_key()
+    return {
+        "secret": secret,
+        "public": gen.public_key(secret),
+        "relin": gen.relinearisation_key(secret),
+        "galois": gen.rotation_keys(secret, [1, 2, 3, 4, 8]),
+    }
+
+
+@pytest.fixture(scope="session")
+def encoder(params):
+    return CkksEncoder(params)
+
+
+@pytest.fixture(scope="session")
+def encryptor(params, keyset):
+    return Encryptor(params, public_key=keyset["public"], seed=7)
+
+
+@pytest.fixture(scope="session")
+def decryptor(params, keyset):
+    return Decryptor(params, keyset["secret"])
+
+
+@pytest.fixture(scope="session")
+def evaluator(params, keyset):
+    return Evaluator(
+        params,
+        relin_key=keyset["relin"],
+        galois_keys=keyset["galois"],
+        method="hybrid",
+    )
+
+
+@pytest.fixture(scope="session")
+def klss_evaluator(params, keyset):
+    return Evaluator(
+        params,
+        relin_key=keyset["relin"],
+        galois_keys=keyset["galois"],
+        method="klss",
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)
+
+
+def random_slots(rng, count, scale=1.0):
+    return scale * (rng.normal(size=count) + 1j * rng.normal(size=count))

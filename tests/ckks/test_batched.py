@@ -1,0 +1,114 @@
+"""Tests for batched ciphertext execution (the BatchSize axis)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import batched
+
+from .conftest import random_slots
+
+B = 4  # batch size under test
+
+
+@pytest.fixture()
+def value_rows(encoder, rng):
+    return np.stack([random_slots(rng, encoder.slots) for _ in range(B)])
+
+
+@pytest.fixture()
+def batched_ct(encoder, encryptor, value_rows):
+    return batched.encrypt_batch(encryptor, encoder, value_rows)
+
+
+class TestPacking:
+    def test_roundtrip(self, encoder, decryptor, value_rows, batched_ct):
+        got = batched.decrypt_batch(decryptor, encoder, batched_ct)
+        assert got.shape == value_rows.shape
+        assert np.abs(got - value_rows).max() < 1e-3
+
+    def test_batch_size(self, batched_ct, encoder, encryptor):
+        assert batched.batch_size(batched_ct) == B
+        single = encryptor.encrypt(encoder.encode([1.0]))
+        assert batched.batch_size(single) == 1
+
+    def test_stack_unstack(self, encoder, encryptor, decryptor, value_rows):
+        singles = [
+            encryptor.encrypt(encoder.encode(row)) for row in value_rows
+        ]
+        stacked = batched.stack_ciphertexts(singles)
+        unstacked = batched.unstack_ciphertext(stacked)
+        assert len(unstacked) == B
+        for ct, row in zip(unstacked, value_rows):
+            got = encoder.decode(decryptor.decrypt(ct))
+            assert np.abs(got - row).max() < 1e-3
+
+    def test_stack_validates_levels(self, encoder, encryptor):
+        a = encryptor.encrypt(encoder.encode([1.0]))
+        b = encryptor.encrypt(encoder.encode([1.0], level=2))
+        with pytest.raises(ValueError):
+            batched.stack_ciphertexts([a, b])
+
+    def test_stack_empty(self):
+        with pytest.raises(ValueError):
+            batched.stack_ciphertexts([])
+
+    def test_independent_randomness(self, batched_ct):
+        """Rows must not share encryption randomness."""
+        c1 = batched_ct.c1.limbs[0]
+        assert (np.asarray(c1[0]) != np.asarray(c1[1])).any()
+
+
+class TestBatchedOperations:
+    def test_add(self, encoder, encryptor, decryptor, evaluator, value_rows):
+        ct = batched.encrypt_batch(encryptor, encoder, value_rows)
+        total = evaluator.add(ct, ct)
+        got = batched.decrypt_batch(decryptor, encoder, total)
+        assert np.abs(got - 2 * value_rows).max() < 1e-3
+
+    def test_multiply_whole_batch_in_one_call(
+        self, encoder, encryptor, decryptor, evaluator, value_rows
+    ):
+        """One HMULT (and one KeySwitch) processes all B messages."""
+        ct = batched.encrypt_batch(encryptor, encoder, value_rows)
+        prod = evaluator.rescale(evaluator.multiply(ct, ct))
+        got = batched.decrypt_batch(decryptor, encoder, prod)
+        assert np.abs(got - value_rows**2).max() < 1e-2
+
+    def test_multiply_klss_backend(
+        self, encoder, encryptor, decryptor, klss_evaluator, value_rows
+    ):
+        ct = batched.encrypt_batch(encryptor, encoder, value_rows)
+        prod = klss_evaluator.rescale(klss_evaluator.multiply(ct, ct))
+        got = batched.decrypt_batch(decryptor, encoder, prod)
+        assert np.abs(got - value_rows**2).max() < 1e-2
+
+    def test_rotate_batch(self, encoder, encryptor, decryptor, evaluator, value_rows):
+        ct = batched.encrypt_batch(encryptor, encoder, value_rows)
+        rotated = evaluator.rotate(ct, 1)
+        got = batched.decrypt_batch(decryptor, encoder, rotated)
+        assert np.abs(got - np.roll(value_rows, -1, axis=1)).max() < 1e-3
+
+    def test_multiply_plain_broadcasts(
+        self, encoder, encryptor, decryptor, evaluator, value_rows, rng
+    ):
+        """A single plaintext multiplies every batched message."""
+        weights = random_slots(rng, encoder.slots)
+        ct = batched.encrypt_batch(encryptor, encoder, value_rows)
+        out = evaluator.rescale(
+            evaluator.multiply_plain(ct, encoder.encode(weights))
+        )
+        got = batched.decrypt_batch(decryptor, encoder, out)
+        assert np.abs(got - value_rows * weights[None, :]).max() < 1e-2
+
+    def test_batched_matches_per_ciphertext(
+        self, encoder, encryptor, decryptor, evaluator, value_rows
+    ):
+        """Batched execution decrypts identically to per-ct execution."""
+        singles = [encryptor.encrypt(encoder.encode(row)) for row in value_rows]
+        stacked = batched.stack_ciphertexts(singles)
+        batched_out = evaluator.rescale(evaluator.multiply(stacked, stacked))
+        for i, single in enumerate(singles):
+            single_out = evaluator.rescale(evaluator.multiply(single, single))
+            got_single = encoder.decode(decryptor.decrypt(single_out))
+            got_batched = batched.decrypt_batch(decryptor, encoder, batched_out)[i]
+            assert np.abs(got_single - got_batched).max() < 1e-3

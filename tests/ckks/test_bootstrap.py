@@ -1,0 +1,124 @@
+"""Tests for the functional bootstrapping pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksEncoder,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+from repro.ckks.bootstrap import Bootstrapper
+from repro.ckks.keys import conjugation_galois_power
+
+
+@pytest.fixture(scope="module")
+def boot_setup():
+    # q0 / Delta = 4 keeps the sine-approximation error amplification low.
+    params = CkksParameters(
+        degree=32, max_level=12, wordsize=25, dnum=4, first_prime_bits=27
+    )
+    gen = KeyGenerator(params, seed=5)
+    sk = gen.secret_key(hamming_weight=1)  # sparse: |I| <= 1 after ModRaise
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(sk), seed=6)
+    decryptor = Decryptor(params, sk)
+    evaluator = Evaluator(params, relin_key=gen.relinearisation_key(sk))
+    boot = Bootstrapper(params, encoder, evaluator, eval_degree=15,
+                        overflow_bound=1.0)
+    galois = gen.rotation_keys(sk, boot.required_rotations())
+    conj = conjugation_galois_power(params.degree)
+    galois.add(conj, gen.galois_key(sk, conj))
+    evaluator.galois_keys = galois
+    return params, sk, encoder, encryptor, decryptor, evaluator, boot
+
+
+class TestModRaise:
+    def test_raises_level(self, boot_setup):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        ct = encryptor.encrypt(encoder.encode([0.25], level=0))
+        raised = boot.mod_raise(ct)
+        assert raised.level == params.max_level
+
+    def test_decrypts_to_message_plus_q0_multiple(self, boot_setup):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        rng = np.random.default_rng(0)
+        v = 0.3 * rng.normal(size=params.slots)
+        pt = encoder.encode(v, level=0)
+        ct = encryptor.encrypt(pt)
+        raised = boot.mod_raise(ct)
+        s = sk.poly(params.q_basis(params.max_level))
+        decrypted = raised.c0.add(raised.c1.multiply(s).from_ntt()).to_int_coeffs()
+        q0 = params.moduli[0]
+        for got, want in zip(decrypted, pt.poly.to_int_coeffs()):
+            residue = (int(got) - int(want)) % q0
+            noise = min(residue, q0 - residue)
+            assert noise < 200  # message + q0*I + small noise only
+
+    def test_rejects_non_level0(self, boot_setup):
+        params, _, encoder, encryptor, *_ , boot = boot_setup
+        ct = encryptor.encrypt(encoder.encode([0.25], level=3))
+        with pytest.raises(ValueError):
+            boot.mod_raise(ct)
+
+
+class TestStages:
+    def test_coeff_to_slot_extracts_coefficients(self, boot_setup):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        rng = np.random.default_rng(1)
+        v = 0.3 * rng.normal(size=params.slots)
+        ct = encryptor.encrypt(encoder.encode(v, level=0))
+        raised = boot.mod_raise(ct)
+        s = sk.poly(params.q_basis(params.max_level))
+        coeffs = raised.c0.add(raised.c1.multiply(s).from_ntt()).to_int_coeffs()
+        q0 = params.moduli[0]
+        u_lo, u_hi = boot.coeff_to_slot(raised)
+        got_lo = encoder.decode(decryptor.decrypt(u_lo))
+        got_hi = encoder.decode(decryptor.decrypt(u_hi))
+        want_lo = np.array([float(c) for c in coeffs[: params.slots]]) / q0
+        want_hi = np.array([float(c) for c in coeffs[params.slots :]]) / q0
+        assert np.abs(got_lo - want_lo).max() < 1e-4
+        assert np.abs(got_hi - want_hi).max() < 1e-4
+
+    def test_eval_mod_removes_integer_part(self, boot_setup):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        rng = np.random.default_rng(2)
+        # Slots hold I + eps with small eps: eval_mod should return ~eps.
+        integer_part = rng.integers(-1, 2, size=params.slots).astype(float)
+        eps = 0.02 * rng.normal(size=params.slots)
+        ct = encryptor.encrypt(encoder.encode(integer_part + eps))
+        out = boot.eval_mod(ct)
+        got = encoder.decode(decryptor.decrypt(out)).real
+        assert np.abs(got - eps).max() < 5e-3
+
+
+class TestEndToEnd:
+    def test_bootstrap_refreshes_levels(self, boot_setup):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        rng = np.random.default_rng(3)
+        v = 0.3 * rng.normal(size=params.slots)
+        ct = encryptor.encrypt(encoder.encode(v, level=0))
+        refreshed = boot.bootstrap(ct)
+        assert refreshed.level > 0
+        got = encoder.decode(decryptor.decrypt(refreshed)).real
+        assert np.abs(got - v).max() < 0.05
+
+    def test_refreshed_ciphertext_is_usable(self, boot_setup):
+        """The whole point: multiply *after* bootstrapping."""
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        rng = np.random.default_rng(4)
+        v = 0.4 * rng.normal(size=params.slots)
+        ct = encryptor.encrypt(encoder.encode(v, level=0))
+        refreshed = boot.bootstrap(ct)
+        squared = evaluator.rescale(evaluator.square(refreshed))
+        got = encoder.decode(decryptor.decrypt(squared)).real
+        assert np.abs(got - v * v).max() < 0.05
+
+    def test_mod_raise_to_partial_level(self, boot_setup):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        ct = encryptor.encrypt(encoder.encode([0.25], level=0))
+        raised = boot.mod_raise(ct, target_level=6)
+        assert raised.level == 6

@@ -1,0 +1,119 @@
+"""Tests for the canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from .conftest import random_slots
+
+TOL = 1e-4  # scale 2^25 at N=32 gives ~1e-6 precision; leave margin
+
+
+class TestRoundtrip:
+    def test_complex_roundtrip(self, encoder, rng):
+        values = random_slots(rng, encoder.slots)
+        assert np.abs(encoder.decode(encoder.encode(values)) - values).max() < TOL
+
+    def test_real_roundtrip(self, encoder):
+        values = np.linspace(-2, 2, encoder.slots)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.abs(decoded.real - values).max() < TOL
+        assert np.abs(decoded.imag).max() < TOL
+
+    def test_short_vector_padded(self, encoder):
+        decoded = encoder.decode(encoder.encode([1.0, 2.0]))
+        assert np.abs(decoded[0] - 1.0) < TOL
+        assert np.abs(decoded[1] - 2.0) < TOL
+        assert np.abs(decoded[2:]).max() < TOL
+
+    def test_scalar_broadcast(self, encoder):
+        decoded = encoder.decode(encoder.encode_constant(0.75))
+        assert np.abs(decoded - 0.75).max() < TOL
+
+    def test_encode_at_level(self, encoder):
+        pt = encoder.encode([1.0], level=2)
+        assert pt.level == 2
+
+    def test_too_many_values_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones(encoder.slots + 1))
+
+
+class TestEmbeddingProperties:
+    def test_encode_is_linear(self, encoder, rng):
+        a = random_slots(rng, encoder.slots)
+        b = random_slots(rng, encoder.slots)
+        ca = encoder.embed(a)
+        cb = encoder.embed(b)
+        cab = encoder.embed(a + b)
+        # rounding makes this approximate: each coeff differs by <= 1.5
+        assert np.abs((ca + cb - cab).astype(np.float64)).max() <= 2
+
+    def test_coefficients_are_integers(self, encoder, rng):
+        coeffs = encoder.embed(random_slots(rng, encoder.slots))
+        assert all(isinstance(int(c), int) for c in coeffs)
+
+    def test_conjugate_symmetry_gives_real_poly(self, encoder, rng):
+        """Real coefficient vectors are exactly what embed produces."""
+        values = random_slots(rng, encoder.slots)
+        coeffs = encoder.embed(values)
+        # project with no rounding error on the already-rounded coeffs
+        back = encoder.project(coeffs, encoder.params.scale)
+        # projecting real integer coeffs must keep conjugate pairs consistent
+        assert np.abs(back - values).max() < TOL
+
+    def test_slot_bins_are_a_permutation(self, encoder):
+        slot_bins, conj_bins = encoder._slot_bins()
+        combined = np.concatenate([slot_bins, conj_bins])
+        assert sorted(combined) == list(range(encoder.degree))
+
+    def test_multiplication_in_slots(self, encoder, rng):
+        """Negacyclic poly product == slot-wise product (the CKKS identity)."""
+        from repro.math.polynomial import RnsPolynomial
+
+        a = random_slots(rng, encoder.slots)
+        b = random_slots(rng, encoder.slots)
+        pa = encoder.encode(a)
+        pb = encoder.encode(b)
+        product_poly = pa.poly.multiply(pb.poly).from_ntt()
+        from repro.ckks.encoder import Plaintext
+
+        product = Plaintext(product_poly, pa.scale * pb.scale)
+        assert np.abs(encoder.decode(product) - a * b).max() < 1e-3
+
+    def test_rotation_in_slots(self, encoder, rng):
+        """Applying tau_{5} to the polynomial rotates the slot vector."""
+        from repro.ckks.encoder import Plaintext
+        from repro.ckks.keys import rotation_galois_power
+
+        values = random_slots(rng, encoder.slots)
+        pt = encoder.encode(values)
+        power = rotation_galois_power(1, encoder.degree)
+        rotated = Plaintext(pt.poly.automorphism(power), pt.scale)
+        assert np.abs(encoder.decode(rotated) - np.roll(values, -1)).max() < TOL
+
+    def test_conjugation_in_slots(self, encoder, rng):
+        from repro.ckks.encoder import Plaintext
+        from repro.ckks.keys import conjugation_galois_power
+
+        values = random_slots(rng, encoder.slots)
+        pt = encoder.encode(values)
+        conj = Plaintext(
+            pt.poly.automorphism(conjugation_galois_power(encoder.degree)), pt.scale
+        )
+        assert np.abs(encoder.decode(conj) - np.conj(values)).max() < TOL
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=-100, max_value=100), st.floats(min_value=-100, max_value=100))
+def test_property_single_slot_value(real, imag):
+    """Any bounded complex scalar encodes and decodes accurately."""
+    import numpy as np
+
+    from repro.ckks import CkksEncoder, small_test_parameters
+
+    params = small_test_parameters(degree=32, max_level=2, wordsize=25, dnum=1)
+    encoder = CkksEncoder(params)
+    value = complex(real, imag)
+    decoded = encoder.decode(encoder.encode([value]))
+    assert abs(decoded[0] - value) < 1e-3 * max(1.0, abs(value))

@@ -1,0 +1,116 @@
+"""Tests for key generation, encryption and decryption."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import Encryptor
+from repro.ckks.keys import rotation_galois_power
+
+from .conftest import random_slots
+
+TOL = 1e-3
+
+
+class TestKeyGeneration:
+    def test_secret_is_ternary(self, keyset):
+        coeffs = keyset["secret"].coeffs
+        assert set(int(c) for c in coeffs) <= {-1, 0, 1}
+
+    def test_public_key_residual_is_small(self, params, keyset):
+        """b + a*s must equal the small error e."""
+        basis = params.q_basis(params.max_level)
+        s = keyset["secret"].poly(basis)
+        pk = keyset["public"]
+        residual = pk.b.add(pk.a.multiply(s).from_ntt()).to_int_coeffs()
+        assert max(abs(int(c)) for c in residual) < 8 * params.error_std * 10
+
+    def test_relin_key_digit_count(self, params, keyset):
+        assert keyset["relin"].dnum == params.dnum
+
+    def test_galois_keys_membership(self, params, keyset):
+        power = rotation_galois_power(1, params.degree)
+        assert power in keyset["galois"]
+        with pytest.raises(KeyError):
+            keyset["galois"].get(9999)
+
+    def test_keyswitch_key_identity(self, params, keyset):
+        """b_j + a_j*s ~ P * W_j * s'  (small error) for every digit."""
+        from repro.math import modarith
+
+        pq = params.pq_basis(params.max_level)
+        s = keyset["secret"].poly(pq)
+        s_sq_coeffs = s.multiply(s).from_ntt().to_int_coeffs()
+        for j, (b_j, a_j) in enumerate(keyset["relin"].pairs):
+            residual = b_j.add(a_j.multiply(s).from_ntt())
+            # subtract P * W_j * s^2
+            from repro.ckks.keys import KeyGenerator
+            from repro.math.polynomial import RnsPolynomial
+
+            gen = KeyGenerator(params, seed=0)
+            w = gen._gadget_factor(j, params.max_level)
+            expected = RnsPolynomial.from_int_coeffs(
+                s_sq_coeffs, params.degree, pq
+            ).multiply_scalar(params.special_product * w)
+            error = residual.sub(expected).to_int_coeffs()
+            assert max(abs(int(c)) for c in error) < 8 * params.error_std * 10
+
+
+class TestEncryptDecrypt:
+    def test_public_roundtrip(self, encoder, encryptor, decryptor, rng):
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values))
+        assert np.abs(encoder.decode(decryptor.decrypt(ct)) - values).max() < TOL
+
+    def test_symmetric_roundtrip(self, params, keyset, encoder, decryptor, rng):
+        sym = Encryptor(params, secret_key=keyset["secret"], seed=3)
+        values = random_slots(rng, encoder.slots)
+        ct = sym.encrypt(encoder.encode(values))
+        assert np.abs(encoder.decode(decryptor.decrypt(ct)) - values).max() < TOL
+
+    def test_encrypt_at_lower_level(self, encoder, encryptor, decryptor, rng):
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values, level=2))
+        assert ct.level == 2
+        assert np.abs(encoder.decode(decryptor.decrypt(ct)) - values).max() < TOL
+
+    def test_fresh_ciphertexts_differ(self, encoder, encryptor):
+        pt = encoder.encode([1.0])
+        ct1 = encryptor.encrypt(pt)
+        ct2 = encryptor.encrypt(pt)
+        assert (ct1.c1.limbs[0] != ct2.c1.limbs[0]).any()
+
+    def test_encryptor_requires_a_key(self, params):
+        with pytest.raises(ValueError):
+            Encryptor(params)
+
+    def test_ciphertext_metadata(self, params, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        assert ct.level == params.max_level
+        assert ct.degree == params.degree
+        assert ct.is_relinearised
+        assert "Ciphertext" in repr(ct)
+
+    def test_copy_is_deep(self, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        dup = ct.copy()
+        dup.c0.limbs[0][0] = (int(dup.c0.limbs[0][0]) + 1) % int(
+            dup.c0.basis.moduli[0]
+        )
+        assert int(dup.c0.limbs[0][0]) != int(ct.c0.limbs[0][0])
+
+    def test_mismatched_component_bases_rejected(self, params, encoder, encryptor):
+        from repro.ckks.ciphertext import Ciphertext
+
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        with pytest.raises(ValueError):
+            Ciphertext(ct.c0, ct.c1.keep_limbs(2), ct.scale, params)
+
+    def test_wrong_key_fails_to_decrypt(self, params, encoder, encryptor, rng):
+        from repro.ckks import Decryptor, KeyGenerator
+
+        other = KeyGenerator(params, seed=999).secret_key()
+        wrong = Decryptor(params, other)
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values))
+        garbage = encoder.decode(wrong.decrypt(ct))
+        assert np.abs(garbage - values).max() > 1.0

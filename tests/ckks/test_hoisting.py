@@ -1,0 +1,80 @@
+"""Tests for hoisted rotations."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.hoisting import (
+    HoistedRotator,
+    hoisted_rotations,
+    hoisting_modup_savings,
+)
+
+from .conftest import random_slots
+
+STEPS = [1, 2, 3, 4]
+
+
+@pytest.fixture()
+def encrypted(encoder, encryptor, rng):
+    values = random_slots(rng, encoder.slots)
+    return values, encryptor.encrypt(encoder.encode(values))
+
+
+class TestHoistedRotations:
+    def test_matches_plain_rotation_values(
+        self, params, keyset, encoder, decryptor, encrypted
+    ):
+        values, ct = encrypted
+        rotated = hoisted_rotations(ct, STEPS, keyset["galois"], params)
+        for step, out in rotated.items():
+            got = encoder.decode(decryptor.decrypt(out))
+            assert np.abs(got - np.roll(values, -step)).max() < 1e-3, step
+
+    def test_matches_evaluator_rotate(
+        self, params, keyset, encoder, decryptor, evaluator, encrypted
+    ):
+        values, ct = encrypted
+        hoisted = hoisted_rotations(ct, [2], keyset["galois"], params)[2]
+        naive = evaluator.rotate(ct, 2)
+        got_h = encoder.decode(decryptor.decrypt(hoisted))
+        got_n = encoder.decode(decryptor.decrypt(naive))
+        assert np.abs(got_h - got_n).max() < 1e-3
+
+    def test_modup_happens_once(self, params, encrypted, keyset):
+        _, ct = encrypted
+        rotator = HoistedRotator(ct, params)
+        raised_before = [r.limb_stack().copy() for r in rotator.raised]
+        rotator.rotate_many(STEPS, keyset["galois"])
+        # The shared raised digits are never mutated by rotations.
+        for before, poly in zip(raised_before, rotator.raised):
+            assert (before == poly.limb_stack()).all()
+
+    def test_digit_count(self, params, encrypted):
+        _, ct = encrypted
+        rotator = HoistedRotator(ct, params)
+        assert len(rotator.raised) == params.beta(ct.level)
+
+    def test_rejects_unrelinearised(self, params, evaluator, encrypted):
+        _, ct = encrypted
+        raw = evaluator.multiply(ct, ct, relinearise=False)
+        with pytest.raises(ValueError):
+            HoistedRotator(raw, params)
+
+    def test_works_at_lower_level(
+        self, params, keyset, encoder, decryptor, evaluator, encrypted
+    ):
+        values, ct = encrypted
+        low = evaluator.mod_switch_to_level(ct, 2)
+        out = hoisted_rotations(low, [1], keyset["galois"], params)[1]
+        got = encoder.decode(decryptor.decrypt(out))
+        assert np.abs(got - np.roll(values, -1)).max() < 1e-3
+
+
+class TestSavings:
+    def test_savings_formula(self):
+        assert hoisting_modup_savings(beta=3, rotations=1) == 0.0
+        assert hoisting_modup_savings(beta=3, rotations=4) == pytest.approx(0.75)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hoisting_modup_savings(3, 0)

@@ -1,0 +1,162 @@
+"""Direct tests of the Hybrid and KLSS key-switching pipelines (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keyswitch import hybrid, klss
+from repro.math.polynomial import RnsPolynomial
+from repro.math.rns import RnsBasis
+
+
+@pytest.fixture()
+def random_ring_element(params, rng):
+    coeffs = rng.integers(-(2**20), 2**20, size=params.degree).astype(object)
+    return RnsPolynomial.from_int_coeffs(
+        coeffs, params.degree, params.q_basis(params.max_level)
+    )
+
+
+class TestDigitDecomposition:
+    def test_digit_count_and_bases(self, params, random_ring_element):
+        digits = hybrid.decompose_digits(random_ring_element, params)
+        level = params.max_level
+        assert len(digits) == params.beta(level)
+        for j, digit in enumerate(digits):
+            start, stop = params.digit_range(j, level)
+            assert digit.basis.moduli == params.moduli[start:stop]
+
+    def test_digits_are_residues(self, params, random_ring_element):
+        """Digit j's limbs are exactly the input's limbs of group j."""
+        digits = hybrid.decompose_digits(random_ring_element, params)
+        for j, digit in enumerate(digits):
+            start, stop = params.digit_range(j, params.max_level)
+            for limb, orig in zip(digit.limbs, random_ring_element.limbs[start:stop]):
+                assert (limb == orig).all()
+
+
+class TestModUpDown:
+    def test_mod_up_value(self, params, random_ring_element):
+        """Mod Up represents digit + u*Q_j for 0 <= u <= alpha."""
+        level = params.max_level
+        digits = hybrid.decompose_digits(random_ring_element, params)
+        digit = digits[0]
+        raised = hybrid.mod_up(digit, 0, params, level)
+        group_product = digit.basis.product
+        raised_values = raised.basis.compose(raised.limbs)
+        digit_values = digit.basis.compose(digit.limbs)
+        for got, want in zip(raised_values, digit_values):
+            u, rem = divmod(int(got) - int(want), group_product)
+            assert rem == 0 and 0 <= u <= params.alpha
+
+    def test_mod_down_divides_by_p(self, params, rng):
+        """ModDown(P * x) == x (up to rounding)."""
+        level = params.max_level
+        pq = params.pq_basis(level)
+        coeffs = rng.integers(-(2**20), 2**20, size=params.degree).astype(object)
+        x = RnsPolynomial.from_int_coeffs(coeffs, params.degree, pq)
+        scaled = x.multiply_scalar(params.special_product)
+        down = hybrid.mod_down(scaled, params, level)
+        recovered = down.to_int_coeffs()
+        assert (np.abs((recovered - coeffs).astype(np.int64)) <= params.alpha + 1).all()
+
+    def test_restrict_to_pq(self, params, keyset):
+        level = 2
+        b, _ = keyset["relin"].pairs[0]
+        restricted = hybrid.restrict_to_pq(b, params, level)
+        assert restricted.basis.moduli == params.pq_basis(level).moduli
+
+
+class TestHybridKeyswitch:
+    def test_keyswitch_identity(self, params, keyset, random_ring_element):
+        """p0 + p1*s ~ d * s**2 (key-switching correctness for the relin key)."""
+        basis = params.q_basis(params.max_level)
+        s = keyset["secret"].poly(basis)
+        s_sq = s.multiply(s).from_ntt()
+        d = random_ring_element
+        p0, p1 = hybrid.keyswitch(d, keyset["relin"], params)
+        got = p0.add(p1.multiply(s).from_ntt()).to_int_coeffs()
+        want = d.multiply(s_sq).from_ntt().to_int_coeffs()
+        # noise bound: keyswitch noise is a few bits above the error std
+        noise = np.abs((got - want).astype(np.float64)).max()
+        assert noise < 2**14, f"keyswitch noise too large: {noise}"
+
+    def test_keyswitch_at_lower_level(self, params, keyset, rng):
+        level = 2
+        coeffs = rng.integers(-(2**20), 2**20, size=params.degree).astype(object)
+        d = RnsPolynomial.from_int_coeffs(coeffs, params.degree, params.q_basis(level))
+        basis = params.q_basis(level)
+        s = keyset["secret"].poly(basis)
+        s_sq = s.multiply(s).from_ntt()
+        p0, p1 = hybrid.keyswitch(d, keyset["relin"], params)
+        got = p0.add(p1.multiply(s).from_ntt()).to_int_coeffs()
+        want = d.multiply(s_sq).from_ntt().to_int_coeffs()
+        assert np.abs((got - want).astype(np.float64)).max() < 2**14
+
+
+class TestKlssKeyswitch:
+    def test_klss_matches_hybrid_closely(self, params, keyset, random_ring_element):
+        """Both pipelines produce the same switch up to their small noises."""
+        d = random_ring_element
+        h0, h1 = hybrid.keyswitch(d, keyset["relin"], params)
+        k0, k1 = klss.keyswitch(d, keyset["relin"], params)
+        basis = params.q_basis(params.max_level)
+        s = keyset["secret"].poly(basis)
+        hy = h0.add(h1.multiply(s).from_ntt()).to_int_coeffs()
+        kl = k0.add(k1.multiply(s).from_ntt()).to_int_coeffs()
+        assert np.abs((hy - kl).astype(np.float64)).max() < 2**14
+
+    def test_klss_identity(self, params, keyset, random_ring_element):
+        d = random_ring_element
+        basis = params.q_basis(params.max_level)
+        s = keyset["secret"].poly(basis)
+        s_sq = s.multiply(s).from_ntt()
+        p0, p1 = klss.keyswitch(d, keyset["relin"], params)
+        got = p0.add(p1.multiply(s).from_ntt()).to_int_coeffs()
+        want = d.multiply(s_sq).from_ntt().to_int_coeffs()
+        assert np.abs((got - want).astype(np.float64)).max() < 2**14
+
+    def test_decomposed_key_is_cached(self, params, keyset):
+        key1 = klss.decompose_key(keyset["relin"], params, params.max_level)
+        key2 = klss.decompose_key(keyset["relin"], params, params.max_level)
+        assert key1 is key2
+
+    def test_decomposition_shape(self, params, keyset):
+        level = params.max_level
+        alpha_prime, beta, beta_tilde = params.klss_dims(level)
+        key = klss.decompose_key(keyset["relin"], params, level)
+        assert key.beta_tilde == beta_tilde
+        assert len(key.digit_pairs[0]) == beta
+        assert len(key.t_basis) == alpha_prime
+
+    def test_gadget_identity(self, params, keyset):
+        """sum_i digit_i * G_hat_i == v (mod PQ) for the decomposed key."""
+        level = params.max_level
+        key = klss.decompose_key(keyset["relin"], params, level)
+        pq = params.pq_basis(level)
+        b_orig = hybrid.restrict_to_pq(keyset["relin"].pairs[0][0], params, level)
+        want = pq.compose(b_orig.limbs)
+        total = np.zeros(params.degree, dtype=object)
+        for i, g_hat in enumerate(key.gadget_factors):
+            digit_poly = key.digit_pairs[i][0][0].from_ntt()
+            digit_value = key.t_basis.compose(digit_poly.limbs)
+            total += digit_value * g_hat
+        assert ((total - want) % pq.product == 0).all()
+
+    def test_bound_violation_detected(self, params, keyset):
+        """A deliberately tiny T must trip the Eq. 4 guard."""
+        from repro.math.rns import RnsBasis as RB
+
+        tiny = RB(params.aux_primes[:1])
+        with pytest.raises(klss.KlssBoundError):
+            klss._check_ip_bound(params, params.max_level, tiny)
+
+    def test_requires_klss_config(self, keyset, random_ring_element):
+        from repro.ckks import small_test_parameters
+
+        plain = small_test_parameters(degree=32, max_level=5, wordsize=25, dnum=3)
+        with pytest.raises(ValueError):
+            klss.decompose_key(keyset["relin"], plain, 5)
+
+    def test_limb_groups(self):
+        assert klss._limb_groups(7, 3) == [(0, 3), (3, 6), (6, 7)]
+        assert klss._limb_groups(4, 2) == [(0, 2), (2, 4)]

@@ -1,0 +1,114 @@
+"""Tests for noise measurement and the analytic noise estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import (
+    NoiseEstimator,
+    exact_decrypt_poly,
+    measure_noise_bits,
+    remaining_budget_bits,
+)
+
+from .conftest import random_slots
+
+
+@pytest.fixture()
+def fresh_pair(params, encoder, encryptor, rng):
+    values = random_slots(rng, encoder.slots)
+    pt = encoder.encode(values)
+    return values, pt, encryptor.encrypt(pt)
+
+
+class TestMeasurement:
+    def test_fresh_noise_is_small(self, keyset, fresh_pair):
+        _, pt, ct = fresh_pair
+        bits = measure_noise_bits(ct, keyset["secret"], pt)
+        # sigma = 3.2, N = 32: fresh noise lives well below 2^15.
+        assert bits < 15
+
+    def test_noise_grows_with_operations(self, keyset, encoder, evaluator, fresh_pair):
+        values, pt, ct = fresh_pair
+        fresh_bits = measure_noise_bits(ct, keyset["secret"], pt)
+        doubled = evaluator.add(ct, ct)
+        pt2 = encoder.encode(2 * values)
+        assert measure_noise_bits(doubled, keyset["secret"], pt2) >= fresh_bits - 1
+
+    def test_exact_decrypt_poly_matches_plaintext(self, keyset, fresh_pair):
+        _, pt, ct = fresh_pair
+        got = exact_decrypt_poly(ct, keyset["secret"])
+        diff = np.abs((got - pt.poly.to_int_coeffs()).astype(np.float64))
+        assert diff.max() < 2**15
+
+    def test_budget_positive_for_fresh(self, keyset, fresh_pair):
+        _, pt, ct = fresh_pair
+        bits = measure_noise_bits(ct, keyset["secret"], pt)
+        assert remaining_budget_bits(ct, bits) > 20
+
+    def test_budget_shrinks_with_level(self, keyset, encoder, encryptor, evaluator, rng):
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values))
+        high = remaining_budget_bits(ct, 10)
+        low = remaining_budget_bits(evaluator.mod_switch_to_level(ct, 1), 10)
+        assert low < high
+
+
+class TestEstimator:
+    def test_fresh_estimate_upper_bounds_measurement(
+        self, params, keyset, fresh_pair
+    ):
+        _, pt, ct = fresh_pair
+        estimator = NoiseEstimator(params)
+        assert estimator.fresh().bits >= measure_noise_bits(
+            ct, keyset["secret"], pt
+        )
+
+    def test_add_estimate_upper_bounds_measurement(
+        self, params, keyset, encoder, evaluator, encryptor, rng
+    ):
+        estimator = NoiseEstimator(params)
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values))
+        est = estimator.fresh()
+        total = ct
+        acc_values = values.copy()
+        for _ in range(3):
+            total = evaluator.add(total, ct)
+            acc_values = acc_values + values
+            est = estimator.after_add(est, estimator.fresh())
+        measured = measure_noise_bits(
+            total, keyset["secret"], encoder.encode(acc_values)
+        )
+        assert est.bits >= measured
+
+    def test_multiply_estimate_upper_bounds_measurement(
+        self, params, keyset, encoder, evaluator, encryptor, rng
+    ):
+        estimator = NoiseEstimator(params)
+        values = random_slots(rng, encoder.slots, scale=0.5)
+        ct = encryptor.encrypt(encoder.encode(values))
+        prod = evaluator.rescale(evaluator.multiply(ct, ct))
+        est = estimator.after_rescale(
+            estimator.after_keyswitch(
+                estimator.after_multiply(estimator.fresh(), estimator.fresh()),
+                params.max_level,
+            ),
+            params.moduli[params.max_level],
+        )
+        ref = encoder.encode(values * values, level=prod.level, scale=prod.scale)
+        measured = measure_noise_bits(prod, keyset["secret"], ref)
+        assert est.bits >= measured
+
+    def test_depth_budget_positive(self, params):
+        assert NoiseEstimator(params).multiplication_depth_budget() >= 1
+
+    def test_depth_budget_bounded_by_levels(self, params):
+        assert (
+            NoiseEstimator(params).multiplication_depth_budget()
+            <= params.max_level
+        )
+
+    def test_estimate_repr(self, params):
+        assert "bits" in repr(NoiseEstimator(params).fresh())

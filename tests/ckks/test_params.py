@@ -1,0 +1,127 @@
+"""Tests for CKKS parameter sets, Table 4 and KLSS parameter derivation."""
+
+import pytest
+
+from repro.ckks import params as P
+
+
+class TestTable4:
+    def test_all_eight_sets_present(self):
+        assert sorted(P.TABLE4) == list("ABCDEFGH")
+
+    def test_set_lookup(self):
+        assert P.get_set("c").name == "C"
+        with pytest.raises(ValueError):
+            P.get_set("Z")
+
+    def test_paper_column_values(self):
+        c = P.get_set("C")
+        assert (c.log_degree, c.max_level, c.wordsize, c.dnum) == (16, 35, 36, 9)
+        assert c.klss.wordsize_t == 48 and c.klss.alpha_tilde == 5
+        g = P.get_set("G")
+        assert (g.max_level, g.dnum) == (23, 6)
+        h = P.get_set("H")
+        assert (h.wordsize, h.dnum, h.security) == (60, 45, 98)
+
+    def test_keyswitch_method_tagging(self):
+        assert P.get_set("A").keyswitch == "hybrid"
+        assert P.get_set("C").keyswitch == "klss"
+        assert P.get_set("D").keyswitch == "klss"
+        assert P.get_set("E").keyswitch == "hybrid"
+
+    def test_alpha_beta_table1_formulas(self):
+        c = P.get_set("C")
+        assert c.alpha == P.ceil_div(36, 9) == 4
+        assert c.beta(35) == P.ceil_div(36, 4) == 9
+        assert c.beta(7) == 2
+
+    def test_set_c_klss_dims_match_paper_defaults(self):
+        """Fig. 11 uses alpha=4, alpha'=8 as 'default parameters'."""
+        c = P.get_set("C")
+        alpha_prime, beta, beta_tilde = c.klss_dims(35)
+        assert c.alpha == 4
+        assert alpha_prime == 8
+        assert beta == 9
+        assert beta_tilde == 8  # ceil((35 + 4 + 1) / 5)
+
+    def test_klss_dims_need_config(self):
+        with pytest.raises(ValueError):
+            P.get_set("A").klss_dims(35)
+
+    def test_wordsize_t_tradeoff_direction(self):
+        """Larger WordSize_T -> smaller alpha' (Section 3.2)."""
+        dims = {}
+        for wst in (36, 48, 64):
+            cfg = P.KlssConfig(wordsize_t=wst, alpha_tilde=5)
+            dims[wst] = cfg.alpha_prime(35, alpha=4, wordsize=36, log_degree=16)
+        assert dims[36] > dims[48] > dims[64]
+
+
+class TestKlssConfig:
+    def test_beta_tilde_formula(self):
+        cfg = P.KlssConfig(wordsize_t=48, alpha_tilde=5)
+        assert cfg.beta_tilde(35, alpha=4) == 8
+        assert cfg.beta_tilde(9, alpha=4) == 3
+
+    def test_alpha_prime_grows_with_level(self):
+        cfg = P.KlssConfig(wordsize_t=48, alpha_tilde=5)
+        low = cfg.alpha_prime(5, alpha=4, wordsize=36, log_degree=16)
+        high = cfg.alpha_prime(35, alpha=4, wordsize=36, log_degree=16)
+        assert high >= low
+
+
+class TestCkksParameters:
+    def test_chain_construction(self, params):
+        assert len(params.moduli) == params.max_level + 1
+        assert len(params.special_primes) == params.alpha
+        assert len(set(params.moduli) | set(params.special_primes)) == len(
+            params.moduli
+        ) + len(params.special_primes)
+
+    def test_primes_are_ntt_friendly(self, params):
+        for q in params.moduli + params.special_primes + params.aux_primes:
+            assert q % (2 * params.degree) == 1
+
+    def test_bases(self, params):
+        q2 = params.q_basis(2)
+        assert q2.moduli == params.moduli[:3]
+        pq2 = params.pq_basis(2)
+        assert pq2.moduli == params.moduli[:3] + params.special_primes
+        assert params.q_basis(2) is params.q_basis(2)  # cached
+
+    def test_level_bounds_checked(self, params):
+        with pytest.raises(ValueError):
+            params.q_basis(params.max_level + 1)
+        with pytest.raises(ValueError):
+            params.q_basis(-1)
+
+    def test_digit_ranges_cover_chain(self, params):
+        level = params.max_level
+        covered = []
+        for j in range(params.beta(level)):
+            start, stop = params.digit_range(j, level)
+            covered.extend(range(start, stop))
+        assert covered == list(range(level + 1))
+
+    def test_digit_range_empty_rejected(self, params):
+        with pytest.raises(ValueError):
+            params.digit_range(params.beta(2), 2)
+
+    def test_klss_dims_functional(self, params):
+        alpha_prime, beta, beta_tilde = params.klss_dims(params.max_level)
+        assert alpha_prime <= len(params.aux_primes)
+        assert beta == params.beta(params.max_level)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            P.CkksParameters(degree=33, max_level=3, wordsize=25, dnum=1)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            P.CkksParameters(degree=32, max_level=0, wordsize=25, dnum=1)
+
+    def test_slots(self, params):
+        assert params.slots == params.degree // 2
+
+    def test_repr_mentions_method(self, params):
+        assert "klss" in repr(params)

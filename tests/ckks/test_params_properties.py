@@ -1,0 +1,81 @@
+"""Property-based tests on the parameter machinery (Table 1 identities)."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks.params import KlssConfig, ParameterSet, ceil_div, get_set
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    max_level=st.integers(min_value=1, max_value=60),
+    dnum=st.integers(min_value=1, max_value=60),
+)
+def test_property_alpha_beta_cover_the_chain(max_level, dnum):
+    """alpha digits of size beta always cover exactly the l+1 limbs."""
+    params = ParameterSet("X", 16, max_level, 36, dnum=dnum, security=128)
+    alpha = params.alpha
+    for level in range(max_level + 1):
+        beta = params.beta(level)
+        assert (beta - 1) * alpha < level + 1 <= beta * alpha
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    level=st.integers(min_value=1, max_value=35),
+    alpha_tilde=st.integers(min_value=2, max_value=10),
+    wordsize_t=st.integers(min_value=30, max_value=64),
+)
+def test_property_klss_dims_satisfy_eq4(level, alpha_tilde, wordsize_t):
+    """alpha' always satisfies the Eq. 4 bit bound it was derived from."""
+    cfg = KlssConfig(wordsize_t=wordsize_t, alpha_tilde=alpha_tilde)
+    alpha = 4
+    alpha_prime = cfg.alpha_prime(level, alpha, wordsize=36, log_degree=16)
+    assert alpha_prime >= 1
+    # One fewer limb must violate the bound (minimality).
+    import math
+
+    beta = ceil_div(level + 1, alpha)
+    bound_bits = (
+        1 + math.ceil(math.log2(max(beta, 1))) + 1 + 16
+        + 36 * alpha + 8 + math.ceil(math.log2(alpha + 1))
+        + (36 + 1) * alpha_tilde
+    )
+    assert alpha_prime * wordsize_t >= bound_bits
+    assert (alpha_prime - 1) * wordsize_t < bound_bits
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    level=st.integers(min_value=1, max_value=35),
+    alpha_tilde=st.integers(min_value=2, max_value=10),
+)
+def test_property_beta_tilde_monotone_in_level(level, alpha_tilde):
+    cfg = KlssConfig(wordsize_t=48, alpha_tilde=alpha_tilde)
+    assert cfg.beta_tilde(level, 4) <= cfg.beta_tilde(level + 1, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wst_small=st.integers(min_value=30, max_value=47))
+def test_property_larger_wordsize_t_never_more_limbs(wst_small):
+    """Section 3.2: larger WordSize_T -> alpha' can only shrink."""
+    small = KlssConfig(wordsize_t=wst_small, alpha_tilde=5)
+    large = KlssConfig(wordsize_t=wst_small + 8, alpha_tilde=5)
+    assert large.alpha_prime(35, 4, 36, 16) <= small.alpha_prime(35, 4, 36, 16)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dnum=st.integers(min_value=1, max_value=36))
+def test_property_digit_ranges_partition(dnum):
+    params = dataclasses.replace(get_set("B"), dnum=dnum)
+    # Analytic set: emulate digit ranges from alpha/beta.
+    level = params.max_level
+    alpha = params.alpha
+    covered = []
+    for j in range(params.beta(level)):
+        start = j * alpha
+        stop = min(start + alpha, level + 1)
+        assert start < stop
+        covered.extend(range(start, stop))
+    assert covered == list(range(level + 1))

@@ -1,0 +1,141 @@
+"""Tests for homomorphic polynomial evaluation (Paterson-Stockmeyer)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    small_test_parameters,
+)
+from repro.ckks.poly_eval import (
+    PolynomialEvaluator,
+    _power_plan,
+    chebyshev_coefficients,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = small_test_parameters(degree=32, max_level=10, wordsize=25, dnum=5)
+    gen = KeyGenerator(params, seed=77)
+    sk = gen.secret_key()
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(sk), seed=8)
+    decryptor = Decryptor(params, sk)
+    evaluator = Evaluator(params, relin_key=gen.relinearisation_key(sk))
+    return params, encoder, encryptor, decryptor, PolynomialEvaluator(encoder, evaluator)
+
+
+def _roundtrip(setup, coeffs, x):
+    params, encoder, encryptor, decryptor, pe = setup
+    ct = encryptor.encrypt(encoder.encode(x))
+    out = pe.evaluate(ct, coeffs)
+    return encoder.decode(decryptor.decrypt(out)).real, out
+
+
+class TestPowerPlan:
+    def test_every_power_buildable(self):
+        plan = _power_plan(16)
+        available = {1}
+        for p in sorted(plan):
+            a, b = plan[p]
+            assert a in available and b in available
+            assert a + b == p
+            available.add(p)
+
+    def test_power_of_two_splits_evenly(self):
+        assert _power_plan(8)[8] == (4, 4)
+
+
+class TestPowers:
+    def test_power_values(self, setup):
+        params, encoder, encryptor, decryptor, pe = setup
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=params.slots)
+        table = pe.powers(encryptor.encrypt(encoder.encode(x)), 8)
+        for p, ct in table.items():
+            got = encoder.decode(decryptor.decrypt(ct)).real
+            assert np.abs(got - x**p).max() < 1e-2, f"x^{p}"
+
+    def test_log_depth(self, setup):
+        params, encoder, encryptor, _, pe = setup
+        ct = encryptor.encrypt(encoder.encode([0.5]))
+        table = pe.powers(ct, 16)
+        # x^16 needs only 4 levels, not 15.
+        assert table[16].level >= ct.level - 4
+
+    def test_invalid_max_power(self, setup):
+        *_, pe = setup
+        with pytest.raises(ValueError):
+            pe.powers(None, 0)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "coeffs",
+        [
+            [1.0],  # constant
+            [0.0, 1.0],  # identity
+            [0.5, -1.0, 0.25],  # quadratic
+            [0.3, -1.2, 0.0, 0.5, 0.25, -0.1],  # degree 5 with a zero
+            np.linspace(0.2, -0.2, 9),  # degree 8
+        ],
+    )
+    def test_matches_numpy_polyval(self, setup, coeffs):
+        rng = np.random.default_rng(42)
+        x = rng.uniform(-1, 1, size=16)
+        got, _ = _roundtrip(setup, coeffs, x)
+        want = np.polyval(np.asarray(coeffs)[::-1], x)
+        assert np.abs(got - want).max() < 5e-3
+
+    def test_degree_15(self, setup):
+        rng = np.random.default_rng(3)
+        coeffs = rng.uniform(-0.5, 0.5, size=16)
+        x = rng.uniform(-1, 1, size=16)
+        got, out = _roundtrip(setup, coeffs, x)
+        want = np.polyval(coeffs[::-1], x)
+        assert np.abs(got - want).max() < 2e-2
+        assert out.level >= 1
+
+    def test_trailing_zeros_trimmed(self, setup):
+        x = np.full(16, 0.5)
+        got, _ = _roundtrip(setup, [0.25, 0.5, 0.0, 0.0], x)
+        assert np.abs(got - 0.5).max() < 1e-3
+
+    def test_numerically_zero_becomes_constant_zero(self, setup):
+        """Trailing near-zero coefficients trim down to the constant term."""
+        params, encoder, encryptor, decryptor, pe = setup
+        ct = encryptor.encrypt(encoder.encode(np.full(16, 0.7)))
+        out = pe.evaluate(ct, [0.0, 1e-15])
+        got = encoder.decode(decryptor.decrypt(out)).real
+        assert np.abs(got).max() < 1e-3
+
+
+class TestChebyshev:
+    def test_sine_fit_accuracy(self):
+        coeffs = chebyshev_coefficients(
+            lambda u: np.sin(2 * np.pi * u) / (2 * np.pi), 15, 1.5
+        )
+        u = np.linspace(-1.5, 1.5, 101)
+        fit = np.polyval(coeffs[::-1], u)
+        want = np.sin(2 * np.pi * u) / (2 * np.pi)
+        assert np.abs(fit - want).max() < 1e-3
+
+    def test_polynomial_identity(self):
+        """Fitting a polynomial recovers it."""
+        coeffs = chebyshev_coefficients(lambda x: 1 + 2 * x + 3 * x**2, 2, 2.0)
+        assert np.allclose(coeffs, [1, 2, 3], atol=1e-8)
+
+    def test_homomorphic_sine(self, setup):
+        coeffs = chebyshev_coefficients(
+            lambda u: np.sin(2 * np.pi * u) / (2 * np.pi), 15, 1.5
+        )
+        rng = np.random.default_rng(5)
+        u = rng.uniform(-1.5, 1.5, size=16)
+        got, _ = _roundtrip(setup, coeffs, u)
+        want = np.sin(2 * np.pi * u) / (2 * np.pi)
+        assert np.abs(got - want).max() < 3e-2

@@ -1,0 +1,131 @@
+"""Property test: random homomorphic circuits match plaintext evaluation.
+
+Hypothesis draws small programs over {add, sub, pmult, hmult, rotate,
+negate}; the encrypted execution must track a plaintext simulator within
+CKKS noise for both key-switching back-ends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ckks import (
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    KlssConfig,
+    small_test_parameters,
+)
+
+PARAMS = small_test_parameters(
+    degree=32,
+    max_level=6,
+    wordsize=25,
+    dnum=3,
+    klss=KlssConfig(wordsize_t=28, alpha_tilde=2),
+)
+GEN = KeyGenerator(PARAMS, seed=2024)
+SECRET = GEN.secret_key()
+ENCODER = CkksEncoder(PARAMS)
+ENCRYPTOR = Encryptor(PARAMS, public_key=GEN.public_key(SECRET), seed=1)
+DECRYPTOR = Decryptor(PARAMS, SECRET)
+GALOIS = GEN.rotation_keys(SECRET, [1, 2, 3])
+RELIN = GEN.relinearisation_key(SECRET)
+
+EVALUATORS = {
+    method: Evaluator(PARAMS, relin_key=RELIN, galois_keys=GALOIS, method=method)
+    for method in ("hybrid", "klss")
+}
+
+#: op = (name, argument)
+OPS = st.sampled_from(
+    [
+        ("add", None),
+        ("sub", None),
+        ("negate", None),
+        ("pmult", None),
+        ("hmult", None),
+        ("rotate", 1),
+        ("rotate", 2),
+        ("rotate", 3),
+    ]
+)
+
+
+def _run_circuit(method, ops, base_values, other_values):
+    ev = EVALUATORS[method]
+    ct = ENCRYPTOR.encrypt(ENCODER.encode(base_values))
+    expected = base_values.copy()
+    multiplications = 0
+    for name, arg in ops:
+        if multiplications >= PARAMS.max_level - 1 and name in ("hmult", "pmult"):
+            continue  # out of levels; skip deeper multiplications
+        if name == "add":
+            other = ENCRYPTOR.encrypt(
+                ENCODER.encode(other_values, level=ct.level, scale=ct.scale)
+            )
+            ct = ev.add(ct, other)
+            expected = expected + other_values
+        elif name == "sub":
+            other = ENCRYPTOR.encrypt(
+                ENCODER.encode(other_values, level=ct.level, scale=ct.scale)
+            )
+            ct = ev.sub(ct, other)
+            expected = expected - other_values
+        elif name == "negate":
+            ct = ev.negate(ct)
+            expected = -expected
+        elif name == "pmult":
+            pt = ENCODER.encode(other_values, level=ct.level)
+            ct = ev.rescale(ev.multiply_plain(ct, pt))
+            expected = expected * other_values
+            multiplications += 1
+        elif name == "hmult":
+            other = ENCRYPTOR.encrypt(
+                ENCODER.encode(other_values, level=ct.level, scale=ct.scale)
+            )
+            ct = ev.rescale(ev.multiply(ct, other))
+            expected = expected * other_values
+            multiplications += 1
+        elif name == "rotate":
+            ct = ev.rotate(ct, arg)
+            expected = np.roll(expected, -arg)
+    return ENCODER.decode(DECRYPTOR.decrypt(ct)), expected
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(OPS, min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+    method=st.sampled_from(["hybrid", "klss"]),
+)
+def test_property_random_circuit_matches_plaintext(ops, seed, method):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-0.8, 0.8, size=PARAMS.slots)
+    other = rng.uniform(-0.8, 0.8, size=PARAMS.slots)
+    got, expected = _run_circuit(method, ops, base, other)
+    scale = max(1.0, float(np.abs(expected).max()))
+    assert np.abs(got - expected).max() < 2e-2 * scale, (
+        f"circuit {ops} diverged under {method}"
+    )
+
+
+def test_deep_multiplication_ladder_both_methods():
+    """Deterministic companion: use every level with alternating methods."""
+    rng = np.random.default_rng(7)
+    values = rng.uniform(-0.9, 0.9, size=PARAMS.slots)
+    for method in ("hybrid", "klss"):
+        ev = EVALUATORS[method]
+        ct = ENCRYPTOR.encrypt(ENCODER.encode(values))
+        expected = values.copy()
+        for _ in range(PARAMS.max_level - 1):
+            ct = ev.rescale(ev.square(ct))
+            expected = expected * expected
+        got = ENCODER.decode(DECRYPTOR.decrypt(ct)).real
+        assert np.abs(got - expected).max() < 5e-2

@@ -1,0 +1,98 @@
+"""Tests for the data-layout transforms (Figs. 6 and 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import layout
+
+
+def test_bconv_forward_shape():
+    t = np.arange(2 * 3 * 4).reshape(2, 3, 4)
+    out = layout.bconv_forward(t)
+    assert out.shape == (4, 3, 2)
+
+
+def test_bconv_roundtrip():
+    t = np.arange(2 * 3 * 4).reshape(2, 3, 4)
+    assert (layout.bconv_backward(layout.bconv_forward(t)) == t).all()
+
+
+def test_bconv_forward_semantics():
+    """out[l, b, i] == in[i, b, l] -- alpha becomes the K dimension."""
+    rng = np.random.default_rng(0)
+    t = rng.integers(0, 100, size=(3, 2, 5))
+    out = layout.bconv_forward(t)
+    for i in range(3):
+        for b in range(2):
+            for l in range(5):
+                assert out[l, b, i] == t[i, b, l]
+
+
+def test_ip_limbs_roundtrip():
+    t = np.arange(3 * 2 * 4 * 5).reshape(3, 2, 4, 5)
+    assert (layout.ip_limbs_backward(layout.ip_limbs_forward(t)) == t).all()
+
+
+def test_ip_limbs_semantics():
+    """out[l, k, b, j] == in[j, k, b, l] (Fig. 8) -- beta becomes K."""
+    rng = np.random.default_rng(1)
+    t = rng.integers(0, 100, size=(3, 2, 4, 5))  # (beta, alpha', BS, N)
+    out = layout.ip_limbs_forward(t)
+    assert out.shape == (5, 2, 4, 3)
+    for j in range(3):
+        for k in range(2):
+            for b in range(4):
+                for l in range(5):
+                    assert out[l, k, b, j] == t[j, k, b, l]
+
+
+def test_ip_evk_roundtrip():
+    t = np.arange(2 * 3 * 4 * 5).reshape(2, 3, 4, 5)
+    assert (layout.ip_evk_backward(layout.ip_evk_forward(t)) == t).all()
+
+
+def test_ip_evk_semantics():
+    """out[l, k, j, i] == in[i, j, k, l] (Fig. 8)."""
+    rng = np.random.default_rng(2)
+    t = rng.integers(0, 100, size=(2, 3, 4, 5))  # (beta~, beta, alpha', N)
+    out = layout.ip_evk_forward(t)
+    assert out.shape == (5, 4, 3, 2)
+    assert out[1, 2, 0, 1] == t[1, 0, 2, 1]
+
+
+@pytest.mark.parametrize(
+    "func", [layout.bconv_forward, layout.bconv_backward]
+)
+def test_rank_validation_3d(func):
+    with pytest.raises(ValueError):
+        func(np.zeros((2, 2)))
+
+
+@pytest.mark.parametrize(
+    "func",
+    [
+        layout.ip_limbs_forward,
+        layout.ip_limbs_backward,
+        layout.ip_evk_forward,
+        layout.ip_evk_backward,
+    ],
+)
+def test_rank_validation_4d(func):
+    with pytest.raises(ValueError):
+        func(np.zeros((2, 2, 2)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+)
+def test_property_layouts_are_bijections(a, b, c, d):
+    t4 = np.arange(a * b * c * d).reshape(a, b, c, d)
+    assert (layout.ip_limbs_backward(layout.ip_limbs_forward(t4)) == t4).all()
+    assert (layout.ip_evk_backward(layout.ip_evk_forward(t4)) == t4).all()
+    t3 = np.arange(a * b * c).reshape(a, b, c)
+    assert (layout.bconv_backward(layout.bconv_forward(t3)) == t3).all()

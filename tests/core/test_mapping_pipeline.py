@@ -1,0 +1,175 @@
+"""Tests for the mapping policy, pipelines, ablation and NeoContext."""
+
+import pytest
+
+from repro.ckks.params import get_set
+from repro.core import (
+    ABLATION_STEPS,
+    HEONGPU_CONFIG,
+    IP_TCU_THRESHOLD,
+    NEO_CONFIG,
+    TENSORFHE_CONFIG,
+    NeoContext,
+    OperationPipeline,
+    PipelineConfig,
+    choose_ip_component,
+    ip_gemm_shape,
+    neo_component_map,
+)
+from repro.core.mapping import bconv_gemm_shape, ntt_gemm_shape
+from repro.gpu.device import A100, A100_NO_TCU
+
+
+class TestMappingPolicy:
+    def test_fig4_cuda_only_kernels(self):
+        table = neo_component_map(2**16, 128, 4, 8, 9, 8)
+        for kernel in ("modadd", "modmul", "auto"):
+            assert table[kernel] == "cuda"
+
+    def test_ntt_and_bconv_always_tcu(self):
+        table = neo_component_map(2**16, 128, 4, 8, 9, 8)
+        assert table["ntt"] == "tcu_fp64"
+        assert table["bconv"] == "tcu_fp64"
+
+    def test_ip_dynamic_mapping_by_level(self):
+        """Fig. 12: IP's valid proportion falls with l -> CUDA fallback."""
+        high = ip_gemm_shape(beta=8, beta_tilde=8, batch=128, degree=2**16)
+        low = ip_gemm_shape(beta=2, beta_tilde=2, batch=128, degree=2**16)
+        assert choose_ip_component(high) == "tcu_fp64"
+        assert choose_ip_component(low) == "cuda"
+
+    def test_threshold_is_80_percent(self):
+        assert IP_TCU_THRESHOLD == 0.8
+
+    def test_ntt_shape_fully_valid(self):
+        shape = ntt_gemm_shape(2**16, 128)
+        assert shape.fp64_valid_proportion() == 1.0
+
+    def test_bconv_shape_fig11_defaults(self):
+        """alpha=4, alpha'=8: no padding on FP64 fragments (Fig. 11)."""
+        shape = bconv_gemm_shape(4, 8, 128, 2**16)
+        assert shape.fp64_valid_proportion() == 1.0
+
+
+class TestPipelineConfigs:
+    def test_neo_defaults(self):
+        assert NEO_CONFIG.keyswitch == "klss"
+        assert NEO_CONFIG.ntt_style == "radix16"
+        assert NEO_CONFIG.ntt_component == "tcu_fp64"
+
+    def test_tensorfhe_profile(self):
+        assert TENSORFHE_CONFIG.keyswitch == "hybrid"
+        assert TENSORFHE_CONFIG.ntt_component == "tcu_int8"
+        assert TENSORFHE_CONFIG.bconv_style == "elementwise"
+
+    def test_heongpu_has_no_tcu_work(self):
+        """HEonGPU traces must run on a device without tensor cores."""
+        ctx = NeoContext("E", device=A100_NO_TCU, config=HEONGPU_CONFIG, batch=128)
+        assert ctx.operation_time_us("hmult", 35) > 0
+
+    def test_klss_config_requires_klss_params(self):
+        with pytest.raises(ValueError):
+            OperationPipeline(get_set("A"), NEO_CONFIG)
+
+    def test_with_overrides(self):
+        cfg = NEO_CONFIG.with_overrides(streams=2)
+        assert cfg.streams == 2 and NEO_CONFIG.streams == 8
+
+
+class TestOperationPipeline:
+    @pytest.fixture(scope="class")
+    def neo(self):
+        return NeoContext("C", config=NEO_CONFIG)
+
+    @pytest.fixture(scope="class")
+    def tfhe(self):
+        return NeoContext("B", config=TENSORFHE_CONFIG)
+
+    def test_all_operations_dispatch(self, neo):
+        for op in ("hmult", "hrotate", "pmult", "hadd", "padd", "rescale",
+                   "double_rescale", "keyswitch"):
+            assert neo.operation_time_us(op, 10) > 0
+
+    def test_unknown_operation(self, neo):
+        with pytest.raises(ValueError):
+            neo.operation_time_us("teleport", 10)
+
+    def test_hmult_dominated_by_keyswitch(self, neo):
+        hmult = neo.operation_time_us("hmult", 35)
+        ks = neo.operation_time_us("keyswitch", 35)
+        assert ks < hmult < 1.5 * ks
+
+    def test_cheap_ops_are_cheap(self, neo):
+        assert neo.operation_time_us("hadd", 35) < 0.15 * neo.operation_time_us("hmult", 35)
+
+    def test_operation_cost_grows_with_level(self, neo):
+        assert neo.operation_time_us("hmult", 35) > neo.operation_time_us("hmult", 10)
+
+    def test_neo_beats_tensorfhe_on_keyswitch_ops(self, neo, tfhe):
+        """Table 6 shape: 3-6x on HMULT/HROTATE, parity on element-wise."""
+        for op in ("hmult", "hrotate"):
+            ratio = tfhe.operation_time_us(op, 35) / neo.operation_time_us(op, 35)
+            assert 2.5 < ratio < 8.0, f"{op} ratio {ratio}"
+        for op in ("pmult", "hadd", "padd"):
+            ratio = tfhe.operation_time_us(op, 35) / neo.operation_time_us(op, 35)
+            assert 0.8 < ratio < 1.5, f"{op} ratio {ratio}"
+        # Rescale carries a few NTT limbs, so the INT8 baseline pays more.
+        rescale_ratio = tfhe.operation_time_us("rescale", 35) / neo.operation_time_us("rescale", 35)
+        assert 0.8 < rescale_ratio < 3.0, f"rescale ratio {rescale_ratio}"
+
+    def test_kernel_throughput_ratios_match_paper(self, tfhe):
+        """Table 7 shape: BConv ~2.7x, IP ~2.6x, NTT ~3.7x."""
+        neo_b = NeoContext("B", config=NEO_CONFIG.with_overrides(keyswitch="hybrid"))
+        ratios = {
+            k: neo_b.kernel_throughput(k) / tfhe.kernel_throughput(k)
+            for k in ("bconv", "ip", "ntt")
+        }
+        assert 1.7 < ratios["bconv"] < 4.0
+        assert 1.8 < ratios["ip"] < 4.5
+        assert 2.8 < ratios["ntt"] < 5.0
+
+    def test_unknown_kernel(self, neo):
+        with pytest.raises(ValueError):
+            neo.kernel_time_s("fft")
+
+    def test_operation_table(self, neo):
+        table = neo.operation_table_us()
+        assert set(table) == {"hmult", "hrotate", "pmult", "hadd", "padd", "rescale"}
+
+    def test_schedule_time(self, neo):
+        small = neo.schedule_time_s({35: {"hmult": 1}})
+        bigger = neo.schedule_time_s({35: {"hmult": 2, "hrotate": 1}})
+        assert bigger > small > 0
+
+    def test_repr(self, neo):
+        assert "set=C" in repr(neo)
+
+
+class TestAblation:
+    def test_five_steps(self):
+        labels = [label for label, _ in ABLATION_STEPS]
+        assert labels == [
+            "TensorFHE",
+            "+KLSS",
+            "+dataflow opted",
+            "+ten-step NTT",
+            "+FP64 TCU",
+        ]
+
+    def test_final_step_is_neo(self):
+        assert ABLATION_STEPS[-1][1] == NEO_CONFIG
+
+    def test_fig14_monotone_after_dataflow(self):
+        """Each step from +dataflow onwards strictly improves HMULT."""
+        times = []
+        for label, cfg in ABLATION_STEPS:
+            params = "C" if cfg.keyswitch == "klss" else "B"
+            times.append(NeoContext(params, config=cfg).operation_time_us("hmult", 35))
+        assert times[2] > times[3] > times[4]
+        # the full stack wins by ~3-6x overall (paper: 3.28x best-vs-best)
+        assert 3.0 < times[0] / times[4] < 8.0
+
+    def test_klss_step_is_roughly_neutral_or_better(self):
+        t0 = NeoContext("B", config=ABLATION_STEPS[0][1]).operation_time_us("hmult", 35)
+        t1 = NeoContext("C", config=ABLATION_STEPS[1][1]).operation_time_us("hmult", 35)
+        assert t1 < 1.1 * t0

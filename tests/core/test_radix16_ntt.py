@@ -1,0 +1,105 @@
+"""Tests for the radix-16 (ten-step) NTT kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.radix16_ntt import NeoNtt, ntt_cost, ntt_gemm_macs, radix16_factors
+from repro.gpu.device import A100
+from repro.math.primes import ntt_primes
+
+
+class TestFactorisation:
+    def test_2_16(self):
+        assert radix16_factors(1 << 16) == [16, 16, 16, 16]
+
+    def test_partial_last_stage(self):
+        assert radix16_factors(1 << 10) == [16, 16, 4]
+
+    def test_small(self):
+        assert radix16_factors(8) == [8]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            radix16_factors(12)
+        with pytest.raises(ValueError):
+            radix16_factors(0)
+
+
+class TestGemmMacCounts:
+    def test_paper_complexity_claim(self):
+        """Section 4.4: radix-16 GEMM MACs are 1/8 of four-step at N=2^16."""
+        n = 1 << 16
+        four_step = ntt_gemm_macs(n, [256, 256])
+        radix16 = ntt_gemm_macs(n, radix16_factors(n))
+        assert four_step == 2**25
+        assert radix16 == 2**22
+        assert four_step / radix16 == 8
+
+
+class TestFunctionalNtt:
+    DEGREE = 256
+    Q = ntt_primes(28, 256, 1)[0]
+
+    def test_forward_inverse_roundtrip(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.integers(0, self.Q, size=self.DEGREE)
+        kernel = NeoNtt(self.DEGREE, self.Q, use_tcu=False)
+        assert kernel.factors == [16, 16]
+        back = kernel.inverse(kernel.forward(coeffs))
+        assert (back.astype(object) == coeffs.astype(object)).all()
+
+    def test_matches_iterative_plan_values(self):
+        """The GEMM NTT evaluates the same polynomial (natural order)."""
+        from repro.math.ntt import get_plan, natural_order_negacyclic
+
+        degree, q = 16, ntt_primes(28, 16, 1)[0]
+        rng = np.random.default_rng(1)
+        coeffs = rng.integers(0, q, size=degree)
+        kernel = NeoNtt(degree, q, use_tcu=False)
+        got = kernel.forward(coeffs)
+        want = natural_order_negacyclic(get_plan(degree, q), coeffs.astype(object))
+        assert (got.astype(object) == want.astype(object)).all()
+
+    def test_tcu_path_bit_exact(self):
+        """Running the GEMM stages on the FP64 TCU emulation changes nothing."""
+        degree = 64
+        q = ntt_primes(36, 64, 1)[0]
+        rng = np.random.default_rng(2)
+        coeffs = rng.integers(0, 2**36, size=degree).astype(object) % q
+        plain = NeoNtt(degree, q, use_tcu=False)
+        tcu = NeoNtt(degree, q, use_tcu=True)
+        assert (tcu.forward(coeffs) == plain.forward(coeffs)).all()
+        assert (tcu.inverse(tcu.forward(coeffs)).astype(object) == coeffs).all()
+
+    def test_custom_factors_validated(self):
+        with pytest.raises(ValueError):
+            NeoNtt(64, self.Q, factors=(4, 4))
+
+
+class TestNttCost:
+    def test_radix16_beats_four_step_on_tcu(self):
+        r16 = ntt_cost(1 << 16, 128, 36, style="radix16", component="tcu_fp64")
+        fs = ntt_cost(1 << 16, 128, 36, style="four_step", component="tcu_fp64")
+        assert r16.time_s(A100) < fs.time_s(A100)
+
+    def test_fp64_beats_int8_at_36bit(self):
+        fp64 = ntt_cost(1 << 16, 128, 36, style="radix16", component="tcu_fp64")
+        int8 = ntt_cost(1 << 16, 128, 36, style="radix16", component="tcu_int8")
+        assert fp64.time_s(A100) < int8.time_s(A100)
+
+    def test_butterfly_runs_on_cuda_only(self):
+        cost = ntt_cost(1 << 16, 128, 36, style="butterfly")
+        assert cost.tcu_fp64_flops == 0 and cost.tcu_int8_ops == 0
+        assert cost.cuda_flops > 0
+
+    def test_inverse_flag_names_kernel(self):
+        assert ntt_cost(256, 1, 36, inverse=True).name == "intt"
+        assert ntt_cost(256, 1, 36).name == "ntt"
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            ntt_cost(256, 1, 36, style="warp")
+
+    def test_unknown_component(self):
+        with pytest.raises(ValueError):
+            ntt_cost(256, 1, 36, component="npu")

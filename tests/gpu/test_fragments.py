@@ -1,0 +1,101 @@
+"""Tests for fragment tiling, padding and valid-proportion arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import fragments
+
+
+def test_shapes_catalogue():
+    assert fragments.FP64_FRAGMENT == fragments.FragmentShape(8, 8, 4)
+    assert fragments.FragmentShape(16, 16, 16) in fragments.INT8_FRAGMENTS
+    assert len(fragments.INT8_FRAGMENTS) == 3
+
+
+def test_fragment_volume_and_flops():
+    frag = fragments.FP64_FRAGMENT
+    assert frag.volume == 8 * 8 * 4
+    assert frag.flops == 2 * frag.volume
+    assert str(frag) == "8x8x4"
+
+
+def test_tile_counts_exact_fit():
+    assert fragments.tile_counts(16, 16, 8, fragments.FP64_FRAGMENT) == (2, 2, 2)
+
+
+def test_tile_counts_with_padding():
+    assert fragments.tile_counts(9, 8, 4, fragments.FP64_FRAGMENT) == (2, 1, 1)
+
+
+def test_fragment_ops():
+    assert fragments.fragment_ops(16, 16, 16, fragments.FP64_FRAGMENT) == 2 * 2 * 4
+
+
+def test_padded_dims():
+    assert fragments.padded_dims(9, 5, 3, fragments.FP64_FRAGMENT) == (16, 8, 4)
+
+
+def test_valid_proportion_unpadded_is_one():
+    assert fragments.valid_proportion(16, 16, 16, fragments.FP64_FRAGMENT) == 1.0
+
+
+def test_paper_bconv_int8_vs_fp64_example():
+    """Fig. 11: BConv GEMM (BS*N) x alpha' x alpha with alpha=4, alpha'=8.
+
+    On INT8's best 32x8x16 fragment only 25% of the MACs are valid; on the
+    FP64 8x8x4 fragment there is no padding at all.
+    """
+    m, n, k = 128 * 2**16, 8, 4
+    int8 = fragments.FragmentShape(32, 8, 16)
+    assert fragments.valid_proportion(m, n, k, int8) == pytest.approx(0.25)
+    assert fragments.valid_proportion(m, n, k, fragments.FP64_FRAGMENT) == 1.0
+
+
+def test_best_int8_fragment_prefers_valid_proportion():
+    # N=8 favours the 32x8x16 shape over 16x16x16.
+    shape = fragments.best_int8_fragment(1024, 8, 16)
+    assert (shape.m, shape.n, shape.k) == (32, 8, 16)
+
+
+def test_best_fragment_empty():
+    with pytest.raises(ValueError):
+        fragments.best_fragment(1, 1, 1, [])
+
+
+def test_nonpositive_dims_rejected():
+    with pytest.raises(ValueError):
+        fragments.tile_counts(0, 8, 4, fragments.FP64_FRAGMENT)
+
+
+def test_ntt_gemm_always_fully_valid_on_fp64():
+    """Fig. 12: NTT's (BS*N/16) x 16 x 16 GEMM has valid proportion 1 on FP64."""
+    m = 128 * 2**16 // 16
+    assert fragments.valid_proportion(m, 16, 16, fragments.FP64_FRAGMENT) == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4096),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+)
+def test_property_valid_proportion_bounds(m, n, k):
+    for shape in (fragments.FP64_FRAGMENT,) + fragments.INT8_FRAGMENTS:
+        vp = fragments.valid_proportion(m, n, k, shape)
+        assert 0.0 < vp <= 1.0
+        pm, pn, pk = fragments.padded_dims(m, n, k, shape)
+        assert pm >= m and pn >= n and pk >= k
+        assert pm % shape.m == pn % shape.n == pk % shape.k == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2048),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+)
+def test_property_best_fragment_is_argmax(m, n, k):
+    best = fragments.best_int8_fragment(m, n, k)
+    best_vp = fragments.valid_proportion(m, n, k, best)
+    for shape in fragments.INT8_FRAGMENTS:
+        assert best_vp >= fragments.valid_proportion(m, n, k, shape)

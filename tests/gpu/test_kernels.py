@@ -1,0 +1,187 @@
+"""Tests for the device model, kernel costs and execution traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import (
+    A100,
+    A100_NO_TCU,
+    ExecutionTrace,
+    KernelCost,
+    elementwise_cost,
+    gemm_cost_cuda,
+    gemm_cost_tcu_fp64,
+    gemm_cost_tcu_int8,
+    word_bytes,
+    zero_cost,
+)
+
+
+class TestDevice:
+    def test_a100_whitepaper_numbers(self):
+        assert A100.cuda_fp64_tflops == 9.7
+        assert A100.tcu_fp64_tflops == 19.5
+        assert A100.tcu_int8_tops == 624.0
+        assert A100.hbm_bandwidth_gbs == 1555.0
+
+    def test_tcu_fp64_is_about_2x_cuda(self):
+        assert 1.8 < A100.tcu_fp64_tflops / A100.cuda_fp64_tflops < 2.2
+
+    def test_effective_rates_below_peak(self):
+        assert A100.cuda_fp64_flops < A100.cuda_fp64_tflops * 1e12
+        assert A100.memory_bytes_per_s < A100.hbm_bandwidth_gbs * 1e9
+
+    def test_with_overrides(self):
+        slow = A100.with_overrides(hbm_bandwidth_gbs=100.0)
+        assert slow.hbm_bandwidth_gbs == 100.0
+        assert slow.cuda_fp64_tflops == A100.cuda_fp64_tflops
+
+    def test_no_tcu_device_raises_on_tcu_work(self):
+        cost = KernelCost("x", tcu_fp64_flops=1e9)
+        with pytest.raises(ValueError):
+            cost.time_s(A100_NO_TCU)
+
+
+class TestWordBytes:
+    def test_small_words_pack_in_4_bytes(self):
+        assert word_bytes(28) == 4
+        assert word_bytes(32) == 4
+
+    def test_wide_words_need_8_bytes(self):
+        assert word_bytes(36) == 8
+        assert word_bytes(60) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            word_bytes(0)
+
+
+class TestKernelCost:
+    def test_roofline_compute_bound(self):
+        cost = KernelCost("k", cuda_flops=1e12, bytes_read=8)
+        t = cost.time_s(A100)
+        assert t == pytest.approx(
+            A100.kernel_launch_us * 1e-6 + 1e12 / A100.cuda_fp64_flops
+        )
+
+    def test_roofline_memory_bound(self):
+        cost = KernelCost("k", cuda_flops=1.0, bytes_read=1e9, bytes_written=1e9)
+        t = cost.time_s(A100)
+        assert t == pytest.approx(
+            A100.kernel_launch_us * 1e-6 + 2e9 / A100.memory_bytes_per_s
+        )
+
+    def test_scaled(self):
+        cost = KernelCost("k", cuda_flops=10, bytes_read=4, launches=2)
+        double = cost.scaled(2)
+        assert double.cuda_flops == 20 and double.bytes_read == 8
+        assert double.launches == 4
+
+    def test_merged_adds_launches(self):
+        a = KernelCost("a", cuda_flops=1, launches=1)
+        b = KernelCost("b", cuda_flops=2, launches=1)
+        m = a.merged(b)
+        assert m.cuda_flops == 3 and m.launches == 2
+
+    def test_fusion_saves_traffic_and_launches(self):
+        a = KernelCost("a", bytes_written=100, launches=1)
+        b = KernelCost("b", bytes_read=100, launches=1)
+        fused = a.fused_with(b, saved_bytes=200)
+        assert fused.launches == 1
+        assert fused.bytes_read + fused.bytes_written == 0
+
+    def test_fusion_cannot_go_negative(self):
+        a = KernelCost("a", bytes_written=10)
+        b = KernelCost("b", bytes_read=10)
+        fused = a.fused_with(b, saved_bytes=10**9)
+        assert fused.bytes_read >= 0 and fused.bytes_written >= 0
+
+    def test_zero_cost(self):
+        assert zero_cost("nop").time_s(A100) == 0.0
+
+
+class TestGemmCosts:
+    M, N, K, WS = 4096, 8, 4, 36
+
+    def test_tcu_fp64_beats_cuda_on_bconv_shape(self):
+        """The core claim: FP64-TCU GEMM needs less compute time than CUDA.
+
+        (At this small problem size both roofline times are memory-bound and
+        equal, so the comparison is on the compute side.)
+        """
+        cuda = gemm_cost_cuda("g", self.M, self.N, self.K, self.WS)
+        tcu = gemm_cost_tcu_fp64("g", self.M, self.N, self.K, self.WS)
+        assert tcu.compute_time_s(A100) < cuda.compute_time_s(A100)
+
+    def test_fp64_beats_int8_at_36_and_48_bits(self):
+        """Fig. 3: FP64 wins at WordSize 36 and 48 despite lower peak rate."""
+        for ws in (36, 48):
+            m, n, k = 2**19, 16, 16
+            fp64 = gemm_cost_tcu_fp64("g", m, n, k, ws)
+            int8 = gemm_cost_tcu_int8("g", m, n, k, ws)
+            assert fp64.time_s(A100) < int8.time_s(A100)
+
+    def test_io_toggle(self):
+        with_io = gemm_cost_cuda("g", 8, 8, 8, 36, include_io=True)
+        without = gemm_cost_cuda("g", 8, 8, 8, 36, include_io=False)
+        assert with_io.bytes_read > 0 and without.bytes_read == 0
+
+    def test_elementwise_cost_traffic(self):
+        cost = elementwise_cost("modmul", 1000, 36)
+        assert cost.bytes_read == 2 * 1000 * 8
+        assert cost.bytes_written == 1000 * 8
+
+
+class TestTrace:
+    def test_serial_is_sum(self):
+        t = ExecutionTrace()
+        t.add(KernelCost("a", cuda_flops=1e9))
+        t.add(KernelCost("b", cuda_flops=1e9))
+        assert t.serial_time_s(A100) == pytest.approx(
+            2 * KernelCost("x", cuda_flops=1e9).time_s(A100)
+        )
+
+    def test_overlap_bounded_by_busiest_resource(self):
+        t = ExecutionTrace()
+        t.add(KernelCost("cuda", cuda_flops=1e12))
+        t.add(KernelCost("tcu", tcu_fp64_flops=1e12))
+        serial = t.serial_time_s(A100)
+        overlapped = t.overlapped_time_s(A100, streams=8)
+        assert overlapped < serial
+        busiest = max(1e12 / A100.cuda_fp64_flops, 1e12 / A100.tcu_fp64_flops)
+        assert overlapped >= busiest
+
+    def test_overlap_with_one_stream_is_serial(self):
+        t = ExecutionTrace().add(KernelCost("a", cuda_flops=1e10))
+        assert t.overlapped_time_s(A100, streams=1) == t.serial_time_s(A100)
+
+    def test_breakdown_and_bytes(self):
+        t = ExecutionTrace()
+        t.add(KernelCost("ntt", cuda_flops=1e9, bytes_read=100))
+        t.add(KernelCost("ntt", cuda_flops=1e9, bytes_written=50))
+        t.add(KernelCost("bconv", cuda_flops=1e9))
+        assert set(t.breakdown_s(A100)) == {"ntt", "bconv"}
+        assert t.total_bytes() == 150
+        assert t.bytes_by_kernel()["ntt"] == 150
+
+    def test_scaled_and_merged(self):
+        t = ExecutionTrace().add(KernelCost("a", cuda_flops=10))
+        t2 = t.scaled(3).merged(t)
+        assert len(t2) == 2
+        assert t2.events[0].cuda_flops == 30
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0, max_value=1e13),
+    st.floats(min_value=0, max_value=1e10),
+    st.integers(min_value=2, max_value=32),
+)
+def test_property_overlap_never_beats_physics(flops, traffic, streams):
+    t = ExecutionTrace()
+    t.add(KernelCost("a", cuda_flops=flops, bytes_read=traffic))
+    t.add(KernelCost("b", tcu_fp64_flops=flops, bytes_written=traffic))
+    serial = t.serial_time_s(A100)
+    over = t.overlapped_time_s(A100, streams=streams)
+    assert over <= serial + 1e-12
+    assert over >= serial / streams - 1e-12

@@ -1,0 +1,62 @@
+"""Tests for the multi-GPU scaling extension."""
+
+import pytest
+
+from repro.core import NEO_CONFIG, NeoContext
+from repro.gpu.multi_gpu import NVLINK3, PCIE4, Interconnect, MultiGpuModel
+
+
+@pytest.fixture(scope="module")
+def hmult_trace():
+    return NeoContext("C", config=NEO_CONFIG).operation_trace("hmult", 35)
+
+
+class TestInterconnect:
+    def test_catalogue(self):
+        assert NVLINK3.bandwidth_gbs > PCIE4.bandwidth_gbs
+        assert NVLINK3.bytes_per_s == 600e9
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            MultiGpuModel(0)
+
+
+class TestScaling:
+    def test_single_gpu_matches_trace(self, hmult_trace):
+        from repro.gpu.device import A100
+
+        model = MultiGpuModel(1)
+        assert model.time_s(hmult_trace) == pytest.approx(
+            hmult_trace.overlapped_time_s(A100, 8)
+        )
+
+    def test_more_gpus_is_faster(self, hmult_trace):
+        times = [MultiGpuModel(g).time_s(hmult_trace) for g in (1, 2, 4, 8)]
+        for a, b in zip(times, times[1:]):
+            assert b < a
+
+    def test_speedup_sublinear(self, hmult_trace):
+        for gpus in (2, 4, 8):
+            model = MultiGpuModel(gpus)
+            assert 1.0 < model.speedup(hmult_trace) <= gpus
+
+    def test_efficiency_decays_with_gpu_count(self, hmult_trace):
+        eff = [
+            MultiGpuModel(g).scaling_efficiency(hmult_trace) for g in (2, 4, 8)
+        ]
+        assert eff[0] >= eff[1] >= eff[2]
+
+    def test_nvlink_beats_pcie(self, hmult_trace):
+        nv = MultiGpuModel(4, interconnect=NVLINK3).time_s(hmult_trace)
+        pcie = MultiGpuModel(4, interconnect=PCIE4).time_s(hmult_trace)
+        assert nv < pcie
+
+    def test_he_booster_shape(self, hmult_trace):
+        """HE-Booster reports high (>60%) efficiency at 4 GPUs on NVLink."""
+        eff = MultiGpuModel(4, interconnect=NVLINK3).scaling_efficiency(hmult_trace)
+        assert eff > 0.4
+
+    def test_slow_interconnect_hits_a_wall(self, hmult_trace):
+        dialup = Interconnect("slow", bandwidth_gbs=1.0, latency_us=100.0)
+        eff = MultiGpuModel(8, interconnect=dialup).scaling_efficiency(hmult_trace)
+        assert eff < 0.5

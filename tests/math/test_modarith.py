@@ -1,0 +1,109 @@
+"""Unit and property tests for the dual-backend modular arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.math import modarith
+
+SMALL_Q = 998244353  # < 2**31 -> fast backend
+BIG_Q = (1 << 36) - 187  # arbitrary 36-bit odd number -> exact backend
+
+
+@pytest.mark.parametrize("q", [SMALL_Q, BIG_Q])
+class TestBasicOps:
+    def test_asarray_reduces(self, q):
+        arr = modarith.asarray_mod([0, 1, q, q + 5, -1], q)
+        assert list(arr.astype(object)) == [0, 1, 0, 5, q - 1]
+
+    def test_add_sub_roundtrip(self, q):
+        a = modarith.asarray_mod([3, q - 1, 7], q)
+        b = modarith.asarray_mod([5, 2, q - 7], q)
+        s = modarith.add_mod(a, b, q)
+        assert list(modarith.sub_mod(s, b, q).astype(object)) == list(a.astype(object))
+
+    def test_mul_matches_python(self, q):
+        a = modarith.asarray_mod([123456, q - 2, 1], q)
+        b = modarith.asarray_mod([654321, q - 3, q - 1], q)
+        got = modarith.mul_mod(a, b, q).astype(object)
+        want = [(int(x) * int(y)) % q for x, y in zip(a.astype(object), b.astype(object))]
+        assert list(got) == want
+
+    def test_neg(self, q):
+        a = modarith.asarray_mod([0, 1, q - 1], q)
+        got = modarith.neg_mod(a, q).astype(object)
+        assert list(got) == [0, q - 1, 1]
+
+    def test_zeros(self, q):
+        z = modarith.zeros_mod(4, q)
+        assert list(z.astype(object)) == [0, 0, 0, 0]
+
+
+def test_backend_selection():
+    assert modarith.uses_fast_backend(SMALL_Q)
+    assert not modarith.uses_fast_backend(BIG_Q)
+    assert modarith.backend_dtype(SMALL_Q) == np.uint64
+    assert modarith.backend_dtype(BIG_Q) is object
+
+
+def test_bad_modulus_rejected():
+    with pytest.raises(ValueError):
+        modarith.asarray_mod([1], 1)
+
+
+def test_scalar_helpers():
+    assert modarith.pow_mod(3, 20, 1000) == pow(3, 20, 1000)
+    assert modarith.inv_mod(3, 7) == 5
+    with pytest.raises(ValueError):
+        modarith.inv_mod(2, 4)
+
+
+def test_to_signed_centres():
+    q = 17
+    vals = modarith.to_signed(np.array([0, 1, 8, 9, 16], dtype=object), q)
+    assert list(vals) == [0, 1, 8, -8, -1]
+    back = modarith.from_signed(vals, q)
+    assert list(back.astype(object)) == [0, 1, 8, 9, 16]
+
+
+def test_matmul_mod_exact_big():
+    q = BIG_Q
+    rng = np.random.default_rng(0)
+    a = modarith.asarray_mod(rng.integers(0, 2**36, size=(5, 7)).astype(object), q)
+    b = modarith.asarray_mod(rng.integers(0, 2**36, size=(7, 3)).astype(object), q)
+    got = modarith.matmul_mod(a, b, q)
+    want = (np.asarray(a, dtype=object) @ np.asarray(b, dtype=object)) % q
+    assert (got == want).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-(10**12), max_value=10**12), min_size=1, max_size=16),
+    st.lists(st.integers(min_value=-(10**12), max_value=10**12), min_size=1, max_size=16),
+    st.sampled_from([97, SMALL_Q, BIG_Q]),
+)
+def test_property_ring_axioms(xs, ys, q):
+    """(a+b)-b == a and a*b == b*a element-wise, both backends."""
+    size = min(len(xs), len(ys))
+    a = modarith.asarray_mod(xs[:size], q)
+    b = modarith.asarray_mod(ys[:size], q)
+    assert (
+        modarith.sub_mod(modarith.add_mod(a, b, q), b, q).astype(object)
+        == a.astype(object)
+    ).all()
+    assert (
+        modarith.mul_mod(a, b, q).astype(object)
+        == modarith.mul_mod(b, a, q).astype(object)
+    ).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=2**60),
+    st.integers(min_value=0, max_value=2**80),
+    st.integers(min_value=0, max_value=2**80),
+)
+def test_property_scalar_mul_matches_python(q, x, y):
+    a = modarith.asarray_mod([x], q)
+    got = int(modarith.scalar_mul_mod(a, y, q).astype(object)[0])
+    assert got == (x % q) * (y % q) % q

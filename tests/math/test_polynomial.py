@@ -1,0 +1,150 @@
+"""Tests for RNS ring polynomials and the AUTO kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.math import modarith
+from repro.math.polynomial import (
+    RnsPolynomial,
+    automorphism,
+    negacyclic_multiply,
+    negacyclic_multiply_schoolbook,
+)
+from repro.math.primes import ntt_primes
+from repro.math.rns import RnsBasis
+
+DEGREE = 32
+BASIS = RnsBasis(ntt_primes(30, DEGREE, 3))
+
+
+def random_poly(seed=0, bound=2**40):
+    rng = np.random.default_rng(seed)
+    coeffs = rng.integers(-bound, bound, size=DEGREE).astype(object)
+    return RnsPolynomial.from_int_coeffs(coeffs, DEGREE, BASIS), coeffs
+
+
+def test_from_int_roundtrip():
+    poly, coeffs = random_poly(1)
+    assert (poly.to_int_coeffs() == coeffs).all()
+
+
+def test_zero():
+    z = RnsPolynomial.zero(DEGREE, BASIS)
+    assert (z.to_int_coeffs() == 0).all()
+
+
+def test_add_sub():
+    a, ca = random_poly(2)
+    b, cb = random_poly(3)
+    assert (a.add(b).to_int_coeffs() == ca + cb).all()
+    assert (a.sub(b).to_int_coeffs() == ca - cb).all()
+    assert (a.negate().to_int_coeffs() == -ca).all()
+
+
+def test_multiply_matches_schoolbook():
+    a, _ = random_poly(4, bound=2**20)
+    b, _ = random_poly(5, bound=2**20)
+    product = a.multiply(b).from_ntt()
+    for limb, q in zip(product.limbs, BASIS.moduli):
+        ref = negacyclic_multiply_schoolbook(
+            a.limbs[BASIS.moduli.index(q)], b.limbs[BASIS.moduli.index(q)], DEGREE, q
+        )
+        assert (limb.astype(object) == ref.astype(object)).all()
+
+
+def test_ntt_roundtrip_preserves_value():
+    a, ca = random_poly(6)
+    assert (a.to_ntt().from_ntt().to_int_coeffs() == ca).all()
+
+
+def test_multiply_scalar():
+    a, ca = random_poly(7, bound=2**20)
+    scaled = a.multiply_scalar(12345)
+    assert (scaled.to_int_coeffs() == ca * 12345).all()
+
+
+def test_multiply_scalar_per_limb_validates():
+    a, _ = random_poly(8)
+    with pytest.raises(ValueError):
+        a.multiply_scalar_per_limb([1])
+
+
+def test_keep_limbs():
+    a, _ = random_poly(9)
+    dropped = a.keep_limbs(2)
+    assert len(dropped.basis) == 2
+    assert dropped.basis.moduli == BASIS.moduli[:2]
+    with pytest.raises(ValueError):
+        a.keep_limbs(0)
+
+
+def test_domain_mismatch_rejected():
+    a, _ = random_poly(10)
+    b, _ = random_poly(11)
+    with pytest.raises(ValueError):
+        a.add(b.to_ntt())
+
+
+def test_basis_mismatch_rejected():
+    a, _ = random_poly(12)
+    other = RnsPolynomial.zero(DEGREE, RnsBasis(BASIS.moduli[:2]))
+    with pytest.raises(ValueError):
+        a.add(other)
+
+
+def test_negacyclic_multiply_function():
+    q = BASIS.moduli[0]
+    rng = np.random.default_rng(13)
+    a = rng.integers(0, q, size=DEGREE)
+    b = rng.integers(0, q, size=DEGREE)
+    fast = negacyclic_multiply(a, b, DEGREE, q)
+    slow = negacyclic_multiply_schoolbook(a, b, DEGREE, q)
+    assert (fast.astype(object) == slow.astype(object)).all()
+
+
+class TestAutomorphism:
+    def test_rejects_even_power(self):
+        with pytest.raises(ValueError):
+            automorphism(np.zeros(DEGREE), 2, DEGREE, BASIS.moduli[0])
+
+    def test_identity(self):
+        a, ca = random_poly(14)
+        assert (a.automorphism(1).to_int_coeffs() == ca).all()
+
+    def test_composition(self):
+        """tau_k1 . tau_k2 == tau_(k1*k2 mod 2N)."""
+        a, _ = random_poly(15)
+        k1, k2 = 5, 9
+        lhs = a.automorphism(k1).automorphism(k2)
+        rhs = a.automorphism(k1 * k2 % (2 * DEGREE))
+        assert (lhs.to_int_coeffs() == rhs.to_int_coeffs()).all()
+
+    def test_is_ring_homomorphism(self):
+        """tau(a*b) == tau(a) * tau(b)."""
+        a, _ = random_poly(16, bound=2**15)
+        b, _ = random_poly(17, bound=2**15)
+        k = 5
+        lhs = a.multiply(b).automorphism(k)
+        rhs = a.automorphism(k).multiply(b.automorphism(k)).from_ntt()
+        assert (lhs.to_int_coeffs() == rhs.to_int_coeffs()).all()
+
+    def test_explicit_small_case(self):
+        """X -> X^3 on N=4: X^2 -> X^6 = -X^2 mod X^4+1."""
+        q = ntt_primes(20, 4, 1)[0]
+        coeffs = np.array([0, 0, 1, 0], dtype=object)
+        out = automorphism(coeffs, 3, 4, q)
+        assert list(out.astype(object)) == [0, 0, q - 1, 0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=15))
+def test_property_monomial_multiplication(shift):
+    """Multiplying by X^shift rotates coefficients negacyclically."""
+    a, ca = random_poly(18, bound=2**20)
+    monomial = np.zeros(DEGREE, dtype=object)
+    monomial[shift] = 1
+    x_k = RnsPolynomial.from_int_coeffs(monomial, DEGREE, BASIS)
+    product = a.multiply(x_k).to_int_coeffs()
+    expected = np.concatenate([-ca[DEGREE - shift :], ca[: DEGREE - shift]]) if shift else ca
+    assert (product == expected).all()

@@ -1,0 +1,93 @@
+"""Tests for NTT-friendly prime generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.math import primes
+
+
+def test_is_prime_small():
+    known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+    for n in range(32):
+        assert primes.is_prime(n) == (n in known)
+
+
+def test_is_prime_carmichael():
+    # Carmichael numbers fool Fermat but not Miller-Rabin.
+    for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+        assert not primes.is_prime(carmichael)
+
+
+def test_is_prime_large_known():
+    assert primes.is_prime((1 << 61) - 1)  # Mersenne prime
+    assert not primes.is_prime((1 << 61) - 3)
+
+
+@pytest.mark.parametrize("bits,degree", [(20, 256), (28, 1024), (36, 64), (48, 64), (60, 64)])
+def test_ntt_primes_properties(bits, degree):
+    got = primes.ntt_primes(bits, degree, count=4)
+    assert len(set(got)) == 4
+    for p in got:
+        assert p.bit_length() == bits
+        assert p % (2 * degree) == 1
+        assert primes.is_prime(p)
+
+
+def test_ntt_primes_ascending_descending_disjoint_start():
+    down = primes.ntt_primes(28, 64, 2, descending=True)
+    up = primes.ntt_primes(28, 64, 2, descending=False)
+    assert down[0] > up[0]
+
+
+def test_ntt_primes_too_small_bits():
+    with pytest.raises(ValueError):
+        primes.ntt_primes(8, 1024, 1)
+
+
+def test_disjoint_prime_chains():
+    chains = primes.disjoint_prime_chains([30, 30, 31], 128, [3, 3, 2])
+    flat = [p for chain in chains for p in chain]
+    assert len(flat) == len(set(flat)) == 8
+    for chain, bits in zip(chains, [30, 30, 31]):
+        for p in chain:
+            assert p.bit_length() == bits and p % 256 == 1
+
+
+def test_disjoint_chain_length_mismatch():
+    with pytest.raises(ValueError):
+        primes.disjoint_prime_chains([30], 64, [1, 1])
+
+
+def test_primitive_root():
+    g = primes.primitive_root(17)
+    seen = {pow(g, k, 17) for k in range(16)}
+    assert seen == set(range(1, 17))
+
+
+def test_root_of_unity_order():
+    p = primes.ntt_primes(28, 256, 1)[0]
+    order = 512
+    w = primes.root_of_unity(order, p)
+    assert pow(w, order, p) == 1
+    assert pow(w, order // 2, p) == p - 1
+
+
+def test_root_of_unity_bad_order():
+    with pytest.raises(ValueError):
+        primes.root_of_unity(7, 17)  # 7 does not divide 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=3, max_value=10**6))
+def test_property_is_prime_matches_trial_division(n):
+    def trial(n):
+        if n < 2:
+            return False
+        d = 2
+        while d * d <= n:
+            if n % d == 0:
+                return False
+            d += 1
+        return True
+
+    assert primes.is_prime(n) == trial(n)

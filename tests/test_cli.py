@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_params_all(capsys):
+    assert main(["params"]) == 0
+    out = capsys.readouterr().out
+    for name in "ABCDEFGH":
+        assert f"\n{name} " in out
+
+
+def test_params_single(capsys):
+    assert main(["params", "c"]) == 0
+    out = capsys.readouterr().out
+    assert "C" in out and "T=48" in out
+
+
+def test_params_unknown(capsys):
+    assert main(["params", "Z"]) == 2
+
+
+@pytest.mark.parametrize("number", ["2", "6", "7", "8"])
+def test_tables(capsys, number):
+    assert main(["table", number]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_table_unknown(capsys):
+    assert main(["table", "99"]) == 2
+
+
+@pytest.mark.parametrize("number", ["3", "14", "16"])
+def test_figs(capsys, number):
+    assert main(["fig", number]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_fig_unknown(capsys):
+    assert main(["fig", "99"]) == 2
+
+
+def test_fig16_shape(capsys):
+    main(["fig", "16"])
+    out = capsys.readouterr().out
+    assert "KLSS-48" in out and "Hybrid" in out
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
