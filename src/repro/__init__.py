@@ -50,6 +50,8 @@ from .core import (
     TENSORFHE_CONFIG,
     NeoContext,
     PipelineConfig,
+    TraceCache,
+    profile_application,
 )
 from .gpu import A100, DeviceSpec
 
@@ -70,6 +72,7 @@ __all__ = [
     "NeoContext",
     "PipelineConfig",
     "TENSORFHE_CONFIG",
+    "TraceCache",
     "analysis",
     "apps",
     "baselines",
@@ -78,5 +81,6 @@ __all__ = [
     "get_set",
     "gpu",
     "math",
+    "profile_application",
     "small_test_parameters",
 ]

@@ -22,12 +22,34 @@ def standard_applications(single_scaling: bool = False):
     ]
 
 
+#: CLI/profiler registry: application name -> zero-arg factory.
+APPLICATIONS = {
+    "packbootstrap": PackBootstrap,
+    "bootstrap": PackBootstrap,  # alias
+    "helr": HelrApp,
+    "resnet20": lambda: ResNetApp(20),
+    "resnet32": lambda: ResNetApp(32),
+    "resnet56": lambda: ResNetApp(56),
+}
+
+
+def get_application(name: str):
+    """Instantiate a Table 5 application by (case-insensitive) name."""
+    try:
+        return APPLICATIONS[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(set(APPLICATIONS) - {"bootstrap"}))
+        raise ValueError(f"unknown application {name!r}; choose from {known}") from None
+
+
 __all__ = [
+    "APPLICATIONS",
     "EncryptedConv2d",
     "EncryptedLogisticRegression",
     "HelrApp",
     "PackBootstrap",
     "ResNetApp",
     "SUPPORTED_DEPTHS",
+    "get_application",
     "standard_applications",
 ]

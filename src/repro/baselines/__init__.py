@@ -4,7 +4,18 @@ from .cpu import CPU_DEVICE, CPU_CONFIG, CpuModel
 from .heongpu import HeonGpuModel
 from .tensorfhe import TensorFheModel
 
+#: CLI/profiler registry: system name -> (context factory, default set).
+#: Every factory accepts ``(params, batch=None)`` and returns a NeoContext
+#: subclass pinned to that system's configuration; ``neo`` itself lives in
+#: :mod:`repro.core` and is added by the CLI to avoid a circular import.
+BASELINE_MODELS = {
+    "tensorfhe": (TensorFheModel, "A"),
+    "heongpu": (HeonGpuModel, "E"),
+    "cpu": (CpuModel, "H"),
+}
+
 __all__ = [
+    "BASELINE_MODELS",
     "CPU_CONFIG",
     "CPU_DEVICE",
     "CpuModel",

@@ -6,6 +6,7 @@ Usage::
     python -m repro table 2|5|6|7|8     # one evaluation table
     python -m repro fig 3|14|16|17      # one evaluation figure (as text)
     python -m repro params [A-H]        # parameter-set details
+    python -m repro profile <app>       # per-op/per-kernel profile
 """
 
 from __future__ import annotations
@@ -24,10 +25,17 @@ from .analysis.memory_footprint import (
 )
 from .analysis.reporting import format_table
 from .analysis.security import estimated_security_bits, total_modulus_bits
-from .apps import standard_applications
-from .baselines import CpuModel, HeonGpuModel, TensorFheModel
+from .apps import APPLICATIONS, get_application, standard_applications
+from .baselines import BASELINE_MODELS, CpuModel, HeonGpuModel, TensorFheModel
 from .ckks.params import TABLE4, KlssConfig, get_set
 from .core import ABLATION_STEPS, NEO_CONFIG, NeoContext
+from .core.profiling import chrome_trace_json, profile_application
+
+#: profile-command system registry: the baselines plus Neo itself.
+SYSTEM_MODELS = dict(
+    BASELINE_MODELS,
+    neo=(lambda params, batch=None: NeoContext(params, batch=batch), "C"),
+)
 
 OPS = ("hmult", "hrotate", "pmult", "hadd", "padd", "rescale")
 
@@ -199,6 +207,44 @@ def cmd_params(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    try:
+        app = get_application(args.app)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    system = args.system.lower()
+    if system not in SYSTEM_MODELS:
+        print(
+            f"unknown system {args.system!r}; choose from "
+            + ", ".join(sorted(SYSTEM_MODELS)),
+            file=sys.stderr,
+        )
+        return 2
+    factory, default_set = SYSTEM_MODELS[system]
+    if args.batch is not None and args.batch < 1:
+        print(f"--batch must be >= 1, got {args.batch}", file=sys.stderr)
+        return 2
+    # Only forward --batch when given, so each system keeps its own default.
+    kwargs = {} if args.batch is None else {"batch": args.batch}
+    try:
+        ctx = factory(args.set or default_set, **kwargs)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    profile = profile_application(ctx, app)
+    _print(profile.format(top=args.top))
+    if args.chrome_trace:
+        trace = ctx.application_trace(app)
+        with open(args.chrome_trace, "w") as fh:
+            fh.write(chrome_trace_json(ctx, trace))
+        print(
+            f"chrome trace ({len(trace)} events) written to {args.chrome_trace} "
+            "(open via chrome://tracing or https://ui.perfetto.dev)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Neo (ISCA'25) reproduction toolkit"
@@ -214,6 +260,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("params", help="parameter-set details")
     p.add_argument("set", nargs="?", help="A-H (default: all)")
     p.set_defaults(func=cmd_params)
+    prof = sub.add_parser(
+        "profile", help="per-op/per-kernel profile of one application"
+    )
+    prof.add_argument(
+        "app",
+        help="application: " + ", ".join(sorted(set(APPLICATIONS) - {"bootstrap"})),
+    )
+    prof.add_argument(
+        "--system",
+        default="neo",
+        help="neo, tensorfhe, heongpu or cpu (default: neo)",
+    )
+    prof.add_argument(
+        "--set", default=None, help="parameter set A-H (default: system-specific)"
+    )
+    prof.add_argument("--batch", type=int, default=None, help="BatchSize override")
+    prof.add_argument(
+        "--top", type=int, default=12, help="kernel rows to show (default 12)"
+    )
+    prof.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help="also write the simulated timeline as Chrome-trace JSON",
+    )
+    prof.set_defaults(func=cmd_profile)
     return parser
 
 

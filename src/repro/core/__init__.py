@@ -22,12 +22,28 @@ from .pipeline import (
     OperationPipeline,
     PipelineConfig,
 )
+from .profiling import (
+    ApplicationProfile,
+    OpProfile,
+    chrome_trace_json,
+    profile_application,
+    profile_schedule,
+)
 from .radix16_ntt import NeoNtt, ntt_cost, ntt_gemm_macs, radix16_factors
 from .streams import ScheduleResult, StreamScheduler
+from .trace_cache import (
+    GLOBAL_TRACE_CACHE,
+    CacheStats,
+    TraceCache,
+    default_trace_cache,
+)
 
 __all__ = [
     "ABLATION_STEPS",
+    "ApplicationProfile",
     "CUDA_ONLY_KERNELS",
+    "CacheStats",
+    "GLOBAL_TRACE_CACHE",
     "GemmShape",
     "HEONGPU_CONFIG",
     "IP_TCU_THRESHOLD",
@@ -36,11 +52,13 @@ __all__ = [
     "NeoContext",
     "NeoInnerProduct",
     "NeoNtt",
+    "OpProfile",
     "OperationPipeline",
     "PipelineConfig",
     "ScheduleResult",
     "StreamScheduler",
     "TENSORFHE_CONFIG",
+    "TraceCache",
     "TuningResult",
     "ablation_configs",
     "ablation_labels",
@@ -50,12 +68,16 @@ __all__ = [
     "bconv_cost",
     "bconv_gemm_shape",
     "choose_ip_component",
+    "chrome_trace_json",
+    "default_trace_cache",
     "ip_cost",
     "ip_gemm_shape",
     "neo_component_map",
     "ntt_cost",
     "ntt_gemm_macs",
     "ntt_gemm_shape",
+    "profile_application",
+    "profile_schedule",
     "radix16_factors",
     "reference_bconv",
     "reference_inner_product",

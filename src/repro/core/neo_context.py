@@ -9,15 +9,17 @@ needle.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from ..ckks.params import ParameterSet, get_set
 from ..gpu.device import A100, DeviceSpec
+from ..gpu.kernels import KernelCost
 from ..gpu.trace import ExecutionTrace
 from .bconv_matmul import bconv_cost
 from .ip_matmul import ip_cost
 from .pipeline import NEO_CONFIG, OperationPipeline, PipelineConfig
 from .radix16_ntt import ntt_cost
+from .trace_cache import CacheStats, TraceCache
 
 #: Operation mix of one generic application "level step" -- used by the
 #: app schedules in :mod:`repro.apps` (they provide their own mixes too).
@@ -33,10 +35,13 @@ class NeoContext:
         device: DeviceSpec = A100,
         config: PipelineConfig = NEO_CONFIG,
         batch: Optional[int] = None,
+        trace_cache: Optional[TraceCache] = None,
     ):
         self.params = get_set(params) if isinstance(params, str) else params
         self.config = config
-        self.pipeline = OperationPipeline(self.params, config, batch=batch)
+        self.pipeline = OperationPipeline(
+            self.params, config, batch=batch, cache=trace_cache
+        )
         self.batch = self.pipeline.batch
         # Small batches leave the GPU under-occupied (Fig. 17): the context
         # sees a derated device.
@@ -131,22 +136,60 @@ class NeoContext:
 
     # -- applications --------------------------------------------------------------
 
+    def schedule_trace(self, schedule: Mapping[str, Mapping[str, int]]) -> ExecutionTrace:
+        """Assemble an application schedule into one trace, cache-aware.
+
+        Per-op traces come from the trace cache (built at most once per
+        (op, level)) and the combined trace is assembled in a single pass --
+        no quadratic re-merging of event lists.
+        """
+        events: List[KernelCost] = []
+        for level, ops in schedule.items():
+            level = int(level)
+            for op, count in ops.items():
+                if count <= 0:
+                    continue
+                trace = self.pipeline.operation_trace(op, level)
+                if count == 1:
+                    events.extend(trace.events)
+                else:
+                    events.extend(e.scaled(count) for e in trace.events)
+        return ExecutionTrace(events)
+
     def schedule_time_s(self, schedule: Mapping[str, Mapping[str, int]]) -> float:
         """Run an application schedule: ``{level: {operation: count}}``.
 
         Levels may be strings or ints; counts are numbers of batched
         operations at that level.
         """
-        total = ExecutionTrace()
-        for level, ops in schedule.items():
-            level = int(level)
-            for op, count in ops.items():
-                if count <= 0:
-                    continue
-                total = total.merged(
-                    self.pipeline.operation_trace(op, level).scaled(count)
-                )
-        return total.overlapped_time_s(self.device, self.config.streams)
+        return self.schedule_trace(schedule).overlapped_time_s(
+            self.device, self.config.streams
+        )
+
+    def application_trace(self, app) -> ExecutionTrace:
+        """The full trace of one application (anything with ``.schedule``)."""
+        return self.schedule_trace(app.schedule(self.params))
+
+    def application_time(self, app, per_ciphertext: bool = True) -> float:
+        """End-to-end application time, seconds.
+
+        With ``per_ciphertext=True`` (the Table 5 convention, matching the
+        apps' own ``time_s``) the batched time is amortised over the
+        ``BatchSize`` ciphertexts processed together.
+        """
+        time = self.schedule_time_s(app.schedule(self.params))
+        return time / self.batch if per_ciphertext else time
+
+    # -- observability -------------------------------------------------------------
+
+    @property
+    def trace_cache(self) -> TraceCache:
+        """The trace cache backing this context's pipeline."""
+        return self.pipeline.cache
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the backing trace cache."""
+        return self.pipeline.cache.stats
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,7 @@ from .bconv_matmul import bconv_cost
 from .ip_matmul import ip_cost
 from .mapping import choose_ip_component, ip_gemm_shape
 from .radix16_ntt import ntt_cost
+from .trace_cache import TraceCache, TraceKey, default_trace_cache
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,7 @@ class OperationPipeline:
         params: ParameterSet,
         config: PipelineConfig = NEO_CONFIG,
         batch: Optional[int] = None,
+        cache: Optional[TraceCache] = None,
     ):
         if config.keyswitch == "klss" and params.klss is None:
             raise ValueError(
@@ -108,6 +110,10 @@ class OperationPipeline:
         self.params = params
         self.config = config
         self.batch = batch if batch is not None else (params.batch_size or 1)
+        #: Trace cache consulted by :meth:`operation_trace`.  Defaults to the
+        #: process-wide shared cache; pass ``TraceCache(maxsize=0)`` to force
+        #: uncached construction.
+        self.cache = cache if cache is not None else default_trace_cache()
 
     # -- small helpers -------------------------------------------------------------
 
@@ -300,19 +306,46 @@ class OperationPipeline:
         trace.add(self._ntt(4))
         return trace
 
-    def operation_trace(self, name: str, level: int) -> ExecutionTrace:
-        """Dispatch by operation name (HMult, HRotate, PMult, ...)."""
-        table = {
-            "hmult": self.hmult_trace,
-            "hrotate": self.hrotate_trace,
-            "pmult": self.pmult_trace,
-            "hadd": self.hadd_trace,
-            "padd": self.padd_trace,
-            "rescale": self.rescale_trace,
-            "double_rescale": self.double_rescale_trace,
-            "keyswitch": self.keyswitch_trace,
-        }
+    #: operation name -> trace-builder method name.
+    OPERATION_BUILDERS = {
+        "hmult": "hmult_trace",
+        "hrotate": "hrotate_trace",
+        "pmult": "pmult_trace",
+        "hadd": "hadd_trace",
+        "padd": "padd_trace",
+        "rescale": "rescale_trace",
+        "double_rescale": "double_rescale_trace",
+        "keyswitch": "keyswitch_trace",
+    }
+
+    def trace_key(self, name: str, level: int) -> TraceKey:
+        """The value-based cache key of one operation trace."""
+        return (self.params, self.config, self.batch, name.lower(), level)
+
+    def build_operation_trace(self, name: str, level: int) -> ExecutionTrace:
+        """Construct an operation trace from scratch (never touches the cache).
+
+        The builder is resolved *before* it runs, so a ``KeyError`` raised
+        inside a trace builder propagates as-is instead of being misreported
+        as an unknown operation.
+        """
         try:
-            return table[name.lower()](level)
+            builder = getattr(self, self.OPERATION_BUILDERS[name.lower()])
         except KeyError:
+            raise ValueError(f"unknown operation {name!r}") from None
+        return builder(level)
+
+    def operation_trace(self, name: str, level: int) -> ExecutionTrace:
+        """Dispatch by operation name (HMult, HRotate, PMult, ...), cached.
+
+        Returns a frozen (immutable, shared) trace; callers must not mutate
+        it -- derive with ``merged``/``scaled`` instead.
+        """
+        # Validate the name eagerly so unknown operations raise even on what
+        # would otherwise be a cache hit.
+        if name.lower() not in self.OPERATION_BUILDERS:
             raise ValueError(f"unknown operation {name!r}")
+        return self.cache.get_or_build(
+            self.trace_key(name, level),
+            lambda: self.build_operation_trace(name, level),
+        )

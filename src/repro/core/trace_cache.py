@@ -1,0 +1,131 @@
+"""Keyed LRU cache of :class:`~repro.gpu.trace.ExecutionTrace` objects.
+
+Trace construction is deterministic: the same (parameter set, pipeline
+config, batch, operation, level) always yields the same event list, yet the
+model layer used to rebuild it on every timing query -- an application
+schedule re-derives the identical KeySwitch trace hundreds of times.  GPU
+FHE libraries avoid exactly this by precomputing execution plans once and
+replaying them (Cheddar's kernel plans, TensorFHE's batched kernel reuse);
+this module is the model-side mirror of that idea.
+
+Keys must be fully value-based: :class:`~repro.ckks.params.ParameterSet`
+and :class:`~repro.core.pipeline.PipelineConfig` are frozen dataclasses, so
+two pipelines built from equal inputs share cached traces even across
+contexts.  The device is deliberately *not* part of the key -- traces
+describe resource demands, and devices only enter when a trace is timed.
+
+Cached traces are returned ``frozen()`` (tuple-backed event lists), so a
+cache hit can be handed to many callers without aliasing hazards.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from ..gpu.trace import ExecutionTrace
+
+#: A fully value-based cache key: (params, config, batch, operation, level).
+TraceKey = Tuple[Hashable, ...]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`TraceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class TraceCache:
+    """An LRU-bounded map from :data:`TraceKey` to frozen traces.
+
+    ``maxsize=0`` disables storage entirely (every lookup misses and the
+    freshly built trace is returned uncached) -- the benchmarks use this to
+    time the uncached construction path against the cached one.
+    """
+
+    maxsize: int = 1024
+    _entries: "OrderedDict[TraceKey, ExecutionTrace]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    _stats: CacheStats = field(default_factory=CacheStats, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+
+    def get_or_build(
+        self, key: TraceKey, builder: Callable[[], ExecutionTrace]
+    ) -> ExecutionTrace:
+        """The cached trace for `key`, building (and storing) it on a miss."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return cached
+            self._stats.misses += 1
+            trace = builder().frozen()
+            if self.maxsize > 0:
+                self._entries[key] = trace
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._stats.evictions += 1
+            return trace
+
+    def get(self, key: TraceKey) -> Optional[ExecutionTrace]:
+        """Peek without counting a hit/miss or building."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._stats = CacheStats()
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the counters."""
+        with self._lock:
+            return self._stats.snapshot()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+#: Process-wide default cache shared by every pipeline that is not handed
+#: its own.  Keys are fully value-based, so sharing across parameter sets,
+#: configs and batch sizes is safe by construction.
+GLOBAL_TRACE_CACHE = TraceCache(maxsize=4096)
+
+
+def default_trace_cache() -> TraceCache:
+    """The shared process-wide trace cache."""
+    return GLOBAL_TRACE_CACHE

@@ -55,10 +55,15 @@ class DeviceSpec:
     # -- occupancy -------------------------------------------------------------
 
     def _utilization(self, batch: int, half: float) -> float:
-        """Saturating utilisation, normalised to 1.0 at BatchSize = 128."""
+        """Saturating utilisation, normalised to 1.0 at BatchSize = 128.
+
+        Clamped at 1.0: batches beyond the 128-ciphertext calibration point
+        saturate the device rather than exceeding the calibrated attainable
+        fraction (the raw saturation curve crosses 1.0 above batch = 128).
+        """
         if half <= 0 or batch <= 0:
             return 1.0
-        return (batch * (128 + half)) / (128 * (batch + half))
+        return min(1.0, (batch * (128 + half)) / (128 * (batch + half)))
 
     def derated_for_batch(self, batch: int) -> "DeviceSpec":
         """The device as seen by a workload batched `batch` ciphertexts wide."""

@@ -53,7 +53,9 @@ class KernelCost:
     tcu_int8_ops: float = 0.0
     bytes_read: float = 0.0
     bytes_written: float = 0.0
-    launches: int = 1
+    #: Kernel launches.  Fractional values model launch overhead amortised
+    #: over fractional repetitions (``scaled``); a true no-op carries 0.
+    launches: float = 1
 
     # -- timing ----------------------------------------------------------------
 
@@ -87,7 +89,12 @@ class KernelCost:
     # -- algebra -----------------------------------------------------------------
 
     def scaled(self, factor: float, name: str = None) -> "KernelCost":
-        """The cost of running this kernel `factor` times."""
+        """The cost of running this kernel `factor` times.
+
+        Launches scale linearly (no rounding, no floor): a zero-launch
+        placeholder stays launch-free, and ``scaled(a).scaled(b)`` equals
+        ``scaled(a * b)`` exactly.
+        """
         return KernelCost(
             name=name or self.name,
             cuda_flops=self.cuda_flops * factor,
@@ -95,7 +102,7 @@ class KernelCost:
             tcu_int8_ops=self.tcu_int8_ops * factor,
             bytes_read=self.bytes_read * factor,
             bytes_written=self.bytes_written * factor,
-            launches=max(1, round(self.launches * factor)),
+            launches=self.launches * factor,
         )
 
     def merged(self, other: "KernelCost", name: str = None) -> "KernelCost":

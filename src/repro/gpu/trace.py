@@ -11,17 +11,24 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 from .device import DeviceSpec
 from .kernels import KernelCost
 
 
-@dataclass
+@dataclass(eq=False)
 class ExecutionTrace:
-    """An ordered list of kernel executions."""
+    """An ordered list of kernel executions.
 
-    events: List[KernelCost] = field(default_factory=list)
+    Traces start out mutable (builders ``add``/``extend`` them) and can be
+    ``frozen()`` once complete: a frozen trace stores its events as a tuple,
+    so it is safely shareable from a cache -- attempts to ``add`` to it
+    raise, and it is hashable.  Equality is by event sequence, so a frozen
+    trace compares equal to the mutable trace it was built from.
+    """
+
+    events: Sequence[KernelCost] = field(default_factory=list)
 
     def add(self, cost: KernelCost) -> "ExecutionTrace":
         self.events.append(cost)
@@ -33,6 +40,26 @@ class ExecutionTrace:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExecutionTrace):
+            return NotImplemented
+        return tuple(self.events) == tuple(other.events)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.events))
+
+    # -- immutability -------------------------------------------------------------
+
+    @property
+    def is_frozen(self) -> bool:
+        return isinstance(self.events, tuple)
+
+    def frozen(self) -> "ExecutionTrace":
+        """This trace with an immutable event sequence (self if already so)."""
+        if self.is_frozen:
+            return self
+        return ExecutionTrace(events=tuple(self.events))
 
     # -- timing -----------------------------------------------------------------
 
@@ -91,7 +118,7 @@ class ExecutionTrace:
         return dict(table)
 
     def merged(self, other: "ExecutionTrace") -> "ExecutionTrace":
-        return ExecutionTrace(events=self.events + other.events)
+        return ExecutionTrace(events=list(self.events) + list(other.events))
 
     def scaled(self, factor: float) -> "ExecutionTrace":
         """The trace repeated `factor` times (for per-iteration -> app time)."""

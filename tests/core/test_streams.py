@@ -4,8 +4,9 @@ import json
 
 import pytest
 
-from repro.core import NEO_CONFIG, NeoContext
+from repro.core import HEONGPU_CONFIG, NEO_CONFIG, TENSORFHE_CONFIG, NeoContext
 from repro.core.streams import ScheduledKernel, StreamScheduler
+from repro.core.trace_cache import TraceCache
 from repro.gpu.device import A100
 from repro.gpu.kernels import KernelCost
 from repro.gpu.trace import ExecutionTrace
@@ -62,6 +63,62 @@ class TestScheduler:
     def test_invalid_stream_count(self):
         with pytest.raises(ValueError):
             StreamScheduler(A100, streams=0)
+
+
+class TestSchedulerInvariant:
+    """analytic lower bound <= simulated makespan <= serial time.
+
+    The exact sandwich holds when every kernel exercises one resource and
+    launch overhead is off (the simulator books each kernel against its
+    dominant resource only, and spreads launch overhead differently from
+    the analytic model); real mixed traces keep the serial upper bound
+    exactly and the analytic bound to within the documented tolerance.
+    """
+
+    #: Launch-free device: the analytic and simulated overhead accounting
+    #: coincide, making the lower bound exact.
+    DEVICE = A100.with_overrides(kernel_launch_us=0.0)
+
+    def _single_resource_trace(self, n=24):
+        trace = ExecutionTrace()
+        for i in range(n):
+            kind = i % 3
+            if kind == 0:
+                trace.add(KernelCost(f"c{i}", cuda_flops=(1 + i) * 1e9))
+            elif kind == 1:
+                trace.add(KernelCost(f"t{i}", tcu_fp64_flops=(1 + i) * 1e9))
+            else:
+                trace.add(KernelCost(f"m{i}", bytes_read=(1 + i) * 1e7))
+        return trace
+
+    @pytest.mark.parametrize("streams", (1, 2, 4, 8, 16))
+    def test_exact_sandwich_on_single_resource_kernels(self, streams):
+        trace = self._single_resource_trace()
+        serial = trace.serial_time_s(self.DEVICE)
+        analytic = trace.overlapped_time_s(self.DEVICE, streams)
+        simulated = StreamScheduler(self.DEVICE, streams).makespan_s(trace)
+        assert analytic <= simulated * (1 + 1e-9)
+        assert simulated <= serial * (1 + 1e-9)
+
+    @pytest.mark.parametrize(
+        "config,set_name",
+        [
+            (NEO_CONFIG, "C"),
+            (TENSORFHE_CONFIG.with_overrides(keyswitch="hybrid"), "B"),
+            (HEONGPU_CONFIG, "E"),
+        ],
+    )
+    @pytest.mark.parametrize("op", ("keyswitch", "hmult", "hrotate"))
+    def test_real_traces_respect_bounds(self, config, set_name, op):
+        ctx = NeoContext(set_name, config=config, trace_cache=TraceCache())
+        trace = ctx.operation_trace(op, 35)
+        for streams in (2, 4, 8):
+            serial = trace.serial_time_s(ctx.device)
+            analytic = trace.overlapped_time_s(ctx.device, streams)
+            simulated = StreamScheduler(ctx.device, streams).makespan_s(trace)
+            assert simulated <= serial * (1 + 1e-9)
+            # Dominant-resource approximation: allow the documented slack.
+            assert simulated >= 0.8 * analytic
 
 
 class TestScheduleResult:

@@ -1,0 +1,52 @@
+"""Regression tests for batch-occupancy derating (DeviceSpec._utilization).
+
+The saturation curve is normalised to 1.0 at BatchSize = 128; before the
+clamp, batches beyond 128 pushed the utilisation *above* 1.0 and
+``derated_for_batch`` boosted throughput past the calibrated attainable
+fraction (batch=512 yielded cuda_efficiency ~0.2588 against the 0.22
+ceiling).
+"""
+
+import pytest
+
+from repro.baselines.cpu import CPU_DEVICE
+from repro.gpu.device import A100, H100
+
+
+class TestBatchDerating:
+    @pytest.mark.parametrize("batch", (129, 256, 512, 1024, 4096))
+    def test_large_batches_never_exceed_calibrated_fractions(self, batch):
+        derated = A100.derated_for_batch(batch)
+        assert derated.cuda_efficiency <= A100.cuda_efficiency
+        assert derated.tcu_fp64_efficiency <= A100.tcu_fp64_efficiency
+        assert derated.tcu_int8_efficiency <= A100.tcu_int8_efficiency
+        assert derated.memory_efficiency <= A100.memory_efficiency
+
+    def test_batch_512_regression(self):
+        """The exact case from the bug report: batch=512 used to yield
+        cuda_efficiency ~0.2588 > the 0.22 ceiling."""
+        assert A100.derated_for_batch(512).cuda_efficiency == pytest.approx(0.22)
+
+    def test_saturated_batches_return_self(self):
+        assert A100.derated_for_batch(128) is A100
+        assert A100.derated_for_batch(512) is A100
+
+    def test_efficiencies_monotone_in_batch(self):
+        batches = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+        for device in (A100, H100):
+            effs = [device.derated_for_batch(b).cuda_efficiency for b in batches]
+            mems = [device.derated_for_batch(b).memory_efficiency for b in batches]
+            for lo, hi in zip(effs, effs[1:]):
+                assert lo <= hi + 1e-15
+            for lo, hi in zip(mems, mems[1:]):
+                assert lo <= hi + 1e-15
+
+    def test_utilization_bounded(self):
+        for batch in (1, 16, 128, 200, 1000, 10**6):
+            assert 0.0 < A100._utilization(batch, 32.0) <= 1.0
+
+    def test_small_batches_still_derate(self):
+        assert A100.derated_for_batch(8).cuda_efficiency < A100.cuda_efficiency
+
+    def test_cpu_unaffected(self):
+        assert CPU_DEVICE.derated_for_batch(512) is CPU_DEVICE

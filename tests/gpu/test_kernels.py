@@ -99,6 +99,25 @@ class TestKernelCost:
     def test_zero_cost(self):
         assert zero_cost("nop").time_s(A100) == 0.0
 
+    def test_scaled_preserves_zero_launches(self):
+        """Regression: .scaled() used to floor launches at 1, giving a
+        zero-cost placeholder a phantom kernel launch."""
+        scaled = zero_cost("nop").scaled(5)
+        assert scaled.launches == 0
+        assert scaled.time_s(A100) == 0.0
+
+    def test_scaled_composes_exactly(self):
+        cost = KernelCost("k", cuda_flops=10, bytes_read=4, launches=3)
+        assert cost.scaled(0.5).scaled(2) == cost.scaled(1.0)
+        assert cost.scaled(0.25).scaled(8) == cost.scaled(2.0)
+        assert cost.scaled(0.5).launches == pytest.approx(1.5)
+
+    def test_fractional_scaling_amortises_launch_overhead(self):
+        cost = KernelCost("k", cuda_flops=1e9, launches=2)
+        half = cost.scaled(0.5)
+        assert half.launches == 1
+        assert 2 * half.time_s(A100) == pytest.approx(cost.time_s(A100))
+
 
 class TestGemmCosts:
     M, N, K, WS = 4096, 8, 4, 36

@@ -51,3 +51,39 @@ def test_fig16_shape(capsys):
 def test_no_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestProfileCommand:
+    def test_profile_default_system(self, capsys):
+        assert main(["profile", "packbootstrap"]) == 0
+        out = capsys.readouterr().out
+        assert "per-operation" in out
+        assert "per-kernel" in out
+        assert "trace cache" in out
+
+    @pytest.mark.parametrize("system", ["tensorfhe", "heongpu", "cpu"])
+    def test_profile_baseline_systems(self, capsys, system):
+        assert main(["profile", "helr", "--system", system]) == 0
+        assert "per-operation" in capsys.readouterr().out
+
+    def test_profile_with_set_and_batch(self, capsys):
+        assert main(["profile", "resnet20", "--set", "D", "--batch", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "set D" in out and "batch 64" in out
+
+    def test_profile_chrome_trace_output(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["profile", "packbootstrap", "--chrome-trace", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert "chrome trace" in capsys.readouterr().out
+
+    def test_profile_unknown_app(self, capsys):
+        assert main(["profile", "nosuchapp"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_profile_unknown_system(self, capsys):
+        assert main(["profile", "helr", "--system", "tpu"]) == 2
+        assert "unknown system" in capsys.readouterr().err
