@@ -24,12 +24,11 @@ from .encryptor import Decryptor, Encryptor
 
 
 def _stack_polys(polys: Sequence[RnsPolynomial]) -> RnsPolynomial:
+    # Insert the batch axis right after the limb axis, keeping the native
+    # residue dtype: (L, N) x B -> (L, B, N) in one copy.
     first = polys[0]
-    limbs = [
-        np.stack([np.asarray(p.limbs[i], dtype=object) for p in polys])
-        for i in range(len(first.basis))
-    ]
-    return RnsPolynomial(first.degree, first.basis, limbs, first.is_ntt)
+    stack = np.stack([p.stack for p in polys], axis=1)
+    return RnsPolynomial(first.degree, first.basis, stack, first.is_ntt)
 
 
 def _unstack_poly(poly: RnsPolynomial) -> List[RnsPolynomial]:
@@ -37,12 +36,7 @@ def _unstack_poly(poly: RnsPolynomial) -> List[RnsPolynomial]:
     if len(batch) != 1:
         raise ValueError(f"expected one batch axis, got shape {batch}")
     return [
-        RnsPolynomial(
-            poly.degree,
-            poly.basis,
-            [limb[i] for limb in poly.limbs],
-            poly.is_ntt,
-        )
+        RnsPolynomial(poly.degree, poly.basis, poly.stack[:, i], poly.is_ntt)
         for i in range(batch[0])
     ]
 

@@ -86,8 +86,11 @@ class CkksEncoder:
         # => coeffs = fft(spectrum / N) / twist  (times N/N bookkeeping)
         twisted = np.fft.fft(spectrum) / self.degree
         coeffs = twisted / self._twist
-        scaled = np.round(coeffs.real * scale).astype(object)
-        return scaled
+        scaled = np.round(coeffs.real * scale)
+        if np.all(np.abs(scaled) < float(2**62)):
+            # Machine-word coefficients decompose natively per limb.
+            return scaled.astype(np.int64)
+        return np.array([int(v) for v in scaled], dtype=object)
 
     def project(self, coeffs: np.ndarray, scale: float) -> np.ndarray:
         """Canonical embedding: integer coefficients -> complex slots."""

@@ -10,6 +10,8 @@ from __future__ import annotations
 from functools import reduce
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..math import modarith
 from ..math.polynomial import RnsPolynomial
 from .ciphertext import Ciphertext
@@ -253,22 +255,29 @@ class Evaluator:
     def _exact_divide_drop(
         self, poly: RnsPolynomial, count: int, drop_product: int
     ) -> RnsPolynomial:
-        """Round-divide a polynomial by the product of its last `count` limbs."""
+        """Round-divide a polynomial by the product of its last `count` limbs.
+
+        The whole correction runs as stack arithmetic: dropping one limb
+        (the common Rescale) never leaves machine words, and the bignum CRT
+        compose only runs when several limbs are dropped at once.
+        """
         poly = poly.from_ntt()
         keep = len(poly.basis) - count
+        from ..math.modstack import ModulusStack
         from ..math.rns import RnsBasis
 
-        tail_basis = RnsBasis(poly.basis.moduli[keep:])
-        tail_value = tail_basis.compose(poly.limbs[keep:])  # exact, < drop_product
-        limbs = []
-        for limb, q in zip(poly.limbs[:keep], poly.basis.moduli[:keep]):
-            correction = modarith.asarray_mod(tail_value, q)
-            inv = modarith.inv_mod(drop_product % q, q)
-            limbs.append(
-                modarith.scalar_mul_mod(
-                    modarith.sub_mod(limb, correction, q), inv, q
-                )
-            )
-        return RnsPolynomial(
-            poly.degree, poly.basis.subbasis(0, keep), limbs, is_ntt=False
-        )
+        if count == 1:
+            # A single dropped limb IS the tail value -- no CRT compose.
+            tail_value = poly.limbs[keep]
+        else:
+            tail_basis = RnsBasis(poly.basis.moduli[keep:])
+            tail_value = tail_basis.compose(poly.limbs[keep:])
+        keep_basis = poly.basis.subbasis(0, keep)
+        mstack = ModulusStack.for_moduli(keep_basis.moduli)
+        correction = mstack.reduce(np.asarray(tail_value)[None, ...])
+        diff = mstack.sub(poly.stack[:keep], correction)
+        inverses = [
+            modarith.inv_mod(drop_product % q, q) for q in keep_basis.moduli
+        ]
+        scaled = mstack.scalar_mul(diff, inverses)
+        return RnsPolynomial(poly.degree, keep_basis, scaled, is_ntt=False)

@@ -27,7 +27,7 @@ from .params import CkksParameters
 
 def sample_ternary(degree: int, rng: np.random.Generator) -> np.ndarray:
     """Uniform ternary secret coefficients in {-1, 0, 1}."""
-    return rng.integers(-1, 2, size=degree).astype(object)
+    return rng.integers(-1, 2, size=degree, dtype=np.int64)
 
 
 def sample_sparse_ternary(
@@ -41,24 +41,23 @@ def sample_sparse_ternary(
     """
     if not 0 < hamming_weight <= degree:
         raise ValueError(f"hamming weight must be in (0, {degree}]")
-    coeffs = np.zeros(degree, dtype=object)
+    coeffs = np.zeros(degree, dtype=np.int64)
     positions = rng.choice(degree, size=hamming_weight, replace=False)
     signs = rng.choice([-1, 1], size=hamming_weight)
-    for pos, sign in zip(positions, signs):
-        coeffs[pos] = int(sign)
+    coeffs[positions] = signs
     return coeffs
 
 
 def sample_error(degree: int, std: float, rng: np.random.Generator) -> np.ndarray:
     """Rounded Gaussian error coefficients."""
-    return np.round(rng.normal(0.0, std, size=degree)).astype(np.int64).astype(object)
+    return np.round(rng.normal(0.0, std, size=degree)).astype(np.int64)
 
 
 def sample_uniform(degree: int, basis: RnsBasis, rng: np.random.Generator) -> RnsPolynomial:
     """A uniformly random ring element, sampled limb-wise (CRT-uniform)."""
     limbs = [
-        rng.integers(0, q, size=degree, dtype=np.int64).astype(object)
-        if q < 2**62
+        rng.integers(0, q, size=degree, dtype=np.uint64)
+        if q < 2**63
         else np.array([int.from_bytes(rng.bytes(16), "little") % q for _ in range(degree)], dtype=object)
         for q in basis.moduli
     ]

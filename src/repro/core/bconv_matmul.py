@@ -47,6 +47,13 @@ class NeoBConv:
         self.to_basis = to_basis
         self._gemm = gemm if gemm is not None else self._integer_gemm
         self._matrix = bconv_matrix(from_basis, to_basis)  # (alpha, alpha')
+        # Per-target uint64 columns of B (column j is reduced mod p_j, so
+        # each fits a machine word whenever p_j does).
+        self._native_cols = (
+            [self._matrix[:, j].astype(np.uint64) for j in range(len(to_basis))]
+            if all(modarith.uses_native_backend(p) for p in to_basis.moduli)
+            else None
+        )
 
     @staticmethod
     def _integer_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -59,21 +66,43 @@ class NeoBConv:
         ``(batch, coefficient)`` column -- the test-suite asserts it.
         """
         alpha, batch, n = self._check_input(tensor)
+        native = (
+            tensor.dtype != object
+            and self._native_cols is not None
+            and all(
+                modarith.uses_native_backend(q) for q in self.from_basis.moduli
+            )
+        )
         # Step 1: scalar multiplication by q_hat_inv_i (per input limb).
-        scaled = np.empty_like(tensor, dtype=object)
+        scaled = np.empty(tensor.shape, dtype=np.uint64 if native else object)
         for i, (q, inv) in enumerate(
             zip(self.from_basis.moduli, self.from_basis.q_hat_inv)
         ):
-            scaled[i] = (tensor[i].astype(object) * inv) % q
+            scaled[i] = modarith.scalar_mul_mod(
+                modarith.asarray_mod(tensor[i], q), inv, q
+            )
         # Step 1b: data reorder (alpha, BS, N) -> (N, BS, alpha).
         reordered = layout.bconv_forward(scaled)
-        # Step 2: one big GEMM (BS*N, alpha) @ (alpha, alpha'), exact integers.
         flat = reordered.reshape(n * batch, alpha)
+        if native and self._gemm is NeoBConv._integer_gemm:
+            # Steps 2+3 fused in uint64: each output column reduces by its
+            # own prime, so run one Barrett-reduced GEMV per target limb --
+            # the same residues the exact GEMM + merge produces, with no
+            # bignum round trip.
+            out_cols = [
+                modarith.matmul_mod(flat, col, p)
+                for col, p in zip(self._native_cols, self.to_basis.moduli)
+            ]
+            stacked = np.stack(out_cols, axis=1).reshape(
+                n, batch, len(self.to_basis)
+            )
+            return layout.bconv_backward(stacked)
+        # Step 2: one big GEMM (BS*N, alpha) @ (alpha, alpha'), exact integers.
         product = self._gemm(flat, self._matrix)
         # Step 3: per-column modular reduction (CUDA-core merge step).
         out_cols = []
         for j, p in enumerate(self.to_basis.moduli):
-            out_cols.append(np.asarray(product[:, j], dtype=object) % p)
+            out_cols.append(modarith.asarray_mod(np.asarray(product[:, j]), p))
         stacked = np.stack(out_cols, axis=1).reshape(n, batch, len(self.to_basis))
         # Step 4: reorder back to limb-contiguous (alpha', BS, N).
         return layout.bconv_backward(stacked)
@@ -96,7 +125,7 @@ def reference_bconv(tensor: np.ndarray, from_basis: RnsBasis, to_basis: RnsBasis
     alpha, batch, n = tensor.shape
     flat = [tensor[i].reshape(batch * n) for i in range(alpha)]
     out = bconv_approx(flat, from_basis, to_basis)
-    return np.stack([np.asarray(limb, dtype=object).reshape(batch, n) for limb in out])
+    return np.stack([np.asarray(limb).reshape(batch, n) for limb in out])
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,206 @@
+"""Limb-stacked modular arithmetic over a whole RNS basis at once.
+
+The double-CRT layout stores one residue array per RNS limb; GPU FHE
+libraries keep those limbs contiguous in a single ``(num_limbs, N)`` tensor
+and run every element-wise kernel across the whole stack in one launch.
+:class:`ModulusStack` is the numpy mirror of that idea: per-limb moduli,
+Barrett constants and bit-width shifts are materialised as broadcastable
+columns so that ``add/sub/neg/mul/scalar_mul`` over an ``(L, ..., N)``
+stack are single vectorised expressions -- no Python-level per-limb loop.
+
+When every modulus fits the native ``uint64`` backends the stack dtype is
+``uint64``; a single limb at or above ``2**62`` demotes the whole stack to
+the exact object backend (the reference oracle path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from . import modarith
+
+_U64 = np.uint64
+
+
+class ModulusStack:
+    """Vectorised mod-arithmetic context for an ordered tuple of moduli.
+
+    Arrays handled by a stack have shape ``(L, ..., N)``: leading limb axis,
+    then optional batch axes, then the coefficient axis.  All per-limb
+    constants broadcast from column vectors ``(L, 1, ..., 1)``.
+    """
+
+    _CACHE: Dict[Tuple[Tuple[int, ...], bool], "ModulusStack"] = {}
+
+    def __init__(self, moduli: Sequence[int]):
+        self.moduli: Tuple[int, ...] = tuple(int(q) for q in moduli)
+        if not self.moduli:
+            raise ValueError("a modulus stack needs at least one modulus")
+        if any(q <= 1 for q in self.moduli):
+            raise ValueError("all moduli must be > 1")
+        self.native = all(modarith.uses_native_backend(q) for q in self.moduli)
+        if self.native:
+            self._q = np.array(self.moduli, dtype=_U64)
+            bits = [q.bit_length() for q in self.moduli]
+            self._s_lo = np.array([k - 1 for k in bits], dtype=_U64)
+            self._s_lo_c = np.array([64 - (k - 1) for k in bits], dtype=_U64)
+            self._s_hi = np.array([k + 1 for k in bits], dtype=_U64)
+            self._s_hi_c = np.array([64 - (k + 1) for k in bits], dtype=_U64)
+            self._mu = np.array(
+                [(1 << (2 * k)) // q for k, q in zip(bits, self.moduli)],
+                dtype=_U64,
+            )
+        else:
+            self._q = np.array(self.moduli, dtype=object)
+
+    @classmethod
+    def for_moduli(cls, moduli: Sequence[int]) -> "ModulusStack":
+        """The cached stack for `moduli` under the current backend policy."""
+        key = (tuple(int(q) for q in moduli), modarith._BARRETT_ENABLED)
+        stack = cls._CACHE.get(key)
+        if stack is None:
+            stack = cls(key[0])
+            cls._CACHE[key] = stack
+        return stack
+
+    @property
+    def dtype(self):
+        return np.uint64 if self.native else object
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    # -- shaping ------------------------------------------------------------
+
+    def _col(self, arr: np.ndarray, ndim: int) -> np.ndarray:
+        """Reshape a per-limb ``(L,)`` constant to broadcast over `ndim` axes."""
+        return arr.reshape((len(self.moduli),) + (1,) * (ndim - 1))
+
+    @staticmethod
+    def _align(a: np.ndarray, b: np.ndarray):
+        """Insert batch axes after the limb axis so two stacks broadcast.
+
+        Stacks are ``(L, batch..., N)``; numpy aligns trailing axes, so a
+        rank difference means missing *batch* dims, which belong between
+        the limb and coefficient axes rather than in front.
+        """
+        while a.ndim < b.ndim:
+            a = np.expand_dims(a, 1)
+        while b.ndim < a.ndim:
+            b = np.expand_dims(b, 1)
+        return a, b
+
+    def q_col(self, ndim: int) -> np.ndarray:
+        return self._col(self._q, ndim)
+
+    # -- coercion -----------------------------------------------------------
+
+    def stack_limbs(self, limbs: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack per-limb residue arrays into one reduced ``(L, ..., N)`` array."""
+        if len(limbs) != len(self.moduli):
+            raise ValueError(
+                f"expected {len(self.moduli)} limb arrays, got {len(limbs)}"
+            )
+        reduced = [
+            modarith.asarray_mod(limb, q) for limb, q in zip(limbs, self.moduli)
+        ]
+        if self.native:
+            return np.stack(reduced)
+        return np.stack([np.asarray(limb, dtype=object) for limb in reduced])
+
+    def reduce(self, stack: np.ndarray) -> np.ndarray:
+        """Reduce an integer stack limb-wise into ``[0, q_i)``."""
+        stack = np.asarray(stack)
+        if self.native and stack.dtype != object:
+            if np.issubdtype(stack.dtype, np.signedinteger):
+                q = self._col(self._q.astype(np.int64), stack.ndim)
+                return (stack.astype(np.int64, copy=False) % q).astype(_U64)
+            return stack.astype(_U64, copy=False) % self.q_col(stack.ndim)
+        stack = np.asarray(stack, dtype=object)
+        reduced = stack % self._col(self._q, stack.ndim)
+        if self.native:
+            return reduced.astype(_U64)
+        return reduced
+
+    def zeros(self, shape) -> np.ndarray:
+        shape = (len(self.moduli),) + tuple(shape)
+        if self.native:
+            return np.zeros(shape, dtype=_U64)
+        out = np.empty(shape, dtype=object)
+        out[...] = 0
+        return out
+
+    # -- element-wise ring operations ---------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = self._align(a, b)
+        q = self._col(self._q, a.ndim)
+        if self.native:
+            s = a + b
+            return np.where(s >= q, s - q, s)
+        return (a + b) % q
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = self._align(a, b)
+        q = self._col(self._q, a.ndim)
+        if self.native:
+            s = a + (q - b)
+            return np.where(s >= q, s - q, s)
+        return (a - b) % q
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        q = self._col(self._q, a.ndim)
+        if self.native:
+            return np.where(a == 0, a, q - a)
+        return (-a) % q
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two reduced stacks (Barrett per limb)."""
+        a, b = self._align(a, b)
+        if not self.native:
+            return (a * b) % self._col(self._q, a.ndim)
+        ndim = max(a.ndim, b.ndim)
+        hi, lo = modarith.mul128(a, b)
+        approx = (hi << self._col(self._s_lo_c, ndim)) | (
+            lo >> self._col(self._s_lo, ndim)
+        )
+        q2_hi, q2_lo = modarith.mul128(approx, self._col(self._mu, ndim))
+        quot = (q2_hi << self._col(self._s_hi_c, ndim)) | (
+            q2_lo >> self._col(self._s_hi, ndim)
+        )
+        q = self._col(self._q, ndim)
+        r = lo - quot * q
+        r = np.where(r >= q, r - q, r)
+        return np.where(r >= q, r - q, r)
+
+    def shoup_mul(
+        self, a: np.ndarray, w: np.ndarray, w_shoup: np.ndarray
+    ) -> np.ndarray:
+        """Shoup product against per-limb constant stacks (native only)."""
+        a, w = self._align(a, w)
+        a, w_shoup = self._align(a, w_shoup)
+        return modarith.shoup_mul_mod(a, w, w_shoup, self._col(self._q, a.ndim))
+
+    def scalar_mul(self, a: np.ndarray, scalars: Sequence[int]) -> np.ndarray:
+        """Multiply limb ``i`` by Python-int ``scalars[i]``."""
+        if len(scalars) != len(self.moduli):
+            raise ValueError("need one scalar per limb")
+        reduced = [int(s) % q for s, q in zip(scalars, self.moduli)]
+        if not self.native:
+            w = self._col(np.array(reduced, dtype=object), a.ndim)
+            return (a * w) % self._col(self._q, a.ndim)
+        w = self._col(np.array(reduced, dtype=_U64), a.ndim)
+        w_shoup = self._col(
+            np.array(
+                [modarith.shoup_precompute(s, q) for s, q in zip(reduced, self.moduli)],
+                dtype=_U64,
+            ),
+            a.ndim,
+        )
+        return modarith.shoup_mul_mod(a, w, w_shoup, self._col(self._q, a.ndim))
+
+    def broadcast_scalar_mul(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply every limb by the same Python integer (reduced per limb)."""
+        return self.scalar_mul(a, [scalar] * len(self.moduli))

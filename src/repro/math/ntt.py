@@ -3,9 +3,16 @@
 Three functionally equivalent implementations are provided, mirroring the
 paper's discussion (Section 4.4):
 
-* :class:`NttPlan` -- the classic in-place iterative negacyclic NTT
-  (Cooley-Tukey forward / Gentleman-Sande inverse with merged ``psi``
-  twisting).  This is the bit-exact reference.
+* :class:`NttPlan` -- the classic iterative negacyclic NTT (Cooley-Tukey
+  forward / Gentleman-Sande inverse with merged ``psi`` twisting).  Every
+  butterfly stage runs as one vectorised numpy expression over all blocks
+  at once; on the native backends the twiddle products use Shoup's trick
+  against per-stage precomputed constant columns.  This is the bit-exact
+  reference.
+* :class:`NttStack` -- the same transform batched across a whole RNS limb
+  stack: one call moves an ``(L, ..., N)`` double-CRT tensor between the
+  coefficient and evaluation domains, with per-limb twiddle tables stacked
+  into ``(L, N)`` arrays so no Python-level per-limb loop remains.
 * :func:`four_step_ntt` / :func:`multi_step_ntt` -- the matrix-multiplication
   formulations (four-step and the generalised "ten-step"/radix-16
   decomposition) that Neo maps onto tensor cores.  They operate on the
@@ -13,18 +20,25 @@ paper's discussion (Section 4.4):
   ("Mul & Trans" = twist + transpose between GEMMs).
 
 All transforms agree element-for-element; the test-suite asserts it.
+
+Plans are memoised in a bounded LRU cache (same discipline as
+:mod:`repro.core.trace_cache`, reimplemented here because ``math`` must not
+import ``core``); see :func:`clear_plan_cache` / :func:`plan_cache_stats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import modarith
 from .primes import root_of_unity
 
-_PLAN_CACHE: Dict[Tuple[int, int], "NttPlan"] = {}
+_U64 = np.uint64
 
 
 def _bit_reverse_permutation(n: int) -> np.ndarray:
@@ -42,12 +56,25 @@ def is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
 
 
+def _shoup_table(values: np.ndarray, modulus: int) -> np.ndarray:
+    """Per-entry Shoup constants ``floor(v * 2**64 / q)`` as ``uint64``."""
+    return np.array(
+        [modarith.shoup_precompute(int(v), modulus) for v in values.ravel()],
+        dtype=_U64,
+    ).reshape(values.shape)
+
+
 class NttPlan:
     """Precomputed tables for the negacyclic NTT of a fixed ``(degree, q)``.
 
     The transform maps coefficient vectors of ``Z_q[X]/(X^N + 1)`` to their
     evaluations at the odd powers of a primitive ``2N``-th root ``psi``;
     multiplication becomes element-wise in that domain.
+
+    The backend (``uint64`` vs object) is captured at construction time:
+    plans built inside :func:`modarith.object_backend` keep exact
+    object-dtype tables for their whole lifetime, which is what lets the
+    benchmarks race the two backends on identical transforms.
     """
 
     def __init__(self, degree: int, modulus: int):
@@ -57,6 +84,7 @@ class NttPlan:
             raise ValueError(f"modulus {modulus} is not NTT-friendly for degree {degree}")
         self.degree = degree
         self.modulus = modulus
+        self.native = modarith.uses_native_backend(modulus)
         self.psi = root_of_unity(2 * degree, modulus)
         self.psi_inv = modarith.inv_mod(self.psi, modulus)
         self.degree_inv = modarith.inv_mod(degree, modulus)
@@ -65,6 +93,17 @@ class NttPlan:
         inv_powers = self._power_table(self.psi_inv)
         self._psi_rev = powers[rev]
         self._psi_inv_rev = inv_powers[rev]
+        self._twist: Optional[np.ndarray] = None
+        self._untwist: Optional[np.ndarray] = None
+        if self.native:
+            self._psi_rev_shoup = _shoup_table(self._psi_rev, modulus)
+            self._psi_inv_rev_shoup = _shoup_table(self._psi_inv_rev, modulus)
+            self._n_inv = _U64(self.degree_inv)
+            self._n_inv_shoup = _U64(
+                modarith.shoup_precompute(self.degree_inv, modulus)
+            )
+            self._twist_shoup: Optional[np.ndarray] = None
+            self._untwist_shoup: Optional[np.ndarray] = None
 
     def _power_table(self, base: int) -> np.ndarray:
         table = np.empty(self.degree, dtype=object)
@@ -72,8 +111,8 @@ class NttPlan:
         for i in range(self.degree):
             table[i] = value
             value = value * base % self.modulus
-        if modarith.uses_fast_backend(self.modulus):
-            return table.astype(np.uint64)
+        if self.native:
+            return table.astype(_U64)
         return table
 
     def _check_shape(self, arr: np.ndarray):
@@ -82,17 +121,48 @@ class NttPlan:
                 f"last axis must have length {self.degree}, got shape {arr.shape}"
             )
 
+    # -- butterfly stages ----------------------------------------------------
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic forward NTT (Cooley-Tukey; composes with
         :meth:`inverse` to the identity).
 
         Accepts a single coefficient vector or a *batch*: any array whose
-        last axis has length ``degree`` -- the butterflies vectorise over
-        the leading axes (the paper's BatchSize dimension).
+        last axis has length ``degree`` -- each stage processes every block
+        of every batch row in one vectorised expression (the paper's
+        BatchSize dimension costs no extra Python overhead).
         """
         q = self.modulus
         a = modarith.asarray_mod(coeffs, q)
         self._check_shape(a)
+        if self.native and a.dtype != object:
+            return self._forward_native(np.ascontiguousarray(a))
+        return self._forward_object(a)
+
+    def _forward_native(self, a: np.ndarray) -> np.ndarray:
+        """Vectorised CT stages: every block of every batch row at once."""
+        lead = a.shape[:-1]
+        n = self.degree
+        q = _U64(self.modulus)
+        m, t = 1, n
+        while m < n:
+            t //= 2
+            blocks = a.reshape(lead + (m, 2 * t))
+            lo = blocks[..., :t]
+            hi = blocks[..., t:]
+            w = self._psi_rev[m : 2 * m].reshape((m, 1))
+            w_shoup = self._psi_rev_shoup[m : 2 * m].reshape((m, 1))
+            v = modarith.shoup_mul_mod(hi, w, w_shoup, q)
+            s = lo + v
+            d = lo + (q - v)
+            blocks[..., :t] = np.where(s >= q, s - q, s)
+            blocks[..., t:] = np.where(d >= q, d - q, d)
+            m *= 2
+        return a
+
+    def _forward_object(self, a: np.ndarray) -> np.ndarray:
+        """Reference CT stages on exact Python integers (per-block loop)."""
+        q = self.modulus
         t = self.degree
         m = 1
         while m < self.degree:
@@ -116,6 +186,35 @@ class NttPlan:
         q = self.modulus
         a = modarith.asarray_mod(values, q)
         self._check_shape(a)
+        if self.native and a.dtype != object:
+            return self._inverse_native(np.ascontiguousarray(a))
+        return self._inverse_object(a)
+
+    def _inverse_native(self, a: np.ndarray) -> np.ndarray:
+        """Vectorised GS stages: every block of every batch row at once."""
+        lead = a.shape[:-1]
+        n = self.degree
+        q = _U64(self.modulus)
+        t, m = 1, n
+        while m > 1:
+            h = m // 2
+            blocks = a.reshape(lead + (h, 2 * t))
+            lo = blocks[..., :t]
+            hi = blocks[..., t:]
+            s = lo + hi
+            d = lo + (q - hi)
+            diff = np.where(d >= q, d - q, d)
+            w = self._psi_inv_rev[h : 2 * h].reshape((h, 1))
+            w_shoup = self._psi_inv_rev_shoup[h : 2 * h].reshape((h, 1))
+            blocks[..., :t] = np.where(s >= q, s - q, s)
+            blocks[..., t:] = modarith.shoup_mul_mod(diff, w, w_shoup, q)
+            t *= 2
+            m = h
+        return modarith.shoup_mul_mod(a, self._n_inv, self._n_inv_shoup, q)
+
+    def _inverse_object(self, a: np.ndarray) -> np.ndarray:
+        """Reference GS stages on exact Python integers (per-block loop)."""
+        q = self.modulus
         t = 1
         m = self.degree
         while m > 1:
@@ -136,15 +235,272 @@ class NttPlan:
             m = h
         return modarith.scalar_mul_mod(a, self.degree_inv, q)
 
+    # -- psi twisting --------------------------------------------------------
+
+    def _twist_tables(self, inverse: bool):
+        if inverse:
+            if self._untwist is None:
+                self._untwist = self._power_table(self.psi_inv)
+                if self.native:
+                    self._untwist_shoup = _shoup_table(self._untwist, self.modulus)
+            return (
+                self._untwist,
+                self._untwist_shoup if self.native else None,
+            )
+        if self._twist is None:
+            self._twist = self._power_table(self.psi)
+            if self.native:
+                self._twist_shoup = _shoup_table(self._twist, self.modulus)
+        return self._twist, self._twist_shoup if self.native else None
+
+    def twist(self, coeffs: np.ndarray) -> np.ndarray:
+        """Multiply coefficient ``i`` by ``psi**i`` (negacyclic -> cyclic)."""
+        a = modarith.asarray_mod(coeffs, self.modulus)
+        w, w_shoup = self._twist_tables(inverse=False)
+        if self.native and a.dtype != object:
+            return modarith.shoup_mul_mod(a, w, w_shoup, _U64(self.modulus))
+        return modarith.mul_mod(a, w, self.modulus)
+
+    def untwist(self, coeffs: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`twist` (multiply by ``psi**-i``)."""
+        a = modarith.asarray_mod(coeffs, self.modulus)
+        w, w_shoup = self._twist_tables(inverse=True)
+        if self.native and a.dtype != object:
+            return modarith.shoup_mul_mod(a, w, w_shoup, _U64(self.modulus))
+        return modarith.mul_mod(a, w, self.modulus)
+
+
+class NttStack:
+    """Batched negacyclic NTT across a whole RNS limb stack.
+
+    Wraps one :class:`NttPlan` per limb and, when every modulus sits on a
+    native backend, stacks their twiddle tables into ``(L, N)`` arrays so a
+    single sequence of vectorised butterfly stages transforms the entire
+    ``(L, ..., N)`` double-CRT tensor.  Mixed or object-backed bases fall
+    back to a per-limb loop over the underlying plans (the oracle path).
+    """
+
+    def __init__(self, degree: int, moduli: Sequence[int]):
+        self.degree = degree
+        self.moduli = tuple(int(q) for q in moduli)
+        self.plans: List[NttPlan] = [get_plan(degree, q) for q in self.moduli]
+        self.native = all(plan.native for plan in self.plans)
+        if self.native:
+            self._q = np.array(self.moduli, dtype=_U64)
+            self._psi_rev = np.stack([p._psi_rev for p in self.plans])
+            self._psi_rev_shoup = np.stack([p._psi_rev_shoup for p in self.plans])
+            self._psi_inv_rev = np.stack([p._psi_inv_rev for p in self.plans])
+            self._psi_inv_rev_shoup = np.stack(
+                [p._psi_inv_rev_shoup for p in self.plans]
+            )
+            self._n_inv = np.array([p._n_inv for p in self.plans], dtype=_U64)
+            self._n_inv_shoup = np.array(
+                [p._n_inv_shoup for p in self.plans], dtype=_U64
+            )
+
+    def _check(self, arr: np.ndarray):
+        if arr.ndim < 2 or arr.shape[0] != len(self.moduli):
+            raise ValueError(
+                f"expected a ({len(self.moduli)}, ..., {self.degree}) stack, "
+                f"got shape {arr.shape}"
+            )
+        if arr.shape[-1] != self.degree:
+            raise ValueError(
+                f"last axis must have length {self.degree}, got shape {arr.shape}"
+            )
+
+    def _cols(self, table: np.ndarray, lo: int, hi: int, ndim: int) -> np.ndarray:
+        """Slice stacked per-limb twiddles into a broadcast column block.
+
+        `ndim` is the rank of the blocked view ``(L, batch..., m, t)``; the
+        slice lands on the limb and block axes with ones in between.
+        """
+        L = len(self.moduli)
+        return table[:, lo:hi].reshape((L,) + (1,) * (ndim - 3) + (hi - lo, 1))
+
+    def _q_col(self, ndim: int) -> np.ndarray:
+        return self._q.reshape((len(self.moduli),) + (1,) * (ndim - 1))
+
+    def forward(self, stack: np.ndarray) -> np.ndarray:
+        """Forward NTT of every limb of an ``(L, ..., N)`` stack at once."""
+        self._check(stack)
+        if not self.native or stack.dtype == object:
+            return np.stack(
+                [plan.forward(limb) for plan, limb in zip(self.plans, stack)]
+            )
+        a = stack.copy() if stack.flags["C_CONTIGUOUS"] else np.ascontiguousarray(stack)
+        lead = a.shape[:-1]
+        n = self.degree
+        q = self._q_col(a.ndim + 1)
+        m, t = 1, n
+        while m < n:
+            t //= 2
+            blocks = a.reshape(lead + (m, 2 * t))
+            lo = blocks[..., :t]
+            hi = blocks[..., t:]
+            w = self._cols(self._psi_rev, m, 2 * m, blocks.ndim)
+            w_shoup = self._cols(self._psi_rev_shoup, m, 2 * m, blocks.ndim)
+            v = modarith.shoup_mul_mod(hi, w, w_shoup, q)
+            s = lo + v
+            d = lo + (q - v)
+            blocks[..., :t] = np.where(s >= q, s - q, s)
+            blocks[..., t:] = np.where(d >= q, d - q, d)
+            m *= 2
+        return a
+
+    def inverse(self, stack: np.ndarray) -> np.ndarray:
+        """Inverse NTT of every limb of an ``(L, ..., N)`` stack at once."""
+        self._check(stack)
+        if not self.native or stack.dtype == object:
+            return np.stack(
+                [plan.inverse(limb) for plan, limb in zip(self.plans, stack)]
+            )
+        a = stack.copy() if stack.flags["C_CONTIGUOUS"] else np.ascontiguousarray(stack)
+        lead = a.shape[:-1]
+        n = self.degree
+        q = self._q_col(a.ndim + 1)
+        t, m = 1, n
+        while m > 1:
+            h = m // 2
+            blocks = a.reshape(lead + (h, 2 * t))
+            lo = blocks[..., :t]
+            hi = blocks[..., t:]
+            s = lo + hi
+            d = lo + (q - hi)
+            diff = np.where(d >= q, d - q, d)
+            w = self._cols(self._psi_inv_rev, h, 2 * h, blocks.ndim)
+            w_shoup = self._cols(self._psi_inv_rev_shoup, h, 2 * h, blocks.ndim)
+            blocks[..., :t] = np.where(s >= q, s - q, s)
+            blocks[..., t:] = modarith.shoup_mul_mod(diff, w, w_shoup, q)
+            t *= 2
+            m = h
+        L = len(self.moduli)
+        col = (L,) + (1,) * (a.ndim - 1)
+        return modarith.shoup_mul_mod(
+            a,
+            self._n_inv.reshape(col),
+            self._n_inv_shoup.reshape(col),
+            self._q_col(a.ndim),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bounded LRU plan cache (the trace-cache discipline, local to the math layer)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction counters of the plan caches."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "PlanCacheStats":
+        return PlanCacheStats(self.hits, self.misses, self.evictions)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """An LRU-bounded memo of constructed transform plans.
+
+    Twiddle tables are a few megabytes at bootstrapping degrees, and a
+    long-lived service cycling through parameter sets must not grow its
+    plan memo without bound -- the same reasoning as
+    :class:`repro.core.trace_cache.TraceCache`, which this mirrors
+    (``math`` cannot import ``core``).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._stats = PlanCacheStats()
+        self._lock = threading.RLock()
+
+    def get_or_build(self, key: Tuple, builder: Callable[[], object]):
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return cached
+            self._stats.misses += 1
+            plan = builder()
+            if self.maxsize > 0:
+                self._entries[key] = plan
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._stats.evictions += 1
+            return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats = PlanCacheStats()
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+_PLAN_CACHE = PlanCache(maxsize=256)
+_STACK_CACHE = PlanCache(maxsize=64)
+
 
 def get_plan(degree: int, modulus: int) -> NttPlan:
-    """Return the cached :class:`NttPlan` for ``(degree, modulus)``."""
-    key = (degree, modulus)
-    plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        plan = NttPlan(degree, modulus)
-        _PLAN_CACHE[key] = plan
-    return plan
+    """Return the cached :class:`NttPlan` for ``(degree, modulus)``.
+
+    The backend kind is part of the key, so plans requested under
+    :func:`modarith.object_backend` never alias the native ones.
+    """
+    key = (degree, modulus, modarith.backend_kind(modulus))
+    return _PLAN_CACHE.get_or_build(key, lambda: NttPlan(degree, modulus))
+
+
+def get_stack(degree: int, moduli: Sequence[int]) -> NttStack:
+    """Return the cached :class:`NttStack` for ``(degree, moduli)``."""
+    moduli = tuple(int(q) for q in moduli)
+    key = (degree, moduli, tuple(modarith.backend_kind(q) for q in moduli))
+    return _STACK_CACHE.get_or_build(key, lambda: NttStack(degree, moduli))
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan/stack and reset the counters."""
+    _PLAN_CACHE.clear()
+    _STACK_CACHE.clear()
+
+
+def plan_cache_stats() -> Dict[str, Dict[str, float]]:
+    """Point-in-time counters for the plan and stack caches."""
+    return {
+        "plans": _PLAN_CACHE.stats.as_dict(),
+        "stacks": _STACK_CACHE.stats.as_dict(),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -158,8 +514,8 @@ def dft_matrix(size: int, root: int, modulus: int) -> np.ndarray:
     flat = np.array(
         [pow(root, int(e), modulus) for e in exponents.ravel()], dtype=object
     ).reshape(size, size)
-    if modarith.uses_fast_backend(modulus):
-        return flat.astype(np.uint64)
+    if modarith.uses_native_backend(modulus):
+        return flat.astype(_U64)
     return flat
 
 
@@ -213,9 +569,11 @@ def _ct_recursive(x, modulus, root, factors, gemm):
     twiddle = np.array(
         [pow(root, int(e), modulus) for e in twiddle_exp.ravel()], dtype=object
     ).reshape(b, a)
-    stage = modarith.mul_mod(stage.astype(object), twiddle, modulus)
-    if modarith.uses_fast_backend(modulus):
-        stage = stage.astype(np.uint64)
+    if modarith.uses_native_backend(modulus):
+        twiddle = twiddle.astype(_U64)
+        stage = modarith.mul_mod(modarith.asarray_mod(stage, modulus), twiddle, modulus)
+    else:
+        stage = modarith.mul_mod(stage.astype(object), twiddle, modulus)
     # Step 3: size-b DFT down each column, recursively decomposed.
     root_b = modarith.pow_mod(root, a, modulus)
     columns = []
@@ -235,26 +593,12 @@ def four_step_ntt(coeffs, modulus, root, n1=None, gemm=None):
 
 def negacyclic_twist(coeffs: np.ndarray, degree: int, modulus: int) -> np.ndarray:
     """Multiply coefficient ``i`` by ``psi**i``, mapping negacyclic to cyclic."""
-    plan = get_plan(degree, modulus)
-    twist = np.array(
-        [pow(plan.psi, i, modulus) for i in range(degree)], dtype=object
-    )
-    out = modarith.mul_mod(modarith.asarray_mod(coeffs, modulus).astype(object), twist, modulus)
-    if modarith.uses_fast_backend(modulus):
-        return out.astype(np.uint64)
-    return out
+    return get_plan(degree, modulus).twist(coeffs)
 
 
 def negacyclic_untwist(coeffs: np.ndarray, degree: int, modulus: int) -> np.ndarray:
     """Inverse of :func:`negacyclic_twist` (multiply by ``psi**-i``)."""
-    plan = get_plan(degree, modulus)
-    untwist = np.array(
-        [pow(plan.psi_inv, i, modulus) for i in range(degree)], dtype=object
-    )
-    out = modarith.mul_mod(modarith.asarray_mod(coeffs, modulus).astype(object), untwist, modulus)
-    if modarith.uses_fast_backend(modulus):
-        return out.astype(np.uint64)
-    return out
+    return get_plan(degree, modulus).untwist(coeffs)
 
 
 def negacyclic_ntt_via_gemm(

@@ -1,19 +1,25 @@
 """Negacyclic ring polynomials in RNS (double-CRT) representation.
 
-Elements of ``R_Q = Z_Q[X] / (X^N + 1)`` are stored as one residue array per
-RNS limb ("limb" in the paper's terminology), optionally in NTT (evaluation)
-form.  This is the double-CRT layout every GPU FHE library uses, and the
-object the Neo kernels reorder and multiply.
+Elements of ``R_Q = Z_Q[X] / (X^N + 1)`` are stored as ONE contiguous
+limb-stacked array of shape ``(num_limbs, ..., N)`` -- the double-CRT
+layout every GPU FHE library keeps resident in device memory.  All ring
+arithmetic runs through :class:`~repro.math.modstack.ModulusStack` as a
+single vectorised expression over the whole stack, and NTT conversions go
+through :class:`~repro.math.ntt.NttStack`, so no Python-level per-limb
+loop survives on the hot path.  ``poly.limbs`` is retained as a list of
+per-limb views for callers that slice the basis (ModUp digits, level
+drops, serialization).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from . import modarith
-from .ntt import get_plan, is_power_of_two
+from .modstack import ModulusStack
+from .ntt import get_plan, get_stack, is_power_of_two
 from .rns import RnsBasis
 
 
@@ -84,50 +90,86 @@ def automorphism(coeffs: np.ndarray, galois_power: int, degree: int, modulus: in
 
 
 class RnsPolynomial:
-    """A ring element held limb-wise over an :class:`RnsBasis`.
+    """A ring element held as one limb-stacked residue tensor.
 
     Attributes:
         degree: ring degree ``N``.
         basis: the RNS basis of the limbs.
-        limbs: list of residue arrays, one per basis modulus.  Each limb's
-            *last* axis has length ``degree``; leading axes, when present,
-            are a ciphertext batch (the paper's BatchSize dimension) and
-            every operation vectorises over them.
         is_ntt: True when the limbs are in evaluation (NTT) form.
+
+    The backing store is ``stack``, a ``(num_limbs, ..., N)`` array whose
+    dtype is ``uint64`` whenever every basis modulus sits on a native
+    backend (all paper word sizes) and ``object`` otherwise.  Leading axes
+    between the limb axis and the coefficient axis, when present, are a
+    ciphertext batch (the paper's BatchSize dimension) and every operation
+    vectorises over them.  ``limbs`` exposes per-limb *views* of the stack
+    for basis-surgery callers; the views alias the stack, they do not copy.
     """
 
-    __slots__ = ("degree", "basis", "limbs", "is_ntt")
+    __slots__ = ("degree", "basis", "_stack", "is_ntt")
 
     def __init__(
         self,
         degree: int,
         basis: RnsBasis,
-        limbs: Sequence[np.ndarray],
+        limbs: Union[np.ndarray, Sequence[np.ndarray]],
         is_ntt: bool = False,
     ):
         if not is_power_of_two(degree):
             raise ValueError(f"degree must be a power of two, got {degree}")
-        if len(limbs) != len(basis):
-            raise ValueError(
-                f"expected {len(basis)} limbs, got {len(limbs)}"
-            )
         self.degree = degree
         self.basis = basis
-        self.limbs = [
-            modarith.asarray_mod(limb, q) for limb, q in zip(limbs, basis.moduli)
-        ]
-        shape = self.limbs[0].shape if self.limbs else (degree,)
-        for limb in self.limbs:
-            if limb.shape[-1] != degree or limb.shape != shape:
+        mstack = ModulusStack.for_moduli(basis.moduli)
+        if isinstance(limbs, np.ndarray) and limbs.ndim >= 2:
+            if limbs.shape[0] != len(basis):
                 raise ValueError(
-                    f"limb shape {limb.shape} incompatible with degree {degree}"
+                    f"expected {len(basis)} limbs, got {limbs.shape[0]}"
                 )
+            stack = mstack.reduce(limbs)
+        else:
+            limbs = list(limbs)
+            if len(limbs) != len(basis):
+                raise ValueError(f"expected {len(basis)} limbs, got {len(limbs)}")
+            shapes = {np.asarray(limb).shape for limb in limbs}
+            if len(shapes) != 1:
+                raise ValueError(f"limb shapes differ: {sorted(shapes)}")
+            stack = mstack.stack_limbs(limbs)
+        if stack.shape[-1] != degree:
+            raise ValueError(
+                f"limb shape {stack.shape[1:]} incompatible with degree {degree}"
+            )
+        self._stack = stack
         self.is_ntt = is_ntt
+
+    @classmethod
+    def _wrap(
+        cls, degree: int, basis: RnsBasis, stack: np.ndarray, is_ntt: bool
+    ) -> "RnsPolynomial":
+        """Internal constructor for already-reduced stacks (no re-reduction)."""
+        poly = object.__new__(cls)
+        poly.degree = degree
+        poly.basis = basis
+        poly._stack = stack
+        poly.is_ntt = is_ntt
+        return poly
+
+    @property
+    def stack(self) -> np.ndarray:
+        """The backing ``(num_limbs, ..., N)`` residue tensor (do not mutate)."""
+        return self._stack
+
+    @property
+    def limbs(self) -> List[np.ndarray]:
+        """Per-limb views of the stack (row ``i`` is the mod-``q_i`` residue)."""
+        return list(self._stack)
 
     @property
     def batch_shape(self):
         """Leading (batch) axes of the limbs; ``()`` for a single element."""
-        return self.limbs[0].shape[:-1]
+        return self._stack.shape[1:-1]
+
+    def _mstack(self) -> ModulusStack:
+        return ModulusStack.for_moduli(self.basis.moduli)
 
     # -- constructors -------------------------------------------------------
 
@@ -139,15 +181,14 @@ class RnsPolynomial:
         is_ntt: bool = False,
         batch_shape: tuple = (),
     ) -> "RnsPolynomial":
-        shape = tuple(batch_shape) + (degree,)
-        return cls(
-            degree, basis, [modarith.zeros_mod(shape, q) for q in basis.moduli], is_ntt
-        )
+        mstack = ModulusStack.for_moduli(basis.moduli)
+        stack = mstack.zeros(tuple(batch_shape) + (degree,))
+        return cls._wrap(degree, basis, stack, is_ntt)
 
     @classmethod
     def from_int_coeffs(cls, coeffs, degree: int, basis: RnsBasis) -> "RnsPolynomial":
         """Build from (possibly signed) integer coefficients."""
-        arr = np.asarray(coeffs, dtype=object)
+        arr = np.asarray(coeffs)
         if arr.shape[-1] != degree:
             raise ValueError(
                 f"coefficient shape {arr.shape} incompatible with degree {degree}"
@@ -155,8 +196,8 @@ class RnsPolynomial:
         return cls(degree, basis, basis.decompose(arr), is_ntt=False)
 
     def copy(self) -> "RnsPolynomial":
-        return RnsPolynomial(
-            self.degree, self.basis, [limb.copy() for limb in self.limbs], self.is_ntt
+        return RnsPolynomial._wrap(
+            self.degree, self.basis, self._stack.copy(), self.is_ntt
         )
 
     # -- representation changes ---------------------------------------------
@@ -164,20 +205,14 @@ class RnsPolynomial:
     def to_ntt(self) -> "RnsPolynomial":
         if self.is_ntt:
             return self
-        limbs = [
-            get_plan(self.degree, q).forward(limb)
-            for limb, q in zip(self.limbs, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.degree, self.basis, limbs, is_ntt=True)
+        transformed = get_stack(self.degree, self.basis.moduli).forward(self._stack)
+        return RnsPolynomial._wrap(self.degree, self.basis, transformed, is_ntt=True)
 
     def from_ntt(self) -> "RnsPolynomial":
         if not self.is_ntt:
             return self
-        limbs = [
-            get_plan(self.degree, q).inverse(limb)
-            for limb, q in zip(self.limbs, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.degree, self.basis, limbs, is_ntt=False)
+        transformed = get_stack(self.degree, self.basis.moduli).inverse(self._stack)
+        return RnsPolynomial._wrap(self.degree, self.basis, transformed, is_ntt=False)
 
     def to_int_coeffs(self) -> np.ndarray:
         """CRT-recompose to centred integer coefficients (coefficient form)."""
@@ -192,58 +227,54 @@ class RnsPolynomial:
         if self.is_ntt != other.is_ntt:
             raise ValueError("operands are in different domains (NTT vs coeff)")
 
-    def _map_limbs(
-        self, other: "RnsPolynomial", op: Callable[[np.ndarray, np.ndarray, int], np.ndarray]
-    ) -> "RnsPolynomial":
-        self._check_compatible(other)
-        limbs = [
-            op(a, b, q)
-            for a, b, q in zip(self.limbs, other.limbs, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
-
     def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        return self._map_limbs(other, modarith.add_mod)
+        self._check_compatible(other)
+        stack = self._mstack().add(self._stack, other._stack)
+        return RnsPolynomial._wrap(self.degree, self.basis, stack, self.is_ntt)
 
     def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        return self._map_limbs(other, modarith.sub_mod)
+        self._check_compatible(other)
+        stack = self._mstack().sub(self._stack, other._stack)
+        return RnsPolynomial._wrap(self.degree, self.basis, stack, self.is_ntt)
 
     def negate(self) -> "RnsPolynomial":
-        limbs = [modarith.neg_mod(a, q) for a, q in zip(self.limbs, self.basis.moduli)]
-        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+        stack = self._mstack().neg(self._stack)
+        return RnsPolynomial._wrap(self.degree, self.basis, stack, self.is_ntt)
 
     def multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Ring product; converts to NTT form if necessary (ModMUL kernel)."""
         if self.is_ntt and other.is_ntt:
-            return self._map_limbs(other, modarith.mul_mod)
+            self._check_compatible(other)
+            stack = self._mstack().mul(self._stack, other._stack)
+            return RnsPolynomial._wrap(self.degree, self.basis, stack, True)
         return self.to_ntt().multiply(other.to_ntt())
 
     def multiply_scalar(self, scalar: int) -> "RnsPolynomial":
         """Multiply by a Python integer (reduced per limb)."""
-        limbs = [
-            modarith.scalar_mul_mod(a, scalar, q)
-            for a, q in zip(self.limbs, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+        stack = self._mstack().broadcast_scalar_mul(self._stack, scalar)
+        return RnsPolynomial._wrap(self.degree, self.basis, stack, self.is_ntt)
 
     def multiply_scalar_per_limb(self, scalars: Sequence[int]) -> "RnsPolynomial":
         """Multiply limb ``i`` by ``scalars[i]`` (used by Rescale/ModDown)."""
-        if len(scalars) != len(self.basis):
-            raise ValueError("need one scalar per limb")
-        limbs = [
-            modarith.scalar_mul_mod(a, s, q)
-            for a, s, q in zip(self.limbs, scalars, self.basis.moduli)
-        ]
-        return RnsPolynomial(self.degree, self.basis, limbs, self.is_ntt)
+        stack = self._mstack().scalar_mul(self._stack, list(scalars))
+        return RnsPolynomial._wrap(self.degree, self.basis, stack, self.is_ntt)
 
     def automorphism(self, galois_power: int) -> "RnsPolynomial":
-        """Apply ``X -> X**galois_power`` (requires coefficient form)."""
+        """Apply ``X -> X**galois_power`` (requires coefficient form).
+
+        One signed permutation moves the whole limb stack: the (dest, sign)
+        tables depend only on ``(galois_power, N)``, so every limb and batch
+        row rides the same fancy-index scatter.
+        """
+        if galois_power % 2 == 0:
+            raise ValueError("Galois power must be odd")
         poly = self.from_ntt()
-        limbs = [
-            automorphism(limb, galois_power, self.degree, q)
-            for limb, q in zip(poly.limbs, poly.basis.moduli)
-        ]
-        return RnsPolynomial(self.degree, self.basis, limbs, is_ntt=False)
+        dest, sign = _automorphism_tables(galois_power, self.degree)
+        source = poly._stack
+        signed = np.where(sign < 0, poly._mstack().neg(source), source)
+        out = np.empty_like(source)
+        out[..., dest] = signed
+        return RnsPolynomial._wrap(self.degree, self.basis, out, is_ntt=False)
 
     # -- basis surgery --------------------------------------------------------
 
@@ -251,16 +282,16 @@ class RnsPolynomial:
         """Restrict to the first `count` limbs (level drop)."""
         if not 0 < count <= len(self.basis):
             raise ValueError(f"cannot keep {count} of {len(self.basis)} limbs")
-        return RnsPolynomial(
+        return RnsPolynomial._wrap(
             self.degree,
             self.basis.subbasis(0, count),
-            self.limbs[:count],
+            self._stack[:count],
             self.is_ntt,
         )
 
     def limb_stack(self) -> np.ndarray:
         """The limbs as one object-dtype matrix of shape (limbs, N)."""
-        return np.stack([np.asarray(l, dtype=object) for l in self.limbs])
+        return np.asarray(self._stack, dtype=object)
 
     def __repr__(self) -> str:
         domain = "ntt" if self.is_ntt else "coeff"

@@ -19,7 +19,7 @@ Two conversions are provided:
 from __future__ import annotations
 
 from functools import reduce
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -62,8 +62,12 @@ class RnsBasis:
         return RnsBasis(self.moduli[start:stop])
 
     def decompose(self, values) -> List[np.ndarray]:
-        """Split integer array `values` into one residue array per limb."""
-        arr = np.asarray(values, dtype=object)
+        """Split integer array `values` into one residue array per limb.
+
+        Machine-word integer inputs reduce natively per limb; only inputs
+        that genuinely exceed 64 bits route through Python integers.
+        """
+        arr = np.asarray(values)
         return [modarith.asarray_mod(arr, q) for q in self.moduli]
 
     def compose(self, limbs: Sequence[np.ndarray]) -> np.ndarray:
@@ -85,6 +89,34 @@ class RnsBasis:
         return modarith.to_signed(self.compose(limbs), self.product)
 
 
+#: (from moduli, to moduli) -> per-target Shoup tables for the BConv matrix
+#: ``B[j, i] = q_hat_i mod p_j``: ``(B, shoup(B))`` as ``(Lt, Lf)`` uint64.
+_BCONV_TABLE_CACHE: Dict[
+    Tuple[Tuple[int, ...], Tuple[int, ...]], Tuple[np.ndarray, np.ndarray]
+] = {}
+
+
+def _bconv_tables(
+    from_basis: RnsBasis, to_basis: RnsBasis
+) -> Tuple[np.ndarray, np.ndarray]:
+    key = (from_basis.moduli, to_basis.moduli)
+    tables = _BCONV_TABLE_CACHE.get(key)
+    if tables is None:
+        weights = [
+            [q_hat % p for q_hat in from_basis.q_hat] for p in to_basis.moduli
+        ]
+        shoup = [
+            [modarith.shoup_precompute(w, p) for w in row]
+            for row, p in zip(weights, to_basis.moduli)
+        ]
+        tables = (
+            np.array(weights, dtype=np.uint64),
+            np.array(shoup, dtype=np.uint64),
+        )
+        _BCONV_TABLE_CACHE[key] = tables
+    return tables
+
+
 def bconv_approx(
     limbs: Sequence[np.ndarray], from_basis: RnsBasis, to_basis: RnsBasis
 ) -> List[np.ndarray]:
@@ -94,25 +126,55 @@ def bconv_approx(
     represent ``x + u*Q`` modulo each target limb, where ``0 <= u < len(Q)``.
     Every input coefficient participates in ``len(to_basis)`` scalar
     multiply-accumulates -- the poor-data-reuse pattern Neo rewrites as GEMM.
+
+    When every modulus on both sides is native the whole conversion stays
+    on ``uint64``: the scaled residues stack into an ``(Lf, ..., N)`` tensor,
+    each target limb reduces it once, Shoup-multiplies by its row of the
+    BConv matrix, and folds the limb axis with chunked accumulation.
     """
     if len(limbs) != len(from_basis):
         raise ValueError("limb count does not match source basis")
     # y_i = [x_i * q_hat_inv_i]_{q_i}  (exact small integers)
     scaled = [
-        np.asarray(
-            modarith.scalar_mul_mod(
-                modarith.asarray_mod(limb, q), q_hat_inv, q
-            ),
-            dtype=object,
-        )
+        modarith.scalar_mul_mod(modarith.asarray_mod(limb, q), q_hat_inv, q)
         for limb, q, q_hat_inv in zip(limbs, from_basis.moduli, from_basis.q_hat_inv)
     ]
+    native = all(
+        modarith.uses_native_backend(q)
+        for q in from_basis.moduli + to_basis.moduli
+    ) and all(np.asarray(y).dtype != object for y in scaled)
+    if native:
+        return _bconv_approx_native(np.stack(scaled), from_basis, to_basis)
     out: List[np.ndarray] = []
+    scaled = [np.asarray(y, dtype=object) for y in scaled]
     for p in to_basis.moduli:
         acc = np.zeros(scaled[0].shape, dtype=object)
         for y, q_hat in zip(scaled, from_basis.q_hat):
             acc = (acc + y * (q_hat % p)) % p
         out.append(modarith.asarray_mod(acc, p))
+    return out
+
+
+def _bconv_approx_native(
+    scaled: np.ndarray, from_basis: RnsBasis, to_basis: RnsBasis
+) -> List[np.ndarray]:
+    """The all-``uint64`` BConv inner loop over a stacked ``(Lf, ..., N)``."""
+    weights, shoups = _bconv_tables(from_basis, to_basis)
+    cols = (len(from_basis),) + (1,) * (scaled.ndim - 1)
+    out: List[np.ndarray] = []
+    for j, p in enumerate(to_basis.moduli):
+        p64 = np.uint64(p)
+        reduced = scaled % p64
+        terms = modarith.shoup_mul_mod(
+            reduced, weights[j].reshape(cols), shoups[j].reshape(cols), p64
+        )
+        # Accumulate the limb axis three terms at a time: acc < p plus three
+        # summands below p keeps the running total under 4p <= 2**64 - 4.
+        acc = np.zeros(scaled.shape[1:], dtype=np.uint64)
+        for start in range(0, terms.shape[0], 3):
+            chunk = terms[start : start + 3].sum(axis=0, dtype=np.uint64)
+            acc = (acc + chunk) % p64
+        out.append(acc)
     return out
 
 

@@ -1,0 +1,110 @@
+"""Round-trip tests at the paper's real word sizes (36/48/60-bit limbs).
+
+The evaluation section's parameter sets use 36/48/60-bit rescaling primes;
+with the Barrett backend every prime in these chains sits below ``2**62``,
+so encryption, key switching, rescaling, automorphisms and serialization
+must stay on ``uint64`` arrays end to end -- these tests pin both the
+numerics and the no-object-dtype guarantee at ``N = 2**10``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksEncoder,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+from repro.ckks import serialization as ser
+from repro.math import modarith
+
+DEGREE = 1 << 10
+WORDSIZES = (36, 48, 60)
+
+
+def _make_params(wordsize: int) -> CkksParameters:
+    # q0 defaults to wordsize + 5 bits, which would leave the 60-bit chain's
+    # first prime above the 2**62 Barrett bound -- cap it at 61 bits.
+    return CkksParameters(
+        degree=DEGREE,
+        max_level=2,
+        wordsize=wordsize,
+        dnum=1,
+        first_prime_bits=min(wordsize + 5, 61),
+    )
+
+
+@pytest.fixture(scope="module", params=WORDSIZES, ids=[f"{w}bit" for w in WORDSIZES])
+def ctx(request):
+    params = _make_params(request.param)
+    gen = KeyGenerator(params, seed=11)
+    secret = gen.secret_key()
+    public = gen.public_key(secret)
+    relin = gen.relinearisation_key(secret)
+    return {
+        "wordsize": request.param,
+        "params": params,
+        "secret": secret,
+        "encoder": CkksEncoder(params),
+        "encryptor": Encryptor(params, public_key=public, seed=5),
+        "decryptor": Decryptor(params, secret),
+        "evaluator": Evaluator(params, relin_key=relin, method="hybrid"),
+    }
+
+
+def test_chain_is_fully_native(ctx):
+    params = ctx["params"]
+    for q in params.moduli + params.special_primes:
+        assert modarith.uses_native_backend(q), hex(q)
+    assert modarith.backend_dtype(params.moduli[-1]) == np.uint64
+
+
+def test_ciphertext_stays_uint64(ctx):
+    encoder, encryptor = ctx["encoder"], ctx["encryptor"]
+    ct = encryptor.encrypt(encoder.encode([1.5, -0.25]))
+    assert ct.c0.stack.dtype == np.uint64
+    assert ct.c1.stack.dtype == np.uint64
+    prod = ctx["evaluator"].multiply(ct, ct)
+    assert prod.c0.stack.dtype == np.uint64
+
+
+def test_encrypt_decrypt_roundtrip(ctx):
+    rng = np.random.default_rng(3)
+    values = rng.normal(size=DEGREE // 2) + 1j * rng.normal(size=DEGREE // 2)
+    ct = ctx["encryptor"].encrypt(ctx["encoder"].encode(values))
+    got = ctx["encoder"].decode(ctx["decryptor"].decrypt(ct))
+    assert np.abs(got - values).max() < 1e-3
+
+
+def test_multiply_rescale_roundtrip(ctx):
+    rng = np.random.default_rng(4)
+    values = 0.5 * (rng.normal(size=DEGREE // 2) + 1j * rng.normal(size=DEGREE // 2))
+    encoder = ctx["encoder"]
+    ct = ctx["encryptor"].encrypt(encoder.encode(values))
+    prod = ctx["evaluator"].multiply(ct, ct)
+    got = encoder.decode(ctx["decryptor"].decrypt(prod))
+    assert np.abs(got - values * values).max() < 1e-2
+
+
+def test_serialization_roundtrip(ctx):
+    encoder = ctx["encoder"]
+    values = np.array([0.5, -1.25, 2.0])
+    ct = ctx["encryptor"].encrypt(encoder.encode(values))
+    blob = ser.to_bytes(ser.serialize_ciphertext(ct))
+    restored = ser.deserialize_ciphertext(ser.from_bytes(blob), ctx["params"])
+    assert restored.c0.stack.dtype == np.uint64
+    got = encoder.decode(ctx["decryptor"].decrypt(restored))
+    assert np.abs(got[:3] - values).max() < 1e-3
+
+
+def test_automorphism_roundtrip(ctx):
+    ct = ctx["encryptor"].encrypt(ctx["encoder"].encode([1.0, 2.0, 3.0]))
+    poly = ct.c0
+    power = 5  # a rotation's Galois power; odd, so invertible mod 2N
+    inverse_power = pow(power, -1, 2 * DEGREE)
+    back = poly.automorphism(power).automorphism(inverse_power)
+    assert back.stack.dtype == poly.stack.dtype == np.uint64
+    assert (back.stack == poly.stack).all()

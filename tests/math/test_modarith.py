@@ -1,4 +1,4 @@
-"""Unit and property tests for the dual-backend modular arithmetic."""
+"""Unit and property tests for the triple-backend modular arithmetic."""
 
 import numpy as np
 import pytest
@@ -7,7 +7,8 @@ from hypothesis import given, settings, strategies as st
 from repro.math import modarith
 
 SMALL_Q = 998244353  # < 2**31 -> fast backend
-BIG_Q = (1 << 36) - 187  # arbitrary 36-bit odd number -> exact backend
+BIG_Q = (1 << 36) - 187  # arbitrary 36-bit odd number -> barrett backend
+HUGE_Q = (1 << 64) - 59  # above the barrett bound -> exact object backend
 
 
 @pytest.mark.parametrize("q", [SMALL_Q, BIG_Q])
@@ -42,8 +43,19 @@ class TestBasicOps:
 def test_backend_selection():
     assert modarith.uses_fast_backend(SMALL_Q)
     assert not modarith.uses_fast_backend(BIG_Q)
+    assert modarith.uses_barrett_backend(BIG_Q)
     assert modarith.backend_dtype(SMALL_Q) == np.uint64
-    assert modarith.backend_dtype(BIG_Q) is object
+    # The paper's real word sizes (36/48/60-bit) all stay on uint64 now.
+    for bits in (36, 48, 60):
+        assert modarith.backend_dtype((1 << bits) - 1) == np.uint64
+    assert modarith.backend_dtype(HUGE_Q) is object
+    assert modarith.backend_kind(SMALL_Q) == "fast"
+    assert modarith.backend_kind(BIG_Q) == "barrett"
+    assert modarith.backend_kind(HUGE_Q) == "object"
+    with modarith.object_backend():
+        assert modarith.backend_dtype(BIG_Q) is object
+        assert modarith.backend_dtype(SMALL_Q) == np.uint64
+    assert modarith.backend_dtype(BIG_Q) == np.uint64
 
 
 def test_bad_modulus_rejected():
