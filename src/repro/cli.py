@@ -7,6 +7,7 @@ Usage::
     python -m repro fig 3|14|16|17      # one evaluation figure (as text)
     python -m repro params [A-H]        # parameter-set details
     python -m repro profile <app>       # per-op/per-kernel profile
+    python -m repro serve --workload mixed   # dynamic-batching serving report
 """
 
 from __future__ import annotations
@@ -245,6 +246,48 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serving import Server, parse_workload_spec, synthesize_arrivals
+    from .serving.policies import POLICIES
+
+    if args.policy.lower() not in POLICIES:
+        print(
+            f"unknown policy {args.policy!r}; choose from "
+            + ", ".join(sorted(POLICIES)),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        phases = parse_workload_spec(args.workload)
+        requests = synthesize_arrivals(phases, seed=args.seed)
+        server = Server(
+            params=args.set,
+            policy=args.policy,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            lanes=args.lanes,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    server.submit_many(requests)
+    report = server.drain()
+    _print(
+        f"workload {args.workload!r} (seed {args.seed}): "
+        + ", ".join(f"{p.count}x {p.app} @ {p.rate_hz:g}/s" for p in phases)
+    )
+    _print(report.format())
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w") as fh:
+            fh.write(report.to_chrome_trace())
+        print(
+            f"serving timeline ({len(report.batches)} batches) written to "
+            f"{args.chrome_trace} (open via chrome://tracing or "
+            "https://ui.perfetto.dev)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Neo (ISCA'25) reproduction toolkit"
@@ -286,6 +329,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the simulated timeline as Chrome-trace JSON",
     )
     prof.set_defaults(func=cmd_profile)
+    serve = sub.add_parser(
+        "serve", help="replay a synthetic arrival trace through the serving layer"
+    )
+    serve.add_argument(
+        "--workload",
+        default="mixed",
+        help="preset (mixed, bootstrap, resnet, smoke) or "
+        "app:count:rate[:size[:slo]] entries, comma-separated",
+    )
+    serve.add_argument(
+        "--policy",
+        default="bucketed",
+        help="admission policy: fifo, edf or bucketed (default: bucketed)",
+    )
+    serve.add_argument("--set", default="C", help="parameter set A-H (default: C)")
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="dynamic batch capacity (cts)"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=30000.0,
+        help="continuous-batching window, simulated ms (default 30000)",
+    )
+    serve.add_argument(
+        "--lanes", type=int, default=2, help="concurrent batch lanes (default 2)"
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="arrival-trace seed (default 0)"
+    )
+    serve.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help="also write the serving timeline as Chrome-trace JSON",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -43,9 +43,28 @@ class NeoContext:
             self.params, config, batch=batch, cache=trace_cache
         )
         self.batch = self.pipeline.batch
+        #: The device as handed in, before batch derating (siblings re-derate).
+        self.base_device = device
         # Small batches leave the GPU under-occupied (Fig. 17): the context
         # sees a derated device.
         self.device = device.derated_for_batch(self.batch)
+
+    def with_batch(self, batch: int) -> "NeoContext":
+        """A sibling context at a different BatchSize, sharing the trace cache.
+
+        The serving layer sizes dynamic batches at admission time; siblings
+        share one keyed cache, so a batch shape that has been timed before
+        costs nothing to time again.
+        """
+        if batch == self.batch:
+            return self
+        return NeoContext(
+            self.params,
+            device=self.base_device,
+            config=self.config,
+            batch=batch,
+            trace_cache=self.pipeline.cache,
+        )
 
     # -- operations ---------------------------------------------------------------
 

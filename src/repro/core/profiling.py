@@ -13,13 +13,15 @@ format through the discrete-event :class:`~repro.core.streams.StreamScheduler`.
 
 from __future__ import annotations
 
+import math
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Sequence
 
 from ..analysis.reporting import format_table
 from ..gpu.trace import ExecutionTrace
 from .neo_context import NeoContext
-from .streams import StreamScheduler
+from .streams import ScheduledKernel, ScheduleResult, StreamScheduler
 from .trace_cache import CacheStats
 
 
@@ -176,3 +178,54 @@ def chrome_trace_json(ctx: NeoContext, trace: ExecutionTrace) -> str:
     """Simulate `trace` on `ctx`'s device/streams and export Chrome JSON."""
     scheduler = StreamScheduler(ctx.device, max(1, ctx.config.streams))
     return scheduler.run(trace).to_chrome_trace()
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer metrics (latency distributions, timeline export)
+# ---------------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: deterministic, no interpolation.
+
+    ``q`` is in percent (50 for the median).  The nearest-rank definition
+    always returns an observed value, so percentile reports are reproducible
+    bit for bit across runs -- the serving determinism tests rely on it.
+    """
+    if not values:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_percentiles(latencies: Sequence[float]) -> Dict[str, float]:
+    """The standard serving summary of a latency sample: P50/P95/P99 + tails."""
+    return {
+        "p50": percentile(latencies, 50),
+        "p95": percentile(latencies, 95),
+        "p99": percentile(latencies, 99),
+        "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+        "max": max(latencies, default=0.0),
+    }
+
+
+def timeline_schedule_result(timeline: Sequence[ScheduledKernel]) -> ScheduleResult:
+    """Wrap any :class:`ScheduledKernel` timeline as a :class:`ScheduleResult`.
+
+    The serving layer places whole dynamic *batches* (rather than kernels)
+    on its lanes; wrapping them in the same result type gives Chrome-trace
+    export and fingerprinting for free.
+    """
+    busy: Dict[str, float] = defaultdict(float)
+    for k in timeline:
+        busy[k.resource] += k.duration_s
+    makespan = max((k.end_s for k in timeline), default=0.0)
+    return ScheduleResult(makespan, list(timeline), dict(busy))
+
+
+def timeline_chrome_trace(timeline: Sequence[ScheduledKernel]) -> str:
+    """Chrome ``chrome://tracing`` JSON for a serving (or kernel) timeline."""
+    return timeline_schedule_result(timeline).to_chrome_trace()

@@ -15,8 +15,9 @@ exported in the Chrome ``chrome://tracing`` JSON format for inspection.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 from typing import Dict, List
 
 from ..gpu.device import DeviceSpec
@@ -54,6 +55,16 @@ class ScheduleResult:
         return {
             r: busy / self.makespan_s for r, busy in self.resource_busy_s.items()
         }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical timeline.
+
+        Two runs with identical inputs produce identical fingerprints
+        (floats serialise through ``repr``, which round-trips exactly);
+        the serving determinism tests compare these across replays.
+        """
+        payload = json.dumps([astuple(k) for k in self.timeline])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def to_chrome_trace(self) -> str:
         """The timeline as a Chrome tracing JSON string."""

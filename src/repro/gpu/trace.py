@@ -9,6 +9,8 @@ approaches, never beating any single resource's total demand).
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
@@ -96,6 +98,27 @@ class ExecutionTrace:
         bound = max(cuda, tcu, memory) + overhead
         serial = self.serial_time_s(device)
         return min(serial, max(bound, serial / streams))
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_jsonable(self) -> List[Dict]:
+        """The event list as JSON-serialisable dicts (stable field order)."""
+        return [dataclasses.asdict(event) for event in self.events]
+
+    def canonical_json(self) -> str:
+        """A deterministic JSON encoding of the trace.
+
+        Equal traces produce byte-identical strings (floats round-trip
+        through ``repr``), which is what the golden-trace fixtures diff.
+        """
+        return json.dumps(self.to_jsonable(), sort_keys=True, indent=2)
+
+    @staticmethod
+    def from_jsonable(events: Iterable[Dict]) -> "ExecutionTrace":
+        """Rebuild a frozen trace from :meth:`to_jsonable` output."""
+        from .kernels import KernelCost
+
+        return ExecutionTrace([KernelCost(**event) for event in events]).frozen()
 
     # -- accounting ---------------------------------------------------------------
 

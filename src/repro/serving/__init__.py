@@ -1,0 +1,60 @@
+"""Dynamic-batching request serving over the Neo device model.
+
+Turns "one application, one batch" into "a stream of concurrent requests":
+jobs are admitted with per-request batch sizes and latency SLOs, folded
+into dynamic batches by continuous batching with a bounded wait window,
+and scheduled onto multi-stream lanes of the analytic A100 model.  See
+``python -m repro serve --workload mixed`` for the CLI front end.
+"""
+
+from .batcher import Batch, ContinuousBatcher
+from .policies import (
+    POLICIES,
+    AdmissionPolicy,
+    EarliestDeadlinePolicy,
+    FifoPolicy,
+    SizeBucketedPolicy,
+    get_policy,
+    next_power_of_two,
+)
+from .queue import RequestQueue
+from .request import DEFAULT_SLO_S, Request, RequestRecord, default_slo_s
+from .server import (
+    FixedServiceModel,
+    NeoServiceModel,
+    Server,
+    ServerStats,
+    ServingReport,
+)
+from .workload import (
+    WORKLOAD_PRESETS,
+    WorkloadPhase,
+    parse_workload_spec,
+    synthesize_arrivals,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "Batch",
+    "ContinuousBatcher",
+    "DEFAULT_SLO_S",
+    "EarliestDeadlinePolicy",
+    "FifoPolicy",
+    "FixedServiceModel",
+    "NeoServiceModel",
+    "POLICIES",
+    "Request",
+    "RequestQueue",
+    "RequestRecord",
+    "Server",
+    "ServerStats",
+    "ServingReport",
+    "SizeBucketedPolicy",
+    "WORKLOAD_PRESETS",
+    "WorkloadPhase",
+    "default_slo_s",
+    "get_policy",
+    "next_power_of_two",
+    "parse_workload_spec",
+    "synthesize_arrivals",
+]

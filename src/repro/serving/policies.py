@@ -1,0 +1,106 @@
+"""Admission policies: how queued requests are ordered and grouped.
+
+A policy answers three questions the batcher asks:
+
+* :meth:`~AdmissionPolicy.order_key` -- who goes first?  FIFO orders by
+  arrival; the SLO-aware policy orders by absolute deadline (earliest
+  deadline first), the classic real-time discipline.
+* :meth:`~AdmissionPolicy.bucket` -- who may share a dynamic batch?  Only
+  requests of the same application ever batch together (they run one
+  schedule); the size-bucketed policy additionally splits by
+  power-of-two request size.
+* :meth:`~AdmissionPolicy.executed_size` -- what BatchSize does a formed
+  batch actually run at?  The size-bucketed policy pads to the next power
+  of two, which bounds the number of distinct trace shapes the model ever
+  builds (every shape after the first is a trace-cache hit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple, Type, Union
+
+from .request import Request
+
+
+def next_power_of_two(n: int) -> int:
+    """The smallest power of two >= `n` (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+class AdmissionPolicy:
+    """Base policy: order, bucket and size dynamic batches."""
+
+    name = "base"
+
+    def order_key(self, request: Request) -> Tuple:
+        """Sort key over the queue; lowest key dispatches first."""
+        raise NotImplementedError
+
+    def bucket(self, request: Request) -> Hashable:
+        """Requests with equal buckets may share a dynamic batch."""
+        return request.app
+
+    def executed_size(self, total_size: int) -> int:
+        """The BatchSize a batch of `total_size` ciphertexts runs at."""
+        return total_size
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoPolicy(AdmissionPolicy):
+    """First-in first-out: strict arrival order, batches per application."""
+
+    name = "fifo"
+
+    def order_key(self, request: Request) -> Tuple:
+        return (request.arrival_s, request.rid)
+
+
+class EarliestDeadlinePolicy(AdmissionPolicy):
+    """SLO-aware: the request closest to violating its SLO goes first."""
+
+    name = "edf"
+
+    def order_key(self, request: Request) -> Tuple:
+        return (request.deadline_s, request.rid)
+
+
+class SizeBucketedPolicy(FifoPolicy):
+    """FIFO within power-of-two size buckets, padded executed sizes.
+
+    Padding wastes at most 2x model capacity but keeps the set of distinct
+    (params, config, batch) trace-cache keys logarithmic in the maximum
+    batch -- the serving analogue of bucketed kernel shapes in GPU serving
+    stacks.
+    """
+
+    name = "bucketed"
+
+    def bucket(self, request: Request) -> Hashable:
+        return (request.app, next_power_of_two(request.size))
+
+    def executed_size(self, total_size: int) -> int:
+        return next_power_of_two(total_size)
+
+
+POLICIES: Dict[str, Type[AdmissionPolicy]] = {
+    FifoPolicy.name: FifoPolicy,
+    EarliestDeadlinePolicy.name: EarliestDeadlinePolicy,
+    SizeBucketedPolicy.name: SizeBucketedPolicy,
+}
+
+
+def get_policy(policy: Union[str, AdmissionPolicy]) -> AdmissionPolicy:
+    """Resolve a policy instance from a name or pass an instance through."""
+    if isinstance(policy, AdmissionPolicy):
+        return policy
+    try:
+        return POLICIES[policy.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(
+            f"unknown admission policy {policy!r}; choose from {known}"
+        ) from None

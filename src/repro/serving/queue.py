@@ -1,0 +1,67 @@
+"""The admission queue: arrived-but-unscheduled requests plus depth metrics.
+
+The queue itself is policy-free -- it holds requests in arrival order and
+records a time-stamped depth sample at every mutation, so the server can
+report time-weighted mean and peak queue depth without a separate metrics
+pass.  Ordering and batching decisions live in
+:mod:`repro.serving.policies` and :mod:`repro.serving.batcher`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .request import Request
+
+
+class RequestQueue:
+    """Pending requests with step-function depth accounting."""
+
+    def __init__(self):
+        self._pending: List[Request] = []
+        #: (time, depth) samples; depth holds until the next sample.
+        self._samples: List[Tuple[float, int]] = []
+
+    # -- membership ---------------------------------------------------------------
+
+    def push(self, request: Request, now: float) -> None:
+        self._pending.append(request)
+        self._sample(now)
+
+    def remove(self, requests: Iterable[Request], now: float) -> None:
+        """Drop a dispatched batch's requests (by identity of rid)."""
+        gone = {r.rid for r in requests}
+        self._pending = [r for r in self._pending if r.rid not in gone]
+        self._sample(now)
+
+    @property
+    def requests(self) -> Tuple[Request, ...]:
+        """The pending requests in arrival (push) order."""
+        return tuple(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    # -- depth metrics ------------------------------------------------------------
+
+    def _sample(self, now: float) -> None:
+        self._samples.append((now, len(self._pending)))
+
+    def max_depth(self) -> int:
+        return max((depth for _, depth in self._samples), default=0)
+
+    def mean_depth(self) -> float:
+        """Time-weighted mean depth over the sampled span."""
+        if len(self._samples) < 2:
+            return float(self._samples[0][1]) if self._samples else 0.0
+        area = 0.0
+        for (t0, depth), (t1, _) in zip(self._samples, self._samples[1:]):
+            area += depth * (t1 - t0)
+        span = self._samples[-1][0] - self._samples[0][0]
+        return area / span if span > 0 else float(self._samples[-1][1])
+
+    def depth_samples(self) -> Tuple[Tuple[float, int], ...]:
+        return tuple(self._samples)

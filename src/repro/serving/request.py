@@ -1,0 +1,94 @@
+"""Serving requests and per-request completion records.
+
+A :class:`Request` is one user job: an application (PackBootstrap / HELR /
+ResNet-20/32/56), how many ciphertexts it carries (its *size* -- requests
+arrive pre-packed), when it arrived on the simulated clock, and the latency
+SLO it was admitted under.  The server turns each request into a
+:class:`RequestRecord` once its dynamic batch finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..apps import APPLICATIONS
+
+#: Default per-application latency SLOs, simulated seconds.  FHE service
+#: times on the modelled A100 are tens of seconds per dynamic batch
+#: (Table 5), so SLOs sit a few batch-services out: enough room for the
+#: batching window plus one queued batch ahead of you.
+DEFAULT_SLO_S: Dict[str, float] = {
+    "packbootstrap": 240.0,
+    "helr": 300.0,
+    "resnet20": 900.0,
+    "resnet32": 1500.0,
+    "resnet56": 2400.0,
+}
+
+
+def default_slo_s(app: str) -> float:
+    """The default latency SLO for `app` (falls back to the slowest tier)."""
+    return DEFAULT_SLO_S.get(app, max(DEFAULT_SLO_S.values()))
+
+
+@dataclass(frozen=True)
+class Request:
+    """One FHE job submitted to the server."""
+
+    rid: int
+    app: str
+    size: int = 1
+    arrival_s: float = 0.0
+    slo_s: float = 0.0
+
+    def __post_init__(self):
+        app = self.app.lower()
+        if app not in APPLICATIONS:
+            known = ", ".join(sorted(set(APPLICATIONS) - {"bootstrap"}))
+            raise ValueError(f"unknown application {self.app!r}; choose from {known}")
+        object.__setattr__(self, "app", app)
+        if self.size < 1:
+            raise ValueError(f"request size must be >= 1, got {self.size}")
+        if self.arrival_s < 0:
+            raise ValueError(f"arrival time must be >= 0, got {self.arrival_s}")
+        if self.slo_s <= 0:
+            object.__setattr__(self, "slo_s", default_slo_s(app))
+
+    @property
+    def deadline_s(self) -> float:
+        """The absolute SLO deadline on the simulated clock."""
+        return self.arrival_s + self.slo_s
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """A served request: where and when its dynamic batch ran."""
+
+    request: Request
+    batch_id: int
+    lane: int
+    #: Executed BatchSize of the dynamic batch this request rode in.
+    batch_size: int
+    #: When the batch was formed (left the admission queue).
+    dispatch_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency (what the SLO is against)."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent in the admission queue before the batch started."""
+        return self.start_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def slo_met(self) -> bool:
+        return self.latency_s <= self.request.slo_s

@@ -1,0 +1,414 @@
+"""The request server: simulated-clock continuous batching over the Neo model.
+
+:class:`Server` admits a stream of FHE jobs (``submit``), forms dynamic
+batches through :class:`~repro.serving.batcher.ContinuousBatcher`, and
+replays the whole arrival trace on a simulated clock (``drain``), placing
+each batch on the first free *lane*.  Lanes are disjoint groups of CUDA
+streams: the device's ``config.streams`` streams are partitioned evenly,
+so each batch's service time is its trace's overlapped time under its
+lane's stream share (the Section 4.6 multi-stream model), and batches on
+different lanes run concurrently -- exactly the TCU/CUDA-core overlap the
+paper exploits *within* a batch, lifted across batches.
+
+Everything is deterministic: the same submitted trace always yields the
+same schedule, and :meth:`ServingReport.fingerprint` hashes the timeline so
+replays can assert bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from ..analysis.reporting import format_table
+from ..apps import get_application
+from ..core.neo_context import NeoContext
+from ..core.pipeline import NEO_CONFIG, PipelineConfig
+from ..core.profiling import latency_percentiles, timeline_schedule_result
+from ..core.streams import ScheduledKernel
+from ..core.trace_cache import CacheStats, TraceCache
+from .batcher import Batch, ContinuousBatcher
+from .policies import AdmissionPolicy, get_policy
+from .queue import RequestQueue
+from .request import Request, RequestRecord
+
+
+class NeoServiceModel:
+    """Times dynamic batches on the analytic A100 device model.
+
+    One root :class:`NeoContext` owns the trace cache; per-batch-size
+    sibling contexts share it, so a (app, BatchSize) shape is built at most
+    once per server lifetime and every repeat is a cache hit.
+    """
+
+    def __init__(
+        self,
+        params: str = "C",
+        config: PipelineConfig = NEO_CONFIG,
+        trace_cache: Optional[TraceCache] = None,
+    ):
+        self._root = NeoContext(
+            params, config=config, batch=1, trace_cache=trace_cache or TraceCache()
+        )
+        self._apps: Dict[str, object] = {}
+
+    def service_time_s(self, app: str, size: int, streams: int) -> float:
+        """Wall time of one `app` batch of `size` ciphertexts on `streams`."""
+        if app not in self._apps:
+            self._apps[app] = get_application(app)
+        ctx = self._root.with_batch(size)
+        trace = ctx.application_trace(self._apps[app])
+        return trace.overlapped_time_s(ctx.device, streams)
+
+    def cache_stats(self) -> CacheStats:
+        return self._root.cache_stats()
+
+
+class FixedServiceModel:
+    """Test double: service time from a user-supplied function."""
+
+    def __init__(self, time_fn: Callable[[str, int], float]):
+        self._time_fn = time_fn
+
+    def service_time_s(self, app: str, size: int, streams: int) -> float:
+        return self._time_fn(app, size)
+
+    def cache_stats(self) -> CacheStats:
+        return CacheStats()
+
+
+@dataclass
+class ServingReport:
+    """Everything one ``drain`` produced: records, batches, metrics."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    batches: List[Batch] = field(default_factory=list)
+    lanes: int = 1
+    streams_per_lane: int = 1
+    makespan_s: float = 0.0
+    mean_queue_depth: float = 0.0
+    max_queue_depth: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    # -- headline metrics ---------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        return len(self.records)
+
+    @property
+    def ciphertexts(self) -> int:
+        return sum(r.request.size for r in self.records)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per simulated second over the makespan."""
+        return self.served / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def throughput_cts(self) -> float:
+        """Ciphertexts per simulated second over the makespan."""
+        return self.ciphertexts / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    def latencies_s(self) -> List[float]:
+        return [r.latency_s for r in self.records]
+
+    def latency_summary(self) -> Dict[str, float]:
+        return latency_percentiles(self.latencies_s())
+
+    @property
+    def slo_violations(self) -> int:
+        return sum(1 for r in self.records if not r.slo_met)
+
+    @property
+    def slo_attainment(self) -> float:
+        return 1.0 - self.slo_violations / self.served if self.served else 1.0
+
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.total_size for b in self.batches) / len(self.batches)
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """Executed BatchSize -> number of batches (sorted by size)."""
+        hist: Dict[int, int] = {}
+        for b in self.batches:
+            hist[b.executed_size] = hist.get(b.executed_size, 0) + 1
+        return dict(sorted(hist.items()))
+
+    # -- timeline -----------------------------------------------------------------
+
+    def timeline(self) -> List[ScheduledKernel]:
+        """One :class:`ScheduledKernel` block per dispatched batch."""
+        spans: Dict[int, RequestRecord] = {}
+        for record in self.records:
+            spans.setdefault(record.batch_id, record)
+        blocks = []
+        for batch in self.batches:
+            span = spans[batch.bid]
+            blocks.append(
+                ScheduledKernel(
+                    name=f"{batch.app} x{batch.total_size} (b{batch.executed_size})",
+                    stream=span.lane,
+                    resource=batch.app,
+                    start_s=span.start_s,
+                    end_s=span.finish_s,
+                )
+            )
+        return blocks
+
+    def to_chrome_trace(self) -> str:
+        """The serving timeline in Chrome ``chrome://tracing`` JSON."""
+        return timeline_schedule_result(self.timeline()).to_chrome_trace()
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the batch timeline; equal across identical replays."""
+        return timeline_schedule_result(self.timeline()).fingerprint()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def format(self) -> str:
+        """A printable throughput / latency / batching report."""
+        lat = self.latency_summary()
+        lines = [
+            f"served {self.served} requests ({self.ciphertexts} ciphertexts) "
+            f"in {self.makespan_s:.1f} simulated s "
+            f"on {self.lanes} lane(s) x {self.streams_per_lane} stream(s)",
+            f"  throughput : {self.throughput_rps:.3f} req/s"
+            f"  ({self.throughput_cts:.3f} ct/s)",
+            f"  latency    : P50 {lat['p50']:.1f} s, P95 {lat['p95']:.1f} s, "
+            f"P99 {lat['p99']:.1f} s, max {lat['max']:.1f} s",
+            f"  SLO        : {self.slo_violations} violations "
+            f"({100 * self.slo_attainment:.1f}% attainment)",
+            f"  queue      : mean depth {self.mean_queue_depth:.1f}, "
+            f"peak {self.max_queue_depth}",
+            f"  batches    : {len(self.batches)} formed, "
+            f"mean fill {self.mean_batch_size():.1f} cts",
+            "",
+        ]
+        per_app: Dict[str, List[RequestRecord]] = {}
+        for record in self.records:
+            per_app.setdefault(record.request.app, []).append(record)
+        rows = []
+        for app in sorted(per_app):
+            records = per_app[app]
+            app_lat = latency_percentiles([r.latency_s for r in records])
+            rows.append(
+                [
+                    app,
+                    len(records),
+                    f"{app_lat['p50']:.1f}",
+                    f"{app_lat['p95']:.1f}",
+                    f"{app_lat['p99']:.1f}",
+                    sum(1 for r in records if not r.slo_met),
+                ]
+            )
+        lines.append(
+            format_table(
+                ["application", "requests", "P50 s", "P95 s", "P99 s", "SLO miss"],
+                rows,
+                title="per-application latency",
+            )
+        )
+        hist = self.batch_size_histogram()
+        if hist:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["BatchSize", "batches"],
+                    [[size, count] for size, count in hist.items()],
+                    title="dynamic batch sizes",
+                )
+            )
+        lines.append("")
+        lines.append(
+            "trace cache: "
+            f"{self.cache.hits} hits / {self.cache.misses} misses "
+            f"({100 * self.cache.hit_rate:.1f}% hit rate)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time server counters (live between submit and drain)."""
+
+    submitted: int
+    served: int
+    pending: int
+    batches: int
+
+
+class Server:
+    """A dynamic-batching FHE request server over the Neo device model.
+
+    Args:
+        params: Table 4 parameter set (or a ``ParameterSet``).
+        config: pipeline configuration; its ``streams`` are split across lanes.
+        policy: admission policy name or instance (fifo / edf / bucketed).
+        max_batch: dynamic-batch capacity, ciphertexts.
+        max_wait_s: continuous-batching window, simulated seconds.
+        lanes: concurrent batch slots (each gets ``streams // lanes`` streams).
+        model: service-time model; defaults to :class:`NeoServiceModel`.
+    """
+
+    def __init__(
+        self,
+        params: str = "C",
+        config: PipelineConfig = NEO_CONFIG,
+        policy: Union[str, AdmissionPolicy] = "fifo",
+        max_batch: int = 64,
+        max_wait_s: float = 30.0,
+        lanes: int = 2,
+        model=None,
+        trace_cache: Optional[TraceCache] = None,
+    ):
+        if lanes < 1:
+            raise ValueError(f"need at least one lane, got {lanes}")
+        self.policy = get_policy(policy)
+        self.batcher = ContinuousBatcher(self.policy, max_batch, max_wait_s)
+        self.lanes = lanes
+        self.streams_per_lane = max(1, config.streams // lanes)
+        self.model = model or NeoServiceModel(params, config, trace_cache)
+        self._submitted: List[Request] = []
+        self._next_rid = 0
+        self._last_report: Optional[ServingReport] = None
+
+    # -- admission ----------------------------------------------------------------
+
+    def submit(
+        self,
+        request: Optional[Request] = None,
+        *,
+        app: Optional[str] = None,
+        size: int = 1,
+        arrival_s: float = 0.0,
+        slo_s: float = 0.0,
+    ) -> Request:
+        """Enqueue one request (an instance, or fields to build one)."""
+        if request is None:
+            if app is None:
+                raise ValueError("submit needs a Request or an app name")
+            request = Request(
+                rid=self._next_rid,
+                app=app,
+                size=size,
+                arrival_s=arrival_s,
+                slo_s=slo_s,
+            )
+        self._next_rid = max(self._next_rid, request.rid) + 1
+        self._submitted.append(request)
+        return request
+
+    def submit_many(self, requests: Iterable[Request]) -> int:
+        count = 0
+        for request in requests:
+            self.submit(request)
+            count += 1
+        return count
+
+    def stats(self) -> ServerStats:
+        report = self._last_report
+        return ServerStats(
+            submitted=len(self._submitted),
+            served=report.served if report else 0,
+            pending=len(self._submitted) - (report.served if report else 0),
+            batches=len(report.batches) if report else 0,
+        )
+
+    @property
+    def last_report(self) -> Optional[ServingReport]:
+        return self._last_report
+
+    # -- simulation ---------------------------------------------------------------
+
+    def drain(self) -> ServingReport:
+        """Replay every submitted request to completion; return the report.
+
+        The loop advances the simulated clock to the next decision point
+        (an arrival, a lane becoming free, or a batching window expiring),
+        admits due arrivals, and dispatches whatever batch the batcher
+        deems ready onto the earliest-free lane.  No randomness anywhere:
+        the schedule is a pure function of the submitted trace.
+        """
+        arrivals = sorted(self._submitted, key=lambda r: (r.arrival_s, r.rid))
+        queue = RequestQueue()
+        lane_free = [0.0] * self.lanes
+        records: List[RequestRecord] = []
+        batches: List[Batch] = []
+        index, total = 0, len(arrivals)
+        now = 0.0
+        next_bid = 0
+
+        while index < total or queue:
+            if not queue:
+                now = max(now, arrivals[index].arrival_s)
+            while index < total and arrivals[index].arrival_s <= now:
+                request = arrivals[index]
+                queue.push(request, request.arrival_s)
+                index += 1
+            if not queue:
+                continue
+
+            lane = min(range(self.lanes), key=lane_free.__getitem__)
+            if lane_free[lane] > now:
+                # Every lane is busy: run the clock to the first free slot
+                # (admitting anything that arrives on the way).
+                now = lane_free[lane]
+                continue
+
+            draining = index >= total
+            take, window_deadline = self.batcher.candidate(
+                queue.requests, now, draining
+            )
+            if take is None:
+                # The head batch is still filling: sleep until its window
+                # expires or the next arrival tops it up.
+                next_arrival = arrivals[index].arrival_s
+                now = min(window_deadline, next_arrival)
+                continue
+
+            total_size = sum(r.size for r in take)
+            executed = self.policy.executed_size(total_size)
+            app = take[0].app
+            service = self.model.service_time_s(
+                app, executed, self.streams_per_lane
+            )
+            start = now
+            finish = start + service
+            lane_free[lane] = finish
+            queue.remove(take, now)
+            batch = Batch(
+                bid=next_bid,
+                app=app,
+                requests=tuple(take),
+                executed_size=executed,
+                formed_s=now,
+            )
+            next_bid += 1
+            batches.append(batch)
+            records.extend(
+                RequestRecord(
+                    request=r,
+                    batch_id=batch.bid,
+                    lane=lane,
+                    batch_size=executed,
+                    dispatch_s=now,
+                    start_s=start,
+                    finish_s=finish,
+                )
+                for r in take
+            )
+
+        report = ServingReport(
+            records=records,
+            batches=batches,
+            lanes=self.lanes,
+            streams_per_lane=self.streams_per_lane,
+            makespan_s=max((r.finish_s for r in records), default=0.0),
+            mean_queue_depth=queue.mean_depth(),
+            max_queue_depth=queue.max_depth(),
+            cache=self.model.cache_stats(),
+        )
+        self._last_report = report
+        return report

@@ -1,0 +1,128 @@
+"""Synthetic workload specifications and arrival traces.
+
+A workload is a set of :class:`WorkloadPhase` entries -- ``count`` requests
+of one application arriving as a Poisson process at ``rate_hz`` -- merged
+into one arrival-ordered request stream.  Arrivals are synthesised from a
+seeded generator, so the same (spec, seed) pair always replays the same
+trace: the serving benchmarks assert bit-identical schedules on repeated
+runs.
+
+Spec strings are comma-separated phases ``app:count:rate[:size[:slo]]``
+(rate in requests per simulated second, slo in simulated seconds), e.g.
+``helr:60:1.2,packbootstrap:40:0.8``.  A few named presets cover the common
+cases (``mixed``, ``bootstrap``, ``smoke``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..apps import APPLICATIONS
+from .request import Request
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """``count`` requests of one application at Poisson rate ``rate_hz``."""
+
+    app: str
+    count: int
+    rate_hz: float
+    size: int = 1
+    #: Latency SLO override, simulated seconds (0 uses the app default).
+    slo_s: float = 0.0
+
+    def __post_init__(self):
+        app = self.app.lower()
+        if app not in APPLICATIONS:
+            known = ", ".join(sorted(set(APPLICATIONS) - {"bootstrap"}))
+            raise ValueError(f"unknown application {self.app!r}; choose from {known}")
+        object.__setattr__(self, "app", app)
+        if self.count < 1:
+            raise ValueError(f"phase count must be >= 1, got {self.count}")
+        if self.rate_hz <= 0:
+            raise ValueError(f"phase rate must be > 0, got {self.rate_hz}")
+        if self.size < 1:
+            raise ValueError(f"phase size must be >= 1, got {self.size}")
+
+
+#: Named workload presets for the CLI and the benchmarks.
+WORKLOAD_PRESETS: Dict[str, Tuple[WorkloadPhase, ...]] = {
+    # The acceptance workload: HELR iterations and bootstrappings mixed.
+    "mixed": (
+        WorkloadPhase("helr", 120, 1.2),
+        WorkloadPhase("packbootstrap", 80, 0.8),
+    ),
+    "bootstrap": (WorkloadPhase("packbootstrap", 100, 1.5),),
+    "resnet": (WorkloadPhase("resnet20", 40, 0.05),),
+    # Small and fast: CI smoke tests and the demo.
+    "smoke": (
+        WorkloadPhase("helr", 12, 1.0),
+        WorkloadPhase("packbootstrap", 8, 0.5),
+    ),
+}
+
+
+def parse_workload_spec(spec: str) -> Tuple[WorkloadPhase, ...]:
+    """Parse a workload spec string (or preset name) into phases."""
+    name = spec.strip().lower()
+    if name in WORKLOAD_PRESETS:
+        return WORKLOAD_PRESETS[name]
+    phases: List[WorkloadPhase] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) < 3:
+            raise ValueError(
+                f"workload entry {entry!r} must be app:count:rate[:size[:slo]]"
+            )
+        try:
+            app = parts[0]
+            count = int(parts[1])
+            rate = float(parts[2])
+            size = int(parts[3]) if len(parts) > 3 else 1
+            slo = float(parts[4]) if len(parts) > 4 else 0.0
+        except ValueError as exc:
+            raise ValueError(f"malformed workload entry {entry!r}: {exc}") from None
+        phases.append(WorkloadPhase(app, count, rate, size=size, slo_s=slo))
+    if not phases:
+        known = ", ".join(sorted(WORKLOAD_PRESETS))
+        raise ValueError(
+            f"empty workload spec {spec!r}; give app:count:rate entries or a "
+            f"preset ({known})"
+        )
+    return tuple(phases)
+
+
+def synthesize_arrivals(
+    phases: Sequence[WorkloadPhase], seed: int = 0
+) -> List[Request]:
+    """Merge the phases into one arrival-ordered request stream.
+
+    Each phase draws exponential interarrivals from one shared seeded
+    generator (consumed in phase order, so the trace is a pure function of
+    (phases, seed)).  Request ids are assigned in arrival order.
+    """
+    rng = np.random.default_rng(seed)
+    tagged: List[Tuple[float, int, WorkloadPhase]] = []
+    for order, phase in enumerate(phases):
+        t = 0.0
+        for _ in range(phase.count):
+            t += float(rng.exponential(1.0 / phase.rate_hz))
+            tagged.append((t, order, phase))
+    tagged.sort(key=lambda item: (item[0], item[1]))
+    return [
+        Request(
+            rid=rid,
+            app=phase.app,
+            size=phase.size,
+            arrival_s=arrival,
+            slo_s=phase.slo_s,
+        )
+        for rid, (arrival, _, phase) in enumerate(tagged)
+    ]

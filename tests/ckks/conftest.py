@@ -1,6 +1,5 @@
 """Shared fixtures: one small functional CKKS context for the whole suite."""
 
-import numpy as np
 import pytest
 
 from repro.ckks import (
@@ -75,9 +74,8 @@ def klss_evaluator(params, keyset):
     )
 
 
-@pytest.fixture()
-def rng():
-    return np.random.default_rng(2024)
+# The shared ``rng`` fixture (seeded from ``--seed``) lives in the suite
+# root conftest; every test here picks it up from there.
 
 
 def random_slots(rng, count, scale=1.0):

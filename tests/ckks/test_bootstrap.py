@@ -95,6 +95,41 @@ class TestStages:
         assert np.abs(got - eps).max() < 5e-3
 
 
+#: Documented precision envelope of the reduced-parameter bootstrap:
+#: with the degree-15 sine approximation, q0/Delta = 4 and a sparse
+#: (|h| = 1) key, the worst slot error observed across seeds is ~9e-3;
+#: 2e-2 gives a 2x margin while still catching any precision regression
+#: an order of magnitude before the 5e-2 usability bound below.
+BOOTSTRAP_MAX_ERROR = 2e-2
+#: Mean (per-slot average) error is a few 1e-3; bound it separately so a
+#: regression that shifts every slot a little cannot hide under the max.
+BOOTSTRAP_MEAN_ERROR = 8e-3
+
+
+class TestPrecisionEnvelope:
+    """End-to-end precision: bootstrap output error stays inside the
+    documented envelope, not merely within decode tolerance."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_round_trip_error_within_envelope(self, boot_setup, seed):
+        params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup
+        rng = np.random.default_rng(seed)
+        v = np.clip(0.3 * rng.normal(size=params.slots), -0.8, 0.8)
+        ct = encryptor.encrypt(encoder.encode(v, level=0))
+        refreshed = boot.bootstrap(ct)
+        assert refreshed.level > 0
+        got = encoder.decode(decryptor.decrypt(refreshed)).real
+        errors = np.abs(got - v)
+        assert errors.max() < BOOTSTRAP_MAX_ERROR, (
+            f"seed {seed}: max slot error {errors.max():.4f} exceeds the "
+            f"documented {BOOTSTRAP_MAX_ERROR} envelope"
+        )
+        assert errors.mean() < BOOTSTRAP_MEAN_ERROR, (
+            f"seed {seed}: mean slot error {errors.mean():.4f} exceeds "
+            f"{BOOTSTRAP_MEAN_ERROR}"
+        )
+
+
 class TestEndToEnd:
     def test_bootstrap_refreshes_levels(self, boot_setup):
         params, sk, encoder, encryptor, decryptor, evaluator, boot = boot_setup

@@ -1,0 +1,167 @@
+"""Differential suite: full Evaluator sequences, Barrett vs object oracle.
+
+The Barrett/Shoup ``uint64`` backend is property-tested element-wise in
+``tests/math/test_barrett_backend.py``; this suite extends the comparison
+up the stack to whole :class:`~repro.ckks.evaluator.Evaluator` op
+sequences (HADD / PADD / PMULT / HMULT / HROTATE / Rescale, with KeySwitch
+inside HMULT and HROTATE), at the *boundary* moduli of the Barrett range:
+32-bit primes just above ``2**31`` (where the fast backend hands over) and
+61/62-bit primes just below ``2**62`` (the Barrett ceiling).
+
+Randomness only happens once, natively: keys and input ciphertexts are
+generated and serialised up front, then each drawn op sequence replays on
+deserialised copies under both backends (key/encryption sampling consumes
+the RNG differently per backend, so regenerating inside the oracle context
+would diverge for reasons that have nothing to do with arithmetic).  The
+acceptance bar is bit-identical residues on every limb.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ckks import (
+    CkksEncoder,
+    CkksParameters,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+from repro.ckks.serialization import (
+    deserialize_ciphertext,
+    deserialize_galois_keys,
+    deserialize_keyswitch_key,
+    serialize_ciphertext,
+    serialize_galois_keys,
+    serialize_keyswitch_key,
+)
+from repro.math import modarith
+
+
+def _boundary_fixture(params, seed):
+    """Keys and two input ciphertexts, frozen as serialised payloads."""
+    assert all(
+        modarith.backend_kind(q) == "barrett" for q in params.moduli
+    ), "boundary params must live entirely on the Barrett backend"
+    gen = KeyGenerator(params, seed=seed)
+    secret = gen.secret_key()
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(secret), seed=seed + 1)
+    values = np.random.default_rng(seed + 2).uniform(-0.7, 0.7, size=(2, params.slots))
+    ct_a = encryptor.encrypt(encoder.encode(values[0]))
+    ct_b = encryptor.encrypt(encoder.encode(values[1]))
+    return {
+        "params": params,
+        "other_values": values[1],
+        "relin": serialize_keyswitch_key(gen.relinearisation_key(secret)),
+        "galois": serialize_galois_keys(gen.rotation_keys(secret, [1, 2])),
+        "ct_a": serialize_ciphertext(ct_a),
+        "ct_b": serialize_ciphertext(ct_b),
+    }
+
+
+# Primes just above 2**31: the smallest Barrett moduli (the fast uint64
+# backend stops one bit below), and 61/62-bit primes just below the 2**62
+# Barrett ceiling, where the reduction headroom is tightest.
+FIXTURES = {
+    "just_above_2^31": _boundary_fixture(
+        CkksParameters(degree=16, max_level=4, wordsize=32, dnum=2), seed=101
+    ),
+    "just_below_2^62": _boundary_fixture(
+        CkksParameters(
+            degree=16, max_level=4, wordsize=61, dnum=2, first_prime_bits=62
+        ),
+        seed=202,
+    ),
+}
+
+OPS = st.sampled_from(["hadd", "padd", "psub", "negate", "pmult", "hmult",
+                       "rotate1", "rotate2"])
+
+
+def _replay(fixture, ops):
+    """Run `ops` on deserialised copies under the *current* backend."""
+    params = fixture["params"]
+    encoder = CkksEncoder(params)
+    evaluator = Evaluator(
+        params,
+        relin_key=deserialize_keyswitch_key(fixture["relin"], params),
+        galois_keys=deserialize_galois_keys(fixture["galois"], params),
+    )
+    ct = deserialize_ciphertext(fixture["ct_a"], params)
+    ct_other = deserialize_ciphertext(fixture["ct_b"], params)
+    other = fixture["other_values"]
+    multiplications = 0
+    for op in ops:
+        if op in ("pmult", "hmult") and multiplications >= params.max_level - 1:
+            continue  # out of levels
+        if op == "hadd":
+            ct = evaluator.add(ct, ct)
+        elif op == "padd":
+            pt = encoder.encode(other, level=ct.level, scale=ct.scale)
+            ct = evaluator.add_plain(ct, pt)
+        elif op == "psub":
+            pt = encoder.encode(other, level=ct.level, scale=ct.scale)
+            ct = evaluator.sub_plain(ct, pt)
+        elif op == "negate":
+            ct = evaluator.negate(ct)
+        elif op == "pmult":
+            pt = encoder.encode(other, level=ct.level)
+            ct = evaluator.rescale(evaluator.multiply_plain(ct, pt))
+            multiplications += 1
+        elif op == "hmult":
+            rhs = evaluator.mod_switch_to_level(ct_other, ct.level)
+            ct = evaluator.rescale(evaluator.multiply(ct, rhs))
+            multiplications += 1
+        elif op == "rotate1":
+            ct = evaluator.rotate(ct, 1)
+        elif op == "rotate2":
+            ct = evaluator.rotate(ct, 2)
+    return ct
+
+
+def _limbs_as_ints(poly):
+    return [np.asarray(limb).astype(object) for limb in poly.from_ntt().limbs]
+
+
+def _assert_bit_identical(native, oracle, ops):
+    assert native.level == oracle.level
+    assert native.scale == oracle.scale
+    for component, n_poly, o_poly in (
+        ("c0", native.c0, oracle.c0),
+        ("c1", native.c1, oracle.c1),
+    ):
+        for limb_index, (n_limb, o_limb) in enumerate(
+            zip(_limbs_as_ints(n_poly), _limbs_as_ints(o_poly))
+        ):
+            assert (n_limb == o_limb).all(), (
+                f"{component} limb {limb_index} diverged after {ops}"
+            )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(OPS, min_size=1, max_size=6))
+@pytest.mark.parametrize("boundary", sorted(FIXTURES))
+def test_evaluator_sequence_bit_identical_across_backends(boundary, ops):
+    fixture = FIXTURES[boundary]
+    native = _replay(fixture, ops)
+    assert native.c0.stack.dtype == np.uint64, "native run must stay on uint64"
+    with modarith.object_backend():
+        oracle = _replay(fixture, ops)
+        assert oracle.c0.stack.dtype == object, "oracle run must use object dtype"
+    _assert_bit_identical(native, oracle, ops)
+
+
+@pytest.mark.parametrize("boundary", sorted(FIXTURES))
+def test_deep_ladder_bit_identical_across_backends(boundary):
+    """Deterministic companion: use every level, both keyswitch paths."""
+    ops = ["hmult", "rotate1", "pmult", "padd", "hmult", "rotate2", "hadd"]
+    fixture = FIXTURES[boundary]
+    native = _replay(fixture, ops)
+    with modarith.object_backend():
+        oracle = _replay(fixture, ops)
+    _assert_bit_identical(native, oracle, ops)

@@ -1,0 +1,52 @@
+"""Suite-wide fixtures and options.
+
+* ``--seed N`` drives the shared :func:`rng` fixture used by the
+  random-circuit and serving tests; the seed in use is printed (and shown
+  by pytest on failure), so any flake reproduces with
+  ``pytest --seed <printed seed>``.
+* ``--update-golden`` regenerates the frozen trace fixtures under
+  ``tests/fixtures/`` instead of diffing against them (see
+  ``tests/core/test_golden_traces.py``).
+"""
+
+import numpy as np
+import pytest
+
+DEFAULT_SEED = 2024
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"seed for the shared rng fixture (default {DEFAULT_SEED})",
+    )
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-trace fixtures instead of diffing them",
+    )
+
+
+def pytest_report_header(config):
+    return f"rng seed: {config.getoption('--seed')} (override with --seed)"
+
+
+@pytest.fixture()
+def seed(request):
+    """The suite seed as a plain int (for APIs that take seeds directly)."""
+    return request.config.getoption("--seed")
+
+
+@pytest.fixture()
+def rng(seed):
+    """A fresh seeded generator per test; the seed prints on failure."""
+    print(f"[rng fixture] seed={seed} (reproduce with: pytest --seed {seed})")
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture()
+def update_golden(request):
+    return request.config.getoption("--update-golden")

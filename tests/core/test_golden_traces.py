@@ -1,0 +1,126 @@
+"""Golden-trace regression tests.
+
+The analytic model is deterministic end to end: the same (parameter set,
+pipeline config, batch, operation, level) must always produce the same
+event list, byte for byte.  These tests freeze that contract in JSON
+fixtures under ``tests/fixtures/``:
+
+* ``golden_traces_set_c_l35.json`` -- the full per-kernel event list of
+  every Table-6 primitive (plus the KeySwitch it is built from) for
+  parameter set C at the top level, serialised via
+  :meth:`ExecutionTrace.canonical_json`.
+* ``golden_app_digests.json`` -- SHA-256 digests (plus event/launch
+  counts) of the Table-5 application traces, which are far too large to
+  inline but whose drift matters just as much.
+
+Both the cache-miss path (``TraceCache(maxsize=0)``) and the warm
+cache-hit path must reproduce the fixtures byte-identically -- a cache
+that returned a near-copy would silently skew every downstream number.
+
+Run ``pytest --update-golden`` after an *intentional* model change to
+regenerate the fixtures; the diff then documents exactly what moved.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.neo_context import NeoContext
+from repro.core.trace_cache import TraceCache
+from repro.apps import APPLICATIONS, get_application
+from repro.gpu.trace import ExecutionTrace
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures"
+OP_FIXTURE = FIXTURE_DIR / "golden_traces_set_c_l35.json"
+APP_FIXTURE = FIXTURE_DIR / "golden_app_digests.json"
+
+PARAM_SET = "C"
+LEVEL = 35  # top level of set C
+GOLDEN_OPS = ("hmult", "hrotate", "pmult", "hadd", "padd", "rescale", "keyswitch")
+
+
+def _cold_context() -> NeoContext:
+    """Every lookup misses: exercises the from-scratch build path."""
+    return NeoContext(PARAM_SET, trace_cache=TraceCache(maxsize=0))
+
+
+def _warm_context() -> NeoContext:
+    return NeoContext(PARAM_SET, trace_cache=TraceCache())
+
+
+def _op_payload(ctx: NeoContext) -> dict:
+    return {
+        "params": PARAM_SET,
+        "level": LEVEL,
+        "batch": ctx.batch,
+        "ops": {op: ctx.operation_trace(op, LEVEL).to_jsonable() for op in GOLDEN_OPS},
+    }
+
+
+def _app_payload(ctx: NeoContext) -> dict:
+    digests = {}
+    for name in sorted(APPLICATIONS):
+        trace = ctx.application_trace(get_application(name))
+        digests[name] = {
+            "sha256": hashlib.sha256(trace.canonical_json().encode("utf-8")).hexdigest(),
+            "events": len(trace.events),
+            "launches": sum(event.launches for event in trace.events),
+        }
+    return {"params": PARAM_SET, "batch": ctx.batch, "apps": digests}
+
+
+def _dump(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _check_or_update(path: Path, payload: dict, update_golden: bool) -> None:
+    text = _dump(payload)
+    if update_golden:
+        FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"{path} missing -- run `pytest --update-golden` once to create it"
+    )
+    assert path.read_text() == text, (
+        f"{path.name} drifted from the live model; if the change is "
+        f"intentional, regenerate with `pytest --update-golden`"
+    )
+
+
+class TestOperationGoldenTraces:
+    def test_cache_miss_path_matches_fixture(self, update_golden):
+        _check_or_update(OP_FIXTURE, _op_payload(_cold_context()), update_golden)
+
+    def test_cache_hit_path_is_byte_identical(self):
+        """A warm hit must replay the exact bytes the miss produced."""
+        ctx = _warm_context()
+        cold = {op: ctx.operation_trace(op, LEVEL).canonical_json() for op in GOLDEN_OPS}
+        before = ctx.cache_stats().hits
+        warm = {op: ctx.operation_trace(op, LEVEL).canonical_json() for op in GOLDEN_OPS}
+        assert ctx.cache_stats().hits > before, "second pass should hit the cache"
+        assert warm == cold
+        if OP_FIXTURE.exists():
+            golden = json.loads(OP_FIXTURE.read_text())["ops"]
+            for op in GOLDEN_OPS:
+                assert json.loads(warm[op]) == golden[op], f"{op} hit-path drift"
+
+    def test_fixture_round_trips_through_from_jsonable(self):
+        """The fixture is loadable back into live, timeable traces."""
+        golden = json.loads(OP_FIXTURE.read_text())
+        ctx = _cold_context()
+        for op, events in golden["ops"].items():
+            trace = ExecutionTrace.from_jsonable(events)
+            assert trace.canonical_json() == ctx.operation_trace(op, LEVEL).canonical_json()
+            assert trace.serial_time_s(ctx.device) > 0.0
+
+
+class TestApplicationGoldenDigests:
+    def test_app_digests_match_fixture(self, update_golden):
+        _check_or_update(APP_FIXTURE, _app_payload(_cold_context()), update_golden)
+
+    def test_digests_identical_cold_vs_warm(self):
+        """Cache on/off must not change a single byte of any app trace."""
+        assert _app_payload(_cold_context()) == _app_payload(_warm_context())

@@ -1,0 +1,96 @@
+"""Continuous batching rules: full / window-expired / draining dispatch."""
+
+import math
+
+import pytest
+
+from repro.serving import ContinuousBatcher, FifoPolicy, Request, RequestQueue
+
+
+def _req(rid, app="helr", size=1, arrival=0.0):
+    return Request(rid=rid, app=app, size=size, arrival_s=arrival)
+
+
+def _batcher(max_batch=4, max_wait_s=10.0):
+    return ContinuousBatcher(FifoPolicy(), max_batch=max_batch, max_wait_s=max_wait_s)
+
+
+class TestValidation:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            _batcher(max_batch=0)
+        with pytest.raises(ValueError):
+            _batcher(max_wait_s=-1.0)
+
+
+class TestDispatchRules:
+    def test_empty_queue_never_dispatches(self):
+        take, deadline = _batcher().candidate([], now=0.0, draining=True)
+        assert take is None and deadline == math.inf
+
+    def test_filling_batch_waits_for_window(self):
+        pending = [_req(0, arrival=0.0), _req(1, arrival=2.0)]
+        take, deadline = _batcher(max_wait_s=10.0).candidate(
+            pending, now=5.0, draining=False
+        )
+        assert take is None
+        assert deadline == 10.0  # oldest arrival + window
+
+    def test_window_expiry_dispatches_partial_batch(self):
+        pending = [_req(0, arrival=0.0), _req(1, arrival=2.0)]
+        take, _ = _batcher(max_wait_s=10.0).candidate(pending, now=10.0, draining=False)
+        assert take is not None and [r.rid for r in take] == [0, 1]
+
+    def test_full_batch_dispatches_immediately(self):
+        pending = [_req(i) for i in range(4)]
+        take, _ = _batcher(max_batch=4).candidate(pending, now=0.0, draining=False)
+        assert take is not None and len(take) == 4
+
+    def test_overflow_leaves_remainder_queued(self):
+        pending = [_req(i, size=3) for i in range(3)]  # 9 cts vs max_batch 4
+        take, _ = _batcher(max_batch=4).candidate(pending, now=0.0, draining=False)
+        assert take is not None
+        assert [r.rid for r in take] == [0]  # 3 + 3 > 4: second stays queued
+
+    def test_draining_flushes_without_waiting(self):
+        pending = [_req(0)]
+        take, _ = _batcher(max_wait_s=10.0).candidate(pending, now=0.0, draining=True)
+        assert take is not None and len(take) == 1
+
+    def test_oversized_single_request_dispatches_alone(self):
+        pending = [_req(0, size=9), _req(1, size=1)]
+        take, _ = _batcher(max_batch=4).candidate(pending, now=0.0, draining=False)
+        assert take is not None
+        assert [r.rid for r in take] == [0]
+        assert sum(r.size for r in take) == 9
+
+    def test_only_head_bucket_dispatches(self):
+        pending = [
+            _req(0, app="helr", arrival=0.0),
+            _req(1, app="packbootstrap", arrival=1.0),
+            _req(2, app="helr", arrival=2.0),
+        ]
+        take, _ = _batcher().candidate(pending, now=20.0, draining=False)
+        assert take is not None
+        assert all(r.app == "helr" for r in take)
+        assert [r.rid for r in take] == [0, 2]
+
+
+class TestQueueMetrics:
+    def test_depth_accounting(self):
+        queue = RequestQueue()
+        queue.push(_req(0), now=0.0)
+        queue.push(_req(1), now=1.0)
+        queue.push(_req(2), now=2.0)
+        queue.remove([_req(0), _req(1)], now=4.0)
+        assert queue.max_depth() == 3
+        assert len(queue) == 1
+        # Step function: depth 1 for 1s, 2 for 1s, 3 for 2s over a 4s span.
+        assert queue.mean_depth() == pytest.approx((1 + 2 + 3 * 2) / 4.0)
+
+    def test_remove_is_by_rid(self):
+        queue = RequestQueue()
+        queue.push(_req(0), now=0.0)
+        queue.push(_req(1), now=0.0)
+        queue.remove([_req(0)], now=1.0)
+        assert [r.rid for r in queue.requests] == [1]

@@ -1,0 +1,80 @@
+"""Admission policies: ordering, bucketing, and executed-size rules."""
+
+import pytest
+
+from repro.serving import (
+    POLICIES,
+    EarliestDeadlinePolicy,
+    FifoPolicy,
+    Request,
+    SizeBucketedPolicy,
+    get_policy,
+    next_power_of_two,
+)
+
+
+@pytest.mark.parametrize(
+    "n,expect",
+    [(1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (64, 64), (65, 128)],
+)
+def test_next_power_of_two(n, expect):
+    assert next_power_of_two(n) == expect
+
+
+def test_next_power_of_two_rejects_zero():
+    with pytest.raises(ValueError):
+        next_power_of_two(0)
+
+
+class TestResolution:
+    def test_names_resolve(self):
+        for name, cls in POLICIES.items():
+            assert isinstance(get_policy(name), cls)
+            assert get_policy(name).name == name
+
+    def test_instances_pass_through(self):
+        policy = FifoPolicy()
+        assert get_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            get_policy("lifo")
+
+
+def _req(rid, app="helr", size=1, arrival=0.0, slo=0.0):
+    return Request(rid=rid, app=app, size=size, arrival_s=arrival, slo_s=slo)
+
+
+class TestOrdering:
+    def test_fifo_orders_by_arrival(self):
+        requests = [_req(0, arrival=5.0), _req(1, arrival=1.0), _req(2, arrival=3.0)]
+        ordered = sorted(requests, key=FifoPolicy().order_key)
+        assert [r.rid for r in ordered] == [1, 2, 0]
+
+    def test_edf_orders_by_deadline_not_arrival(self):
+        # rid 0 arrives first but has a lax SLO; rid 1 arrives later with a
+        # tight one, so its absolute deadline is earlier.
+        lax = _req(0, arrival=0.0, slo=1000.0)
+        tight = _req(1, arrival=10.0, slo=50.0)
+        ordered = sorted([lax, tight], key=EarliestDeadlinePolicy().order_key)
+        assert [r.rid for r in ordered] == [1, 0]
+
+
+class TestBucketing:
+    def test_apps_never_share_a_bucket(self):
+        policy = FifoPolicy()
+        assert policy.bucket(_req(0, app="helr")) != policy.bucket(
+            _req(1, app="packbootstrap")
+        )
+
+    def test_size_buckets_split_by_power_of_two(self):
+        policy = SizeBucketedPolicy()
+        assert policy.bucket(_req(0, size=3)) == policy.bucket(_req(1, size=4))
+        assert policy.bucket(_req(0, size=4)) != policy.bucket(_req(1, size=5))
+
+    def test_executed_size_pads_to_power_of_two(self):
+        policy = SizeBucketedPolicy()
+        assert policy.executed_size(5) == 8
+        assert policy.executed_size(64) == 64
+        # FIFO runs at the exact carried size.
+        assert FifoPolicy().executed_size(5) == 5

@@ -1,0 +1,80 @@
+"""Workload specs: parsing, validation, and deterministic arrival synthesis."""
+
+import pytest
+
+from repro.serving import (
+    WORKLOAD_PRESETS,
+    WorkloadPhase,
+    parse_workload_spec,
+    synthesize_arrivals,
+)
+
+
+class TestPhaseValidation:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            WorkloadPhase("matmul", 10, 1.0)
+
+    def test_app_name_normalised(self):
+        assert WorkloadPhase("HELR", 10, 1.0).app == "helr"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": 0},
+            {"rate_hz": 0.0},
+            {"rate_hz": -1.0},
+            {"size": 0},
+        ],
+    )
+    def test_bad_numbers_rejected(self, kwargs):
+        base = {"app": "helr", "count": 10, "rate_hz": 1.0}
+        with pytest.raises(ValueError):
+            WorkloadPhase(**{**base, **kwargs})
+
+
+class TestSpecParsing:
+    def test_preset_names_resolve(self):
+        for name, phases in WORKLOAD_PRESETS.items():
+            assert parse_workload_spec(name) == phases
+
+    def test_explicit_spec(self):
+        phases = parse_workload_spec("helr:60:1.2,packbootstrap:40:0.8:2:500")
+        assert phases == (
+            WorkloadPhase("helr", 60, 1.2),
+            WorkloadPhase("packbootstrap", 40, 0.8, size=2, slo_s=500.0),
+        )
+
+    @pytest.mark.parametrize("spec", ["", "helr", "helr:60", "helr:x:1.0"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_workload_spec(spec)
+
+
+class TestArrivalSynthesis:
+    def test_same_seed_is_bit_identical(self):
+        phases = parse_workload_spec("mixed")
+        assert synthesize_arrivals(phases, seed=9) == synthesize_arrivals(
+            phases, seed=9
+        )
+
+    def test_different_seeds_differ(self):
+        phases = parse_workload_spec("mixed")
+        assert synthesize_arrivals(phases, seed=1) != synthesize_arrivals(
+            phases, seed=2
+        )
+
+    def test_counts_ordering_and_rids(self, seed):
+        phases = parse_workload_spec("mixed")
+        requests = synthesize_arrivals(phases, seed=seed)
+        assert len(requests) == sum(p.count for p in phases)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.rid for r in requests] == list(range(len(requests)))
+        per_app = {p.app: p.count for p in phases}
+        for app, count in per_app.items():
+            assert sum(1 for r in requests if r.app == app) == count
+
+    def test_phase_slo_carries_through(self):
+        requests = synthesize_arrivals((WorkloadPhase("helr", 5, 1.0, slo_s=77.0),))
+        assert all(r.slo_s == 77.0 for r in requests)

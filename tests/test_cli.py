@@ -87,3 +87,41 @@ class TestProfileCommand:
     def test_profile_unknown_system(self, capsys):
         assert main(["profile", "helr", "--system", "tpu"]) == 2
         assert "unknown system" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    SMOKE = ["serve", "--workload", "smoke", "--max-batch", "16"]
+
+    def test_serve_smoke_report(self, capsys):
+        assert main(self.SMOKE) == 0
+        out = capsys.readouterr().out
+        assert "workload 'smoke'" in out
+        assert "throughput" in out and "P95" in out and "SLO" in out
+        assert "helr" in out and "packbootstrap" in out
+
+    def test_serve_explicit_spec_and_policy(self, capsys):
+        assert main(["serve", "--workload", "helr:5:1.0", "--policy", "edf",
+                     "--lanes", "1", "--seed", "3"]) == 0
+        assert "5x helr" in capsys.readouterr().out
+
+    def test_serve_chrome_trace_output(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "serving.json"
+        assert main(self.SMOKE + ["--chrome-trace", str(path)]) == 0
+        assert json.loads(path.read_text())["traceEvents"]
+        assert "serving timeline" in capsys.readouterr().out
+
+    def test_serve_same_seed_same_report(self, capsys):
+        assert main(self.SMOKE + ["--seed", "11"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.SMOKE + ["--seed", "11"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_unknown_policy(self, capsys):
+        assert main(["serve", "--policy", "lifo"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_serve_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "nosuchapp:5:1.0"]) == 2
+        assert "unknown application" in capsys.readouterr().err
