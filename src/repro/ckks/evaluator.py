@@ -34,7 +34,9 @@ from .params import CkksParameters
 #: exactly tracked float scale).
 _SCALE_RTOL = 5e-2
 
-KEYSWITCH_METHODS = ("hybrid", "klss")
+#: GEMM-form engines plus their per-digit reference pipelines (the
+#: ``-loop`` variants are bit-identical and kept for differential runs).
+KEYSWITCH_METHODS = ("hybrid", "klss", "hybrid-loop", "klss-loop")
 
 
 class Evaluator:
@@ -56,7 +58,7 @@ class Evaluator:
     ):
         if method not in KEYSWITCH_METHODS:
             raise ValueError(f"method must be one of {KEYSWITCH_METHODS}")
-        if method == "klss" and params.klss is None:
+        if method in ("klss", "klss-loop") and params.klss is None:
             raise ValueError("KLSS method requires parameters with a KlssConfig")
         self.params = params
         self.relin_key = relin_key
@@ -70,6 +72,10 @@ class Evaluator:
     ) -> Tuple[RnsPolynomial, RnsPolynomial]:
         if self.method == "klss":
             return klss_ks.keyswitch(poly, ksk, self.params)
+        if self.method == "klss-loop":
+            return klss_ks.keyswitch_loop(poly, ksk, self.params)
+        if self.method == "hybrid-loop":
+            return hybrid_ks.keyswitch_loop(poly, ksk, self.params)
         return hybrid_ks.keyswitch(poly, ksk, self.params)
 
     # -- level/scale alignment -------------------------------------------------------

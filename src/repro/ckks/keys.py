@@ -14,6 +14,7 @@ key-switching back-ends.
 
 from __future__ import annotations
 
+import itertools
 from functools import reduce
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -99,10 +100,16 @@ class KeySwitchKey:
     key-switching back-ends convert to their working domains on demand.
     """
 
+    _TOKENS = itertools.count()
+
     def __init__(self, pairs: Sequence[Tuple[RnsPolynomial, RnsPolynomial]]):
         if not pairs:
             raise ValueError("a key-switching key needs at least one digit")
         self.pairs: List[Tuple[RnsPolynomial, RnsPolynomial]] = list(pairs)
+        #: Process-unique identity token; key-switch plan caches key on it
+        #: (plus the params fingerprint) instead of stashing state on the
+        #: key object itself.
+        self.cache_token: int = next(KeySwitchKey._TOKENS)
 
     @property
     def dnum(self) -> int:

@@ -1,5 +1,10 @@
-"""Key-switching back-ends: Hybrid (Han-Ki) and KLSS (Kim-Lee-Seo-Song)."""
+"""Key-switching back-ends: Hybrid (Han-Ki) and KLSS (Kim-Lee-Seo-Song).
 
-from . import hybrid, klss
+Both back-ends run through the GEMM-form engine in :mod:`.plan` by
+default (Neo Algorithms 2 and 4) and keep their per-digit loop forms as
+bit-identical references.
+"""
 
-__all__ = ["hybrid", "klss"]
+from . import hybrid, klss, plan
+
+__all__ = ["hybrid", "klss", "plan"]

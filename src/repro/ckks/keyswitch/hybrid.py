@@ -10,19 +10,24 @@ The classic GPU pipeline the paper compares against (Fig. 5, left path):
 3. **NTT** over ``PQ``, **Inner Product** with the evk digit pairs,
    **INTT**.
 4. **Mod Down** -- divide by ``P`` and return to the ciphertext basis.
+
+:func:`keyswitch` runs the GEMM-form engine of :mod:`.plan` (batched
+BConv matmul + lazy-reduction IP, Neo Algorithms 2 and 4);
+:func:`keyswitch_loop` keeps the per-digit reference pipeline.  The two
+are bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
-
 from ...math import modarith
 from ...math.polynomial import RnsPolynomial
-from ...math.rns import RnsBasis, bconv_approx
+from ...math.rns import RnsBasis, bconv_approx, bconv_approx_eager
 from ..keys import KeySwitchKey
 from ..params import CkksParameters
+from . import plan as _plan
+from .plan import restrict_to_pq  # noqa: F401  (re-exported, used by hoisting)
 
 
 def decompose_digits(
@@ -46,7 +51,11 @@ def decompose_digits(
 
 
 def mod_up(
-    digit: RnsPolynomial, digit_index: int, params: CkksParameters, level: int
+    digit: RnsPolynomial,
+    digit_index: int,
+    params: CkksParameters,
+    level: int,
+    bconv=bconv_approx,
 ) -> RnsPolynomial:
     """Raise one digit to the ``PQ`` basis (paper's Mod Up / BConv step).
 
@@ -60,7 +69,7 @@ def mod_up(
     other_moduli = [
         q for idx, q in enumerate(pq.moduli) if not start <= idx < stop
     ]
-    converted = bconv_approx(digit.limbs, digit.basis, RnsBasis(other_moduli))
+    converted = bconv(digit.limbs, digit.basis, RnsBasis(other_moduli))
     converted_iter = iter(converted)
     limbs = []
     for idx in range(len(pq.moduli)):
@@ -71,20 +80,11 @@ def mod_up(
     return RnsPolynomial(digit.degree, pq, limbs, is_ntt=False)
 
 
-def restrict_to_pq(
-    poly: RnsPolynomial, params: CkksParameters, level: int
-) -> RnsPolynomial:
-    """Restrict a top-level ``PQ_L`` polynomial to the level-``l`` ``PQ`` basis."""
-    top = params.max_level
-    q_limbs = poly.limbs[: level + 1]
-    p_limbs = poly.limbs[top + 1 : top + 1 + len(params.special_primes)]
-    return RnsPolynomial(
-        poly.degree, params.pq_basis(level), q_limbs + p_limbs, poly.is_ntt
-    )
-
-
 def mod_down(
-    poly: RnsPolynomial, params: CkksParameters, level: int
+    poly: RnsPolynomial,
+    params: CkksParameters,
+    level: int,
+    bconv=bconv_approx,
 ) -> RnsPolynomial:
     """Divide by ``P`` and drop the special limbs (paper's Mod Down)."""
     poly = poly.from_ntt()
@@ -93,7 +93,7 @@ def mod_down(
     q_count = level + 1
     q_limbs = poly.limbs[:q_count]
     p_limbs = poly.limbs[q_count:]
-    converted = bconv_approx(p_limbs, p_basis, q_basis)
+    converted = bconv(p_limbs, p_basis, q_basis)
     limbs = []
     for limb, conv, q in zip(q_limbs, converted, q_basis.moduli):
         p_inv = modarith.inv_mod(params.special_product % q, q)
@@ -106,22 +106,13 @@ def mod_down(
 def _key_pairs_at_level(
     ksk: KeySwitchKey, params: CkksParameters, level: int
 ) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
-    """Evk pairs restricted to the level-``l`` PQ basis, NTT form, cached."""
-    cache = getattr(ksk, "_hybrid_cache", None)
-    if cache is None:
-        cache = {}
-        ksk._hybrid_cache = cache
-    pairs = cache.get(level)
-    if pairs is None:
-        pairs = [
-            (
-                restrict_to_pq(b, params, level).to_ntt(),
-                restrict_to_pq(a, params, level).to_ntt(),
-            )
-            for b, a in ksk.pairs
-        ]
-        cache[level] = pairs
-    return pairs
+    """Evk pairs restricted to the level-``l`` PQ basis, NTT form, cached.
+
+    Served from the shared :mod:`.plan` cache -- keyed by the params
+    fingerprint and the key's identity token, so a key reused under
+    sibling parameter sets never sees stale restrictions.
+    """
+    return _plan.get_keyswitch_plan(ksk, params, level, "hybrid").key_pairs
 
 
 def keyswitch(
@@ -130,7 +121,23 @@ def keyswitch(
     """Switch `poly` (a coefficient of ``s'``) to the key ``s``.
 
     Returns ``(p0, p1)`` over the ciphertext basis such that
-    ``p0 + p1 * s ~ poly * s'`` (up to key-switching noise).
+    ``p0 + p1 * s ~ poly * s'`` (up to key-switching noise).  Runs the
+    batched GEMM pipeline; bit-identical to :func:`keyswitch_loop`.
+    """
+    level = len(poly.basis) - 1
+    ks_plan = _plan.get_keyswitch_plan(ksk, params, level, "hybrid")
+    return _plan.gemm_keyswitch(poly, ks_plan)
+
+
+def keyswitch_loop(
+    poly: RnsPolynomial, ksk: KeySwitchKey, params: CkksParameters
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
+    """The per-digit reference pipeline (kept for differential testing).
+
+    This is the pre-GEMM dataflow: one BConv with eager per-step reduction
+    per digit (:func:`~repro.math.rns.bconv_approx_eager`), one NTT per
+    digit, and an inner product of per-limb ``multiply``/``add`` calls with
+    a full Barrett reduction per step.  Bit-identical to :func:`keyswitch`.
     """
     level = len(poly.basis) - 1
     digits = decompose_digits(poly, params)
@@ -143,10 +150,14 @@ def keyswitch(
     acc_b = RnsPolynomial.zero(poly.degree, pq, is_ntt=True)
     acc_a = RnsPolynomial.zero(poly.degree, pq, is_ntt=True)
     for j, digit in enumerate(digits):
-        raised = mod_up(digit, j, params, level).to_ntt()  # Mod Up + NTT
+        raised = mod_up(
+            digit, j, params, level, bconv=bconv_approx_eager
+        ).to_ntt()  # Mod Up + NTT
         b_j, a_j = pairs[j]
         acc_b = acc_b.add(raised.multiply(b_j))  # Inner Product
         acc_a = acc_a.add(raised.multiply(a_j))
-    p0 = mod_down(acc_b.from_ntt(), params, level)  # INTT + Mod Down
-    p1 = mod_down(acc_a.from_ntt(), params, level)
+    p0 = mod_down(  # INTT + Mod Down
+        acc_b.from_ntt(), params, level, bconv=bconv_approx_eager
+    )
+    p1 = mod_down(acc_a.from_ntt(), params, level, bconv=bconv_approx_eager)
     return p0, p1

@@ -17,152 +17,75 @@ The six-step pipeline of the paper's Fig. 5:
    the ``beta~`` groups back to ``R_PQ``, where they are recombined with
    the gadget factors ``G_hat_i``.
 6. **Mod Down** -- divide by ``P`` (shared with the hybrid back-end).
+
+:func:`keyswitch` runs the GEMM-form engine of :mod:`.plan` (one batched
+BConv matmul for ModUp, one lazy-reduction einsum for the IP, one native
+Recover Limbs); :func:`keyswitch_loop` keeps the per-digit reference
+pipeline with its object-dtype CRT recomposition.  Both are bit-identical.
 """
 
 from __future__ import annotations
 
-from functools import reduce
 from typing import List, Tuple
 
 import numpy as np
 
-from ...math import modarith
 from ...math.polynomial import RnsPolynomial
-from ...math.rns import RnsBasis, bconv_approx
+from ...math.rns import bconv_approx_eager
 from ..keys import KeySwitchKey
 from ..params import CkksParameters
 from . import hybrid
-
-
-class KlssBoundError(ValueError):
-    """Raised when the auxiliary modulus cannot hold the IP exactly (Eq. 4)."""
-
-
-class _KlssLevelKey:
-    """The evk of one level, gadget-decomposed into the auxiliary basis."""
-
-    def __init__(
-        self,
-        t_basis: RnsBasis,
-        digit_pairs: List[List[Tuple[RnsPolynomial, RnsPolynomial]]],
-        gadget_factors: List[int],
-        pq_basis: RnsBasis,
-    ):
-        #: ``digit_pairs[i][j]`` = digit ``i`` of evk pair ``j``, over ``R_T`` (NTT).
-        self.t_basis = t_basis
-        self.digit_pairs = digit_pairs
-        #: ``gadget_factors[i] = G_hat_i = PQ_l / G_i`` (exact integers).
-        self.gadget_factors = gadget_factors
-        self.pq_basis = pq_basis
-
-    @property
-    def beta_tilde(self) -> int:
-        return len(self.digit_pairs)
-
-
-def _limb_groups(n_limbs: int, alpha_tilde: int) -> List[Tuple[int, int]]:
-    """Half-open limb ranges of the ``alpha~``-sized gadget groups."""
-    return [
-        (start, min(start + alpha_tilde, n_limbs))
-        for start in range(0, n_limbs, alpha_tilde)
-    ]
-
-
-def _check_ip_bound(params: CkksParameters, level: int, t_basis: RnsBasis):
-    """Assert the Eq. 4 correctness bound: ``T > 2 * N * beta * B * B~``."""
-    pq_moduli = params.pq_basis(level).moduli
-    alpha = params.alpha
-    beta = params.beta(level)
-    digit_bound = 0
-    for j in range(beta):
-        start, stop = params.digit_range(j, level)
-        group = reduce(lambda a, b: a * b, params.moduli[start:stop], 1)
-        digit_bound = max(digit_bound, group)
-    b_bound = (alpha + 1) * digit_bound  # Mod Up overflow slack included
-    groups = _limb_groups(len(pq_moduli), params.klss.alpha_tilde)
-    key_digit_bound = max(
-        reduce(lambda a, b: a * b, pq_moduli[start:stop], 1) for start, stop in groups
-    )
-    required = 2 * params.degree * beta * b_bound * key_digit_bound
-    if t_basis.product <= required:
-        raise KlssBoundError(
-            f"auxiliary modulus T (~2^{t_basis.product.bit_length()}) too small: "
-            f"Eq. 4 needs > 2^{required.bit_length()} at level {level}"
-        )
+from . import plan as _plan
+from .plan import (  # noqa: F401  (re-exported under their historical names)
+    KlssBoundError,
+    KlssLevelKey as _KlssLevelKey,
+    _check_ip_bound,
+    _extract_digit,
+    _limb_groups,
+)
 
 
 def decompose_key(
     ksk: KeySwitchKey, params: CkksParameters, level: int
 ) -> _KlssLevelKey:
-    """Gadget-decompose the hybrid evk for use at `level` (cached on the key)."""
+    """Gadget-decompose the hybrid evk for use at `level` (cached).
+
+    Served from the shared key-switch plan cache, keyed by the params
+    fingerprint and the key's identity token -- never stashed on the key
+    object, so a key reused under a sibling :class:`CkksParameters` (e.g.
+    a different ``alpha~``) gets a fresh decomposition instead of a stale
+    one.
+    """
     if params.klss is None:
         raise ValueError("parameters carry no KLSS configuration")
-    cache = getattr(ksk, "_klss_cache", None)
-    if cache is None:
-        cache = {}
-        ksk._klss_cache = cache
-    decomposed = cache.get(level)
-    if decomposed is not None:
-        return decomposed
-
-    alpha_prime, beta, _ = params.klss_dims(level)
-    t_basis = params.aux_basis.subbasis(0, alpha_prime)
-    _check_ip_bound(params, level, t_basis)
-
-    pq = params.pq_basis(level)
-    groups = _limb_groups(len(pq.moduli), params.klss.alpha_tilde)
-    pq_product = pq.product
-    gadget_factors = []
-    group_data = []  # (group_basis, inv_factor, start, stop)
-    for start, stop in groups:
-        group_basis = RnsBasis(pq.moduli[start:stop])
-        g_hat = pq_product // group_basis.product
-        inv = modarith.inv_mod(g_hat % group_basis.product, group_basis.product)
-        gadget_factors.append(g_hat)
-        group_data.append((group_basis, inv, start, stop))
-
-    digit_pairs: List[List[Tuple[RnsPolynomial, RnsPolynomial]]] = []
-    restricted = [
-        (
-            hybrid.restrict_to_pq(b, params, level),
-            hybrid.restrict_to_pq(a, params, level),
-        )
-        for b, a in ksk.pairs[:beta]
-    ]
-    for group_basis, inv, start, stop in group_data:
-        row: List[Tuple[RnsPolynomial, RnsPolynomial]] = []
-        for b, a in restricted:
-            row.append(
-                (
-                    _extract_digit(b, group_basis, inv, start, stop, t_basis),
-                    _extract_digit(a, group_basis, inv, start, stop, t_basis),
-                )
-            )
-        digit_pairs.append(row)
-    decomposed = _KlssLevelKey(t_basis, digit_pairs, gadget_factors, pq)
-    cache[level] = decomposed
-    return decomposed
-
-
-def _extract_digit(
-    poly: RnsPolynomial,
-    group_basis: RnsBasis,
-    inv_factor: int,
-    start: int,
-    stop: int,
-    t_basis: RnsBasis,
-) -> RnsPolynomial:
-    """Digit ``[v * G_hat^{-1}]_{G}`` of `poly`, lifted exactly into ``R_T``."""
-    group_value = group_basis.compose(poly.limbs[start:stop])
-    digit = (group_value * inv_factor) % group_basis.product
-    limbs = t_basis.decompose(digit)
-    return RnsPolynomial(poly.degree, t_basis, limbs, is_ntt=False).to_ntt()
+    return _plan.get_keyswitch_plan(ksk, params, level, "klss").klss_key
 
 
 def keyswitch(
     poly: RnsPolynomial, ksk: KeySwitchKey, params: CkksParameters
 ) -> Tuple[RnsPolynomial, RnsPolynomial]:
-    """KLSS key switch of `poly`; same contract as :func:`hybrid.keyswitch`."""
+    """KLSS key switch of `poly`; same contract as :func:`hybrid.keyswitch`.
+
+    Runs the batched GEMM pipeline; bit-identical to
+    :func:`keyswitch_loop`.
+    """
+    level = len(poly.basis) - 1
+    if params.klss is None:
+        raise ValueError("parameters carry no KLSS configuration")
+    ks_plan = _plan.get_keyswitch_plan(ksk, params, level, "klss")
+    return _plan.gemm_keyswitch(poly, ks_plan)
+
+
+def keyswitch_loop(
+    poly: RnsPolynomial, ksk: KeySwitchKey, params: CkksParameters
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
+    """The per-digit reference pipeline (kept for differential testing).
+
+    This is the pre-GEMM dataflow: one eagerly-reduced BConv and NTT per
+    digit, a nested per-limb ``multiply``/``add`` inner product with a full
+    Barrett reduction per step, and an object-dtype CRT recomposition in
+    Recover Limbs.  Bit-identical to :func:`keyswitch`.
+    """
     level = len(poly.basis) - 1
     key = decompose_key(ksk, params, level)
     t_basis = key.t_basis
@@ -171,7 +94,7 @@ def keyswitch(
     # Step 1 + 2: Mod Up into R_T, then NTT.
     raised: List[RnsPolynomial] = []
     for digit in hybrid.decompose_digits(poly, params):
-        limbs = bconv_approx(digit.limbs, digit.basis, t_basis)
+        limbs = bconv_approx_eager(digit.limbs, digit.basis, t_basis)
         raised.append(
             RnsPolynomial(degree, t_basis, limbs, is_ntt=False).to_ntt()
         )
@@ -206,6 +129,6 @@ def keyswitch(
     recovered_a = RnsPolynomial(degree, pq, pq.decompose(sum_a), is_ntt=False)
 
     # Step 6: Mod Down by P.
-    p0 = hybrid.mod_down(recovered_b, params, level)
-    p1 = hybrid.mod_down(recovered_a, params, level)
+    p0 = hybrid.mod_down(recovered_b, params, level, bconv=bconv_approx_eager)
+    p1 = hybrid.mod_down(recovered_a, params, level, bconv=bconv_approx_eager)
     return p0, p1

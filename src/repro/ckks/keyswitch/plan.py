@@ -1,0 +1,519 @@
+"""GEMM-form key-switch engine: per-level plans and batched kernels.
+
+Neo's Algorithms 2 and 4 recast the two hot loops of key switching --
+BConv and the Inner Product -- as data-reusing matrix multiplications.
+This module is the functional-backend implementation of that idea:
+
+* :class:`KeySwitchPlan` precomputes, once per ``(key, params, level,
+  method, backend)``, everything the loop forms recompute per call: the
+  gadget-decomposed evk stacked into one NTT-domain tensor, the BConv
+  conversion matrices (with zero-padded short digits so every digit rides
+  the same GEMM), the ModDown inverses, and the KLSS Recover-Limbs
+  constants.
+* :func:`gemm_keyswitch` runs the whole pipeline on the contiguous limb
+  stack: one batched BConv matmul for ModUp (Algorithm 2), one
+  :class:`~repro.math.ntt.NttStack` call over all digits, one
+  lazy-reduction multiply-accumulate for the IP (Algorithm 4 -- 128-bit
+  accumulation via :meth:`~repro.math.modstack.ModulusStack.lazy_mul_sum`),
+  one batched INTT, and a native Recover Limbs / ModDown.  Outputs are
+  bit-identical to the per-digit loop forms in :mod:`hybrid` and
+  :mod:`klss` -- every step computes the same exact value modulo each limb.
+
+Plans live in a bounded LRU cache keyed by the *params fingerprint* plus
+the key's identity token -- never stashed on the key object itself, so a
+key reused under sibling :class:`~repro.ckks.params.CkksParameters` can
+not pick up stale digits.  The lock is held only around the LRU
+bookkeeping; plan construction runs unlocked (concurrent misses may build
+twice, first insert wins).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...math import modarith
+from ...math.modstack import ModulusStack
+from ...math.ntt import PlanCache, get_stack
+from ...math.polynomial import RnsPolynomial
+from ...math.rns import RnsBasis
+from ..params import CkksParameters
+
+_U64 = np.uint64
+
+#: Float margin around the 0.5 rounding boundary of the Recover-Limbs
+#: overflow estimate; coefficients inside it re-run exactly on Python
+#: integers.  The float error is below ``L_T * 2**-52``, orders of
+#: magnitude smaller than this margin, so the fallback only fires on
+#: genuinely knife-edge sums (and keeps the result exact when it does).
+_RECOVER_DANGER_MARGIN = 2.0 ** -26
+
+
+class KlssBoundError(ValueError):
+    """Raised when the auxiliary modulus cannot hold the IP exactly (Eq. 4)."""
+
+
+class KlssLevelKey:
+    """The evk of one level, gadget-decomposed into the auxiliary basis."""
+
+    def __init__(
+        self,
+        t_basis: RnsBasis,
+        digit_pairs: List[List[Tuple[RnsPolynomial, RnsPolynomial]]],
+        gadget_factors: List[int],
+        pq_basis: RnsBasis,
+    ):
+        #: ``digit_pairs[i][j]`` = digit ``i`` of evk pair ``j``, over ``R_T`` (NTT).
+        self.t_basis = t_basis
+        self.digit_pairs = digit_pairs
+        #: ``gadget_factors[i] = G_hat_i = PQ_l / G_i`` (exact integers).
+        self.gadget_factors = gadget_factors
+        self.pq_basis = pq_basis
+
+    @property
+    def beta_tilde(self) -> int:
+        return len(self.digit_pairs)
+
+
+def _limb_groups(n_limbs: int, alpha_tilde: int) -> List[Tuple[int, int]]:
+    """Half-open limb ranges of the ``alpha~``-sized gadget groups."""
+    return [
+        (start, min(start + alpha_tilde, n_limbs))
+        for start in range(0, n_limbs, alpha_tilde)
+    ]
+
+
+def _check_ip_bound(params: CkksParameters, level: int, t_basis: RnsBasis):
+    """Assert the Eq. 4 correctness bound: ``T > 2 * N * beta * B * B~``."""
+    pq_moduli = params.pq_basis(level).moduli
+    alpha = params.alpha
+    beta = params.beta(level)
+    digit_bound = 0
+    for j in range(beta):
+        start, stop = params.digit_range(j, level)
+        group = reduce(lambda a, b: a * b, params.moduli[start:stop], 1)
+        digit_bound = max(digit_bound, group)
+    b_bound = (alpha + 1) * digit_bound  # Mod Up overflow slack included
+    groups = _limb_groups(len(pq_moduli), params.klss.alpha_tilde)
+    key_digit_bound = max(
+        reduce(lambda a, b: a * b, pq_moduli[start:stop], 1) for start, stop in groups
+    )
+    required = 2 * params.degree * beta * b_bound * key_digit_bound
+    if t_basis.product <= required:
+        raise KlssBoundError(
+            f"auxiliary modulus T (~2^{t_basis.product.bit_length()}) too small: "
+            f"Eq. 4 needs > 2^{required.bit_length()} at level {level}"
+        )
+
+
+def restrict_to_pq(
+    poly: RnsPolynomial, params: CkksParameters, level: int
+) -> RnsPolynomial:
+    """Restrict a top-level ``PQ_L`` polynomial to the level-``l`` ``PQ`` basis."""
+    top = params.max_level
+    q_limbs = poly.limbs[: level + 1]
+    p_limbs = poly.limbs[top + 1 : top + 1 + len(params.special_primes)]
+    return RnsPolynomial(
+        poly.degree, params.pq_basis(level), q_limbs + p_limbs, poly.is_ntt
+    )
+
+
+def _extract_digit(
+    poly: RnsPolynomial,
+    group_basis: RnsBasis,
+    inv_factor: int,
+    start: int,
+    stop: int,
+    t_basis: RnsBasis,
+) -> RnsPolynomial:
+    """Digit ``[v * G_hat^{-1}]_{G}`` of `poly`, lifted exactly into ``R_T``."""
+    group_value = group_basis.compose(poly.limbs[start:stop])
+    digit = (group_value * inv_factor) % group_basis.product
+    limbs = t_basis.decompose(digit)
+    return RnsPolynomial(poly.degree, t_basis, limbs, is_ntt=False).to_ntt()
+
+
+def _weight_array(rows, native: bool) -> np.ndarray:
+    """Nested python-int weights as a backend-typed numpy array."""
+    arr = np.array(rows, dtype=object)
+    return arr.astype(_U64) if native else arr
+
+
+class KeySwitchPlan:
+    """Everything one ``(key, params, level, method)`` key switch reuses.
+
+    Built once and cached; holds only *constants* (weight tensors, scalar
+    lists, the stacked evk) -- the engines below are pure functions of the
+    plan plus the input polynomial, so a plan can serve concurrent lanes
+    without locking.
+    """
+
+    def __init__(
+        self, method: str, params: CkksParameters, level: int, ksk
+    ):
+        if method not in ("hybrid", "klss"):
+            raise ValueError(f"unknown key-switch method {method!r}")
+        self.method = method
+        self.params = params
+        self.level = level
+        self.degree = params.degree
+        self.q_basis = params.q_basis(level)
+        self.pq_basis = params.pq_basis(level)
+        self.p_basis = params.p_basis()
+        self.q_mstack = ModulusStack.for_moduli(self.q_basis.moduli)
+        self.pq_mstack = ModulusStack.for_moduli(self.pq_basis.moduli)
+        self.p_mstack = ModulusStack.for_moduli(self.p_basis.moduli)
+        self.alpha = params.alpha
+        self.beta = params.beta(level)
+        if self.beta > len(ksk.pairs):
+            raise ValueError(
+                f"key has {len(ksk.pairs)} digits but level {level} "
+                f"needs {self.beta}"
+            )
+        self.max_source_modulus = max(self.q_basis.moduli)
+        self.max_special_modulus = max(self.p_basis.moduli)
+
+        # -- ModUp: per-limb digit scaling + padded conversion tensor ------
+        group_bases = []
+        modup_scalars: List[int] = []
+        for j in range(self.beta):
+            start, stop = params.digit_range(j, level)
+            gb = RnsBasis(params.moduli[start:stop])
+            group_bases.append(gb)
+            modup_scalars.extend(gb.q_hat_inv)
+        self.group_bases = group_bases
+        self.modup_scalars = modup_scalars
+        #: Rows of zero-padding that complete the last (short) digit, so
+        #: the limb stack reshapes to a uniform ``(beta, alpha, ..., N)``.
+        self.pad_rows = self.beta * self.alpha - (level + 1)
+
+        if method == "hybrid":
+            self._build_hybrid(ksk)
+        else:
+            self._build_klss(ksk)
+
+        # -- ModDown: P -> Q conversion plus cached 1/P residues -----------
+        self.moddown_scalars = list(self.p_basis.q_hat_inv)
+        self.moddown_weights = _weight_array(
+            [
+                [p_hat % q for p_hat in self.p_basis.q_hat]
+                for q in self.q_basis.moduli
+            ],
+            self.q_mstack.native,
+        )
+        self.p_inv_scalars = [
+            modarith.inv_mod(params.special_product % q, q)
+            for q in self.q_basis.moduli
+        ]
+
+    # -- builders ------------------------------------------------------------
+
+    def _modup_weights(self, target_moduli: Tuple[int, ...], native: bool):
+        """``(L_target, beta, alpha)`` conversion tensor, short digits padded.
+
+        Routing a digit's *own* limbs through the full-target matmul is
+        bit-identical to copying them verbatim: for ``q_k`` inside digit
+        ``j``, every cross term carries the factor ``q_k`` and the own term
+        reduces to ``x_k``, so the own-limb output is exactly the input
+        residue -- one uniform GEMM covers own and foreign limbs alike.
+        """
+        w = np.zeros((len(target_moduli), self.beta, self.alpha), dtype=object)
+        for j, gb in enumerate(self.group_bases):
+            for a, q_hat in enumerate(gb.q_hat):
+                for t, p in enumerate(target_moduli):
+                    w[t, j, a] = q_hat % p
+        return w.astype(_U64) if native else w
+
+    def _build_hybrid(self, ksk):
+        pq = self.pq_basis
+        self.modup_weights = self._modup_weights(pq.moduli, self.pq_mstack.native)
+        restricted = [
+            (
+                restrict_to_pq(b, self.params, self.level).to_ntt(),
+                restrict_to_pq(a, self.params, self.level).to_ntt(),
+            )
+            for b, a in ksk.pairs[: self.beta]
+        ]
+        #: Per-digit NTT pairs for the loop form / hoisted rotations.
+        self.key_pairs = restricted
+        evk = np.empty(
+            (len(pq), 2, self.beta, self.degree), dtype=self.pq_mstack.dtype
+        )
+        for j, (b, a) in enumerate(restricted):
+            evk[:, 0, j, :] = b.stack
+            evk[:, 1, j, :] = a.stack
+        self.evk = evk
+
+    def _build_klss(self, ksk):
+        params, level = self.params, self.level
+        if params.klss is None:
+            raise ValueError("parameters carry no KLSS configuration")
+        alpha_prime, beta, beta_tilde = params.klss_dims(level)
+        t_basis = params.aux_basis.subbasis(0, alpha_prime)
+        _check_ip_bound(params, level, t_basis)
+        self.t_basis = t_basis
+        self.t_mstack = ModulusStack.for_moduli(t_basis.moduli)
+        self.beta_tilde = beta_tilde
+        self.max_aux_modulus = max(t_basis.moduli)
+        self.modup_weights = self._modup_weights(
+            t_basis.moduli, self.t_mstack.native
+        )
+
+        pq = self.pq_basis
+        groups = _limb_groups(len(pq.moduli), params.klss.alpha_tilde)
+        pq_product = pq.product
+        gadget_factors: List[int] = []
+        group_data = []
+        for start, stop in groups:
+            group_basis = RnsBasis(pq.moduli[start:stop])
+            g_hat = pq_product // group_basis.product
+            inv = modarith.inv_mod(g_hat % group_basis.product, group_basis.product)
+            gadget_factors.append(g_hat)
+            group_data.append((group_basis, inv, start, stop))
+
+        restricted = [
+            (
+                restrict_to_pq(b, params, level),
+                restrict_to_pq(a, params, level),
+            )
+            for b, a in ksk.pairs[:beta]
+        ]
+        digit_pairs: List[List[Tuple[RnsPolynomial, RnsPolynomial]]] = []
+        for group_basis, inv, start, stop in group_data:
+            row = []
+            for b, a in restricted:
+                row.append(
+                    (
+                        _extract_digit(b, group_basis, inv, start, stop, t_basis),
+                        _extract_digit(a, group_basis, inv, start, stop, t_basis),
+                    )
+                )
+            digit_pairs.append(row)
+        self.klss_key = KlssLevelKey(t_basis, digit_pairs, gadget_factors, pq)
+
+        evk = np.empty(
+            (len(t_basis), beta_tilde, 2, beta, self.degree),
+            dtype=self.t_mstack.dtype,
+        )
+        for i, row in enumerate(digit_pairs):
+            for j, (b, a) in enumerate(row):
+                evk[:, i, 0, j, :] = b.stack
+                evk[:, i, 1, j, :] = a.stack
+        self.evk = evk
+
+        # -- Recover Limbs constants (Step 5) --------------------------------
+        # x_i = S_i - v_i*T with S_i = sum_k y'_ik * T_hat_k, so the gadget
+        # recombination sum_i x_i * G_hat_i mod p_j folds into ONE GEMM over
+        # (i, k) with weights G_hat_i * T_hat_k mod p_j, minus a small
+        # correction GEMM over i with weights G_hat_i * T mod p_j.
+        self.t_scalars = list(t_basis.q_hat_inv)
+        self.t_hat = list(t_basis.q_hat)
+        self.t_product = t_basis.product
+        self.t_half = t_basis.product // 2
+        self.t_inv_float = np.array(
+            [1.0 / t for t in t_basis.moduli], dtype=np.float64
+        )
+        native = self.pq_mstack.native
+        self.recover_weights = _weight_array(
+            [
+                [
+                    (g_hat * t_hat) % p
+                    for g_hat in gadget_factors
+                    for t_hat in t_basis.q_hat
+                ]
+                for p in pq.moduli
+            ],
+            native,
+        )
+        self.recover_t_weights = _weight_array(
+            [[(g_hat * t_basis.product) % p for g_hat in gadget_factors] for p in pq.moduli],
+            native,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The GEMM engines
+# ---------------------------------------------------------------------------
+
+
+def _group_digits(scaled: np.ndarray, plan: KeySwitchPlan) -> np.ndarray:
+    """Reshape the scaled ``(L_Q, ..., N)`` stack to ``(beta, alpha, ..., N)``.
+
+    Digits are contiguous limb ranges of equal width except possibly the
+    last; zero rows pad it so every digit rides the same batched matmul
+    (zero-weight columns keep the padding inert).
+    """
+    if plan.pad_rows:
+        pad = np.zeros((plan.pad_rows,) + scaled.shape[1:], dtype=scaled.dtype)
+        scaled = np.concatenate([scaled, pad], axis=0)
+    return scaled.reshape((plan.beta, plan.alpha) + scaled.shape[1:])
+
+
+def _mod_down_stack(acc: np.ndarray, plan: KeySwitchPlan) -> np.ndarray:
+    """ModDown of a coefficient-form ``(L_PQ, 2, ..., N)`` stack to ``L_Q``."""
+    q_count = plan.level + 1
+    q_part = acc[:q_count]
+    p_part = acc[q_count:]
+    scaled_p = plan.p_mstack.scalar_mul(p_part, plan.moddown_scalars)
+    conv = plan.q_mstack.bconv_matmul(
+        scaled_p, plan.moddown_weights, operand_bound=plan.max_special_modulus
+    )
+    diff = plan.q_mstack.sub(q_part, conv)
+    return plan.q_mstack.scalar_mul(diff, plan.p_inv_scalars)
+
+
+def _split_pair(
+    out: np.ndarray, plan: KeySwitchPlan
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
+    p0 = RnsPolynomial._wrap(
+        plan.degree, plan.q_basis, np.ascontiguousarray(out[:, 0]), False
+    )
+    p1 = RnsPolynomial._wrap(
+        plan.degree, plan.q_basis, np.ascontiguousarray(out[:, 1]), False
+    )
+    return p0, p1
+
+
+def _overflow_counts(y: np.ndarray, plan: KeySwitchPlan) -> np.ndarray:
+    """The CRT overflow-plus-sign count ``v_i = round(sum_k y'_ik / t_k)``.
+
+    ``S_i = v_i*T + x_i`` with ``|x_i| < T/2`` (Eq. 4), so ``v_i`` is the
+    nearest integer of ``S_i / T = sum_k y'_ik / t_k`` -- computed in
+    float64 (error ``< L_T * 2**-52``), with coefficients inside the
+    rounding danger zone re-derived exactly on Python integers.  This keeps
+    Recover Limbs native while staying bit-identical to the bignum
+    ``compose_signed`` path always, not just with high probability.
+    """
+    yf = y.astype(np.float64)
+    col = plan.t_inv_float.reshape((len(plan.t_basis),) + (1,) * (y.ndim - 1))
+    s = (yf * col).sum(axis=0)
+    frac = s - np.floor(s)
+    v = np.rint(s).astype(np.int64)
+    danger = np.abs(frac - 0.5) < _RECOVER_DANGER_MARGIN
+    if danger.any():
+        t_hat = plan.t_hat
+        for idx in np.argwhere(danger):
+            idx = tuple(idx)
+            s_val = sum(
+                int(y[(k,) + idx]) * t_hat[k] for k in range(len(t_hat))
+            )
+            v[idx] = s_val // plan.t_product + (
+                1 if s_val % plan.t_product > plan.t_half else 0
+            )
+    if plan.pq_mstack.native:
+        return v.astype(_U64)
+    return v.astype(object)
+
+
+def _recover_limbs(acc: np.ndarray, plan: KeySwitchPlan) -> np.ndarray:
+    """Steps 5 of KLSS: exact signed base conversion + gadget recombination.
+
+    One GEMM over the ``(beta~, L_T)`` fold axis against precomputed
+    ``G_hat_i * T_hat_k mod p_j`` weights, minus the ``v_i * (G_hat_i * T)``
+    correction -- no object-dtype CRT compose on the hot path.
+    """
+    y = plan.t_mstack.scalar_mul(acc, plan.t_scalars)  # y'_ik, (L_T, b~, 2, ..., N)
+    v = _overflow_counts(y, plan)  # (b~, 2, ..., N)
+    l_t = len(plan.t_basis)
+    moved = np.ascontiguousarray(np.moveaxis(y, 0, 1))  # (b~, L_T, 2, ..., N)
+    flat = moved.reshape((plan.beta_tilde * l_t,) + y.shape[2:])
+    big = plan.pq_mstack.bconv_matmul(
+        flat, plan.recover_weights, operand_bound=plan.max_aux_modulus
+    )
+    corr = plan.pq_mstack.bconv_matmul(v, plan.recover_t_weights)
+    return plan.pq_mstack.sub(big, corr)
+
+
+def gemm_keyswitch(
+    poly: RnsPolynomial, plan: KeySwitchPlan
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
+    """Key switch `poly` through the plan's batched GEMM pipeline.
+
+    Bit-identical to the corresponding loop form (`hybrid.keyswitch_loop`
+    / `klss.keyswitch_loop`): ModUp sums the same scaled residues modulo
+    each target limb, the NTT stages are the same vectorised butterflies,
+    the lazy IP computes the exact sum, and Recover Limbs/ModDown use the
+    same constants.
+    """
+    x = poly.from_ntt().stack  # (L_Q, batch..., N)
+    scaled = plan.q_mstack.scalar_mul(x, plan.modup_scalars)
+    grouped = _group_digits(scaled, plan)  # (beta, alpha, batch..., N)
+
+    if plan.method == "hybrid":
+        raised = plan.pq_mstack.bconv_matmul(
+            grouped, plan.modup_weights, operand_bound=plan.max_source_modulus
+        )  # (L_PQ, beta, batch..., N)
+        ntt = get_stack(plan.degree, plan.pq_basis.moduli)
+        raised = ntt.forward(raised)
+        n_batch = raised.ndim - 3
+        evk = plan.evk.reshape(
+            plan.evk.shape[:3] + (1,) * n_batch + (plan.degree,)
+        )
+        acc = plan.pq_mstack.lazy_mul_sum(evk, raised[:, None], axis=2)
+        acc = ntt.inverse(acc)  # (L_PQ, 2, batch..., N)
+    else:
+        raised = plan.t_mstack.bconv_matmul(
+            grouped, plan.modup_weights, operand_bound=plan.max_source_modulus
+        )  # (L_T, beta, batch..., N)
+        ntt = get_stack(plan.degree, plan.t_basis.moduli)
+        raised = ntt.forward(raised)
+        n_batch = raised.ndim - 3
+        evk = plan.evk.reshape(
+            plan.evk.shape[:4] + (1,) * n_batch + (plan.degree,)
+        )
+        acc = plan.t_mstack.lazy_mul_sum(
+            evk, raised[:, None, None], axis=3
+        )  # (L_T, beta~, 2, batch..., N)
+        acc = ntt.inverse(acc)
+        acc = _recover_limbs(acc, plan)  # (L_PQ, 2, batch..., N)
+
+    out = _mod_down_stack(acc, plan)  # (L_Q, 2, batch..., N)
+    return _split_pair(out, plan)
+
+
+# ---------------------------------------------------------------------------
+# The plan cache (params fingerprint + key token, LRU, lock only on books)
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHE = PlanCache(maxsize=64)
+
+
+def get_keyswitch_plan(
+    ksk, params: CkksParameters, level: int, method: str
+) -> KeySwitchPlan:
+    """The cached :class:`KeySwitchPlan` for ``(ksk, params, level, method)``.
+
+    Keyed by the params *fingerprint* plus the key's ``cache_token`` (and
+    the backend policy), never by attributes stashed on the key -- a key
+    reused under different :class:`CkksParameters` gets a fresh plan
+    instead of silently stale digits.  Plan construction runs outside the
+    cache lock.
+    """
+    key = (
+        params.fingerprint(),
+        ksk.cache_token,
+        level,
+        method,
+        modarith._BARRETT_ENABLED,
+    )
+    return _PLAN_CACHE.get_or_build(
+        key,
+        lambda: KeySwitchPlan(method, params, level, ksk),
+        build_outside_lock=True,
+    )
+
+
+def clear_keyswitch_plan_cache() -> None:
+    """Drop every cached key-switch plan and reset the counters."""
+    _PLAN_CACHE.clear()
+
+
+def keyswitch_plan_cache_stats() -> Dict[str, float]:
+    """Point-in-time hit/miss/eviction counters of the plan cache."""
+    return _PLAN_CACHE.stats.as_dict()
+
+
+def keyswitch_plan_cache_size() -> int:
+    return len(_PLAN_CACHE)

@@ -16,6 +16,7 @@ in :class:`KlssConfig`.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from functools import reduce
@@ -198,6 +199,35 @@ class CkksParameters:
         self.aux_basis: Optional[RnsBasis] = (
             RnsBasis(self.aux_primes) if self.aux_primes else None
         )
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Short stable digest of everything that defines this parameter set.
+
+        Two :class:`CkksParameters` instances with the same fingerprint are
+        interchangeable for cached derived data (key-switch plans, NTT
+        plans); sibling sets that differ only in e.g. the KLSS configuration
+        get distinct fingerprints even when their prime chains coincide.
+        """
+        if self._fingerprint is None:
+            klss = (
+                (self.klss.wordsize_t, self.klss.alpha_tilde) if self.klss else None
+            )
+            payload = repr(
+                (
+                    self.degree,
+                    self.max_level,
+                    self.wordsize,
+                    self.dnum,
+                    self.scale_bits,
+                    self.moduli,
+                    self.special_primes,
+                    self.aux_primes,
+                    klss,
+                )
+            ).encode()
+            self._fingerprint = hashlib.sha256(payload).hexdigest()[:16]
+        return self._fingerprint
 
     # -- bases -------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro params [A-H]        # parameter-set details
     python -m repro profile <app>       # per-op/per-kernel profile
     python -m repro serve --workload mixed   # dynamic-batching serving report
+    python -m repro bench keyswitch     # loop vs GEMM key-switch timings
 """
 
 from __future__ import annotations
@@ -288,6 +289,94 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .ckks.keys import KeyGenerator
+    from .ckks.keyswitch import hybrid, klss
+    from .ckks.keyswitch import plan as ksplan
+    from .ckks.params import CkksParameters
+    from .math.polynomial import RnsPolynomial
+
+    if args.kernel != "keyswitch":
+        print(
+            f"unknown bench kernel {args.kernel!r}; choose from: keyswitch",
+            file=sys.stderr,
+        )
+        return 2
+    if args.degree < 8 or args.degree & (args.degree - 1):
+        print(f"--degree must be a power of two >= 8, got {args.degree}",
+              file=sys.stderr)
+        return 2
+    if args.dnum < 1 or args.repeats < 1:
+        print("--dnum and --repeats must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        params = CkksParameters(
+            degree=args.degree,
+            max_level=2 * args.dnum - 1,
+            wordsize=args.wordsize,
+            dnum=args.dnum,
+            klss=KlssConfig(wordsize_t=args.wordsize + 5, alpha_tilde=2),
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    gen = KeyGenerator(params, seed=args.seed)
+    ksk = gen.relinearisation_key(gen.secret_key())
+    rng = np.random.default_rng(args.seed)
+    basis = params.q_basis(params.max_level)
+    poly = RnsPolynomial(
+        args.degree,
+        basis,
+        [rng.integers(0, q, size=args.degree, dtype=np.uint64)
+         for q in basis.moduli],
+        is_ntt=False,
+    )
+
+    def best(fn):
+        t = float("inf")
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            fn()
+            t = min(t, time.perf_counter() - start)
+        return t
+
+    ksplan.clear_keyswitch_plan_cache()
+    rows = []
+    for name, mod in (("hybrid", hybrid), ("klss", klss)):
+        mod.keyswitch(poly, ksk, params)  # warm the plan + NTT caches
+        mod.keyswitch_loop(poly, ksk, params)
+        t_loop = best(lambda: mod.keyswitch_loop(poly, ksk, params))
+        t_gemm = best(lambda: mod.keyswitch(poly, ksk, params))
+        rows.append(
+            [name, f"{t_loop * 1e3:.2f}", f"{t_gemm * 1e3:.2f}",
+             f"{t_loop / t_gemm:.2f}x"]
+        )
+    _print(
+        format_table(
+            ["method", "loop ms", "gemm ms", "speedup"],
+            rows,
+            title=(
+                f"KeySwitch loop vs GEMM (N=2^{params.log_degree}, "
+                f"WS={args.wordsize}, dnum={args.dnum}, "
+                f"l={params.max_level})"
+            ),
+        )
+    )
+    stats = ksplan.keyswitch_plan_cache_stats()
+    _print(
+        "plan cache: "
+        f"{stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['evictions']} evictions "
+        f"(hit rate {stats['hit_rate'] * 100:.0f}%, "
+        f"{ksplan.keyswitch_plan_cache_size()} plans resident)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Neo (ISCA'25) reproduction toolkit"
@@ -366,6 +455,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the serving timeline as Chrome-trace JSON",
     )
     serve.set_defaults(func=cmd_serve)
+    bench = sub.add_parser(
+        "bench", help="time a functional kernel (loop form vs GEMM form)"
+    )
+    bench.add_argument("kernel", help="kernel to benchmark: keyswitch")
+    bench.add_argument(
+        "--degree", type=int, default=1024, help="ring degree N (default 1024)"
+    )
+    bench.add_argument(
+        "--wordsize", type=int, default=25, help="limb bits (default 25)"
+    )
+    bench.add_argument(
+        "--dnum", type=int, default=2, help="digit count (default 2)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats (default 3)"
+    )
+    bench.add_argument("--seed", type=int, default=0, help="rng seed (default 0)")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -133,6 +133,18 @@ def mulhi(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return mul128(a, b)[0]
 
 
+def mulhi_op32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """High 64 bits of ``a * b`` when ``a < 2**32`` (``b`` unrestricted).
+
+    With one 32-bit operand the 128-bit product is ``a*b_hi * 2**32 +
+    a*b_lo`` with both partials fitting ``uint64``, so the high word needs
+    two multiplies instead of four -- the inner-loop win for fast-backend
+    moduli (every residue is below ``2**31``).
+    """
+    lo = (b & _MASK32) * a
+    return ((b >> _SHIFT32) * a + (lo >> _SHIFT32)) >> _SHIFT32
+
+
 # ---------------------------------------------------------------------------
 # Barrett reduction (per-modulus constants)
 # ---------------------------------------------------------------------------
@@ -181,16 +193,18 @@ def shoup_precompute(w: int, modulus: int) -> int:
     return (int(w) << 64) // int(modulus)
 
 
-def shoup_mul_mod(a: np.ndarray, w, w_shoup, q) -> np.ndarray:
+def shoup_mul_mod(a: np.ndarray, w, w_shoup, q, operand32: bool = False) -> np.ndarray:
     """``(a * w) mod q`` with per-twiddle precomputation (Shoup's trick).
 
     ``w`` must be reduced mod ``q`` and ``w_shoup = floor(w * 2**64 / q)``;
     both may be scalars or arrays broadcastable against ``a`` (the NTT
     passes whole twiddle columns).  One ``mulhi`` + two ``mullo`` + one
     conditional subtraction -- cheaper than full Barrett when the
-    multiplicand is known in advance.
+    multiplicand is known in advance.  Pass ``operand32=True`` when every
+    element of `a` is below ``2**32`` (fast-backend residues) to use the
+    two-multiply :func:`mulhi_op32`.
     """
-    quot = mulhi(a, w_shoup)
+    quot = mulhi_op32(a, w_shoup) if operand32 else mulhi(a, w_shoup)
     r = a * w - quot * q  # mod 2**64; true remainder < 2q
     return np.where(r >= q, r - q, r)
 

@@ -41,6 +41,8 @@ class ModulusStack:
         if any(q <= 1 for q in self.moduli):
             raise ValueError("all moduli must be > 1")
         self.native = all(modarith.uses_native_backend(q) for q in self.moduli)
+        #: Residues below ``2**31`` admit the two-multiply ``mulhi_op32``.
+        self._op32 = self.native and all(q < 2**31 for q in self.moduli)
         if self.native:
             self._q = np.array(self.moduli, dtype=_U64)
             bits = [q.bit_length() for q in self.moduli]
@@ -50,6 +52,14 @@ class ModulusStack:
             self._s_hi_c = np.array([64 - (k + 1) for k in bits], dtype=_U64)
             self._mu = np.array(
                 [(1 << (2 * k)) // q for k, q in zip(bits, self.moduli)],
+                dtype=_U64,
+            )
+            # Lazy-reduction constants: R = 2**64 mod q_i (with its Shoup
+            # companion) folds the high word of a 128-bit accumulator.
+            r64 = [(1 << 64) % q for q in self.moduli]
+            self._r64 = np.array(r64, dtype=_U64)
+            self._r64_shoup = np.array(
+                [modarith.shoup_precompute(r, q) for r, q in zip(r64, self.moduli)],
                 dtype=_U64,
             )
         else:
@@ -181,7 +191,9 @@ class ModulusStack:
         """Shoup product against per-limb constant stacks (native only)."""
         a, w = self._align(a, w)
         a, w_shoup = self._align(a, w_shoup)
-        return modarith.shoup_mul_mod(a, w, w_shoup, self._col(self._q, a.ndim))
+        return modarith.shoup_mul_mod(
+            a, w, w_shoup, self._col(self._q, a.ndim), operand32=self._op32
+        )
 
     def scalar_mul(self, a: np.ndarray, scalars: Sequence[int]) -> np.ndarray:
         """Multiply limb ``i`` by Python-int ``scalars[i]``."""
@@ -199,8 +211,155 @@ class ModulusStack:
             ),
             a.ndim,
         )
-        return modarith.shoup_mul_mod(a, w, w_shoup, self._col(self._q, a.ndim))
+        return modarith.shoup_mul_mod(
+            a, w, w_shoup, self._col(self._q, a.ndim), operand32=self._op32
+        )
 
     def broadcast_scalar_mul(self, a: np.ndarray, scalar: int) -> np.ndarray:
         """Multiply every limb by the same Python integer (reduced per limb)."""
         return self.scalar_mul(a, [scalar] * len(self.moduli))
+
+    # -- lazy-reduction GEMM kernels (Neo Algorithms 2 and 4) -----------------
+
+    def lazy_max_terms(self, operand_bound: int = 0) -> int:
+        """How many 128-bit products one lazy accumulator can absorb.
+
+        Each term contributes at most ``hi_max + 1`` to the high word (its
+        own high word plus a possible carry out of the low word), so the
+        accumulator stays below ``2**64`` for
+        ``floor((2**64 - 1) / (hi_max + 1))`` terms -- the slack-bit bound
+        that plays the role of Algorithm 4's "valid proportion": it tells
+        how far reduction can be deferred before the accumulator would
+        wrap.  ``operand_bound`` (exclusive) bounds the *other* factor when
+        it is not reduced by this stack's own moduli (BConv inputs arrive
+        reduced by the source basis).
+        """
+        q_max = max(self.moduli)
+        other = max(int(operand_bound), q_max)
+        hi_max = ((q_max - 1) * (other - 1)) >> 64
+        terms = ((1 << 64) - 1) // (hi_max + 1)
+        if terms < 1:
+            raise ValueError(
+                f"no slack bits left for lazy accumulation (q_max={q_max}, "
+                f"operand_bound={other}); reduce eagerly instead"
+            )
+        return terms
+
+    def lazy_slack_bits(self, operand_bound: int = 0) -> int:
+        """Bits of headroom per accumulated term (``log2`` of the term cap)."""
+        return self.lazy_max_terms(operand_bound).bit_length() - 1
+
+    def reduce128(self, hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+        """Reduce ``hi * 2**64 + lo`` limb-wise into ``[0, q_i)``.
+
+        The single reduction that lazy accumulation defers to: fold the high
+        word through ``R = 2**64 mod q`` (Shoup), add the reduced low word,
+        one conditional subtraction.
+        """
+        ndim = max(hi.ndim, lo.ndim)
+        q = self._col(self._q, ndim)
+        term = modarith.shoup_mul_mod(
+            hi % q, self._col(self._r64, ndim), self._col(self._r64_shoup, ndim), q
+        )
+        s = term + lo % q
+        return np.where(s >= q, s - q, s)
+
+    def lazy_mul_sum(
+        self, a: np.ndarray, b: np.ndarray, axis: int, operand_bound: int = 0
+    ) -> np.ndarray:
+        """``sum_k a[.., k, ..] * b[.., k, ..] mod q_i`` with lazy reduction.
+
+        The multiply-accumulate at the heart of the paper's GEMM kernels
+        (Algorithm 4): full 128-bit products from the 32-bit limb splitting
+        accumulate as ``(hi, lo)`` word pairs with carry tracking, and each
+        accumulator is reduced *once* per :meth:`lazy_max_terms`-sized chunk
+        instead of once per term.  `a` and `b` broadcast together as
+        ``(L, ..., N)`` stacks; `axis` (>= 1, never the limb axis) is folded.
+        The result is bit-identical to eager per-term reduction -- the sum
+        is computed exactly modulo each limb.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if axis == 0:
+            raise ValueError("cannot fold the limb axis")
+        if not self.native or a.dtype == object or b.dtype == object:
+            a = np.asarray(a, dtype=object)
+            b = np.asarray(b, dtype=object)
+            total = (a * b).sum(axis=axis)
+            reduced = total % self._col(self._q, total.ndim)
+            return reduced.astype(_U64) if self.native else reduced
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        if shape[0] != len(self.moduli):
+            raise ValueError(
+                f"expected limb axis of {len(self.moduli)}, got shape {shape}"
+            )
+        a = np.broadcast_to(a, shape)
+        b = np.broadcast_to(b, shape)
+        n_terms = shape[axis]
+        out_shape = shape[:axis] + shape[axis + 1 :]
+        q_max = max(self.moduli)
+        other = max(int(operand_bound), q_max)
+        prod_max = (q_max - 1) * (other - 1)
+        if prod_max <= ((1 << 64) - 1) >> 2:
+            # Fast-backend moduli: whole products fit one uint64 word, so
+            # the accumulator is a plain sum -- one multiply and one add per
+            # term, one ``%`` per chunk (at least 4 terms deep by the bound
+            # above).  Bit-identical to the (hi, lo) path: both compute the
+            # exact sum modulo each limb.
+            chunk = ((1 << 64) - 1) // max(prod_max, 1)
+            q = self._col(self._q, len(out_shape))
+            out = None
+            for start in range(0, n_terms, chunk):
+                stop = min(start + chunk, n_terms)
+                acc = np.zeros(out_shape, dtype=_U64)
+                for k in range(start, stop):
+                    idx = (slice(None),) * axis + (k,)
+                    acc += a[idx] * b[idx]
+                part = acc % q
+                out = part if out is None else self.add(out, part)
+            if out is None:
+                return np.zeros(out_shape, dtype=_U64)
+            return out
+        chunk = self.lazy_max_terms(operand_bound)
+        out = None
+        for start in range(0, n_terms, chunk):
+            stop = min(start + chunk, n_terms)
+            hi_acc = np.zeros(out_shape, dtype=_U64)
+            lo_acc = np.zeros(out_shape, dtype=_U64)
+            for k in range(start, stop):
+                idx = (slice(None),) * axis + (k,)
+                hi, lo = modarith.mul128(a[idx], b[idx])
+                lo_acc = lo_acc + lo  # wraps mod 2**64
+                carry = (lo_acc < lo).astype(_U64)
+                hi_acc = hi_acc + hi + carry
+            part = self.reduce128(hi_acc, lo_acc)
+            out = part if out is None else self.add(out, part)
+        if out is None:
+            return np.zeros(out_shape, dtype=_U64)
+        return out
+
+    def bconv_matmul(
+        self, scaled: np.ndarray, weights: np.ndarray, operand_bound: int = 0
+    ) -> np.ndarray:
+        """Base conversion as one batched matmul (the paper's Algorithm 2).
+
+        ``scaled`` holds the per-source-limb scaled residues
+        ``y_i = [x_i * q_hat_inv_i]_{q_i}`` laid out as ``(*G, K, *B, N)``
+        (optional group axes ``G`` such as the digit index, folded source
+        axis ``K``, batch axes ``B``); ``weights`` is the conversion matrix
+        ``(L, *G, K)`` with ``W[j, .., i] = q_hat_i mod p_j`` over this
+        stack's target moduli.  Returns the ``(L, *G, *B, N)`` output stack
+        -- every target limb of every group in one lazy-reduced GEMM.
+        """
+        w = np.asarray(weights)
+        scaled = np.asarray(scaled)
+        n_group = w.ndim - 2
+        trailing = scaled.ndim - n_group - 1
+        if trailing < 1:
+            raise ValueError(
+                f"scaled shape {scaled.shape} too small for weights {w.shape}"
+            )
+        w_col = w.reshape(w.shape + (1,) * trailing)
+        return self.lazy_mul_sum(
+            w_col, scaled[None, ...], axis=1 + n_group, operand_bound=operand_bound
+        )

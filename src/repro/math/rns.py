@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from . import modarith
+from .modstack import ModulusStack
 
 
 class RnsBasis:
@@ -132,9 +133,35 @@ def bconv_approx(
     each target limb reduces it once, Shoup-multiplies by its row of the
     BConv matrix, and folds the limb axis with chunked accumulation.
     """
+    scaled, native = _scaled_residues(limbs, from_basis, to_basis)
+    if native:
+        return _bconv_approx_native(np.stack(scaled), from_basis, to_basis)
+    return _bconv_approx_object(scaled, from_basis, to_basis)
+
+
+def bconv_approx_eager(
+    limbs: Sequence[np.ndarray], from_basis: RnsBasis, to_basis: RnsBasis
+) -> List[np.ndarray]:
+    """:func:`bconv_approx` with eager per-step reduction (the pre-GEMM path).
+
+    Value-identical to :func:`bconv_approx` -- both compute the exact sum
+    of scaled residues modulo each target limb -- but reduces after (almost)
+    every multiply-accumulate instead of deferring to one reduction per
+    accumulator.  Kept as the loop-form baseline that the GEMM key-switch
+    benchmarks race against.
+    """
+    scaled, native = _scaled_residues(limbs, from_basis, to_basis)
+    if native:
+        return _bconv_approx_native_eager(np.stack(scaled), from_basis, to_basis)
+    return _bconv_approx_object(scaled, from_basis, to_basis)
+
+
+def _scaled_residues(
+    limbs: Sequence[np.ndarray], from_basis: RnsBasis, to_basis: RnsBasis
+):
+    """``y_i = [x_i * q_hat_inv_i]_{q_i}`` plus the native-backend verdict."""
     if len(limbs) != len(from_basis):
         raise ValueError("limb count does not match source basis")
-    # y_i = [x_i * q_hat_inv_i]_{q_i}  (exact small integers)
     scaled = [
         modarith.scalar_mul_mod(modarith.asarray_mod(limb, q), q_hat_inv, q)
         for limb, q, q_hat_inv in zip(limbs, from_basis.moduli, from_basis.q_hat_inv)
@@ -143,8 +170,13 @@ def bconv_approx(
         modarith.uses_native_backend(q)
         for q in from_basis.moduli + to_basis.moduli
     ) and all(np.asarray(y).dtype != object for y in scaled)
-    if native:
-        return _bconv_approx_native(np.stack(scaled), from_basis, to_basis)
+    return scaled, native
+
+
+def _bconv_approx_object(
+    scaled: List[np.ndarray], from_basis: RnsBasis, to_basis: RnsBasis
+) -> List[np.ndarray]:
+    """Exact object-dtype fallback shared by both conversion spellings."""
     out: List[np.ndarray] = []
     scaled = [np.asarray(y, dtype=object) for y in scaled]
     for p in to_basis.moduli:
@@ -158,7 +190,30 @@ def bconv_approx(
 def _bconv_approx_native(
     scaled: np.ndarray, from_basis: RnsBasis, to_basis: RnsBasis
 ) -> List[np.ndarray]:
-    """The all-``uint64`` BConv inner loop over a stacked ``(Lf, ..., N)``."""
+    """The all-``uint64`` BConv over a stacked ``(Lf, ..., N)`` tensor.
+
+    One lazy-reduced GEMM against the precomputed conversion matrix
+    (:meth:`~repro.math.modstack.ModulusStack.bconv_matmul`, the paper's
+    Algorithm 2) replaces the per-target-limb Shoup loop; the result is
+    value-identical because both compute the exact sum modulo each target.
+    """
+    weights, _ = _bconv_tables(from_basis, to_basis)
+    mstack = ModulusStack.for_moduli(to_basis.moduli)
+    out = mstack.bconv_matmul(
+        scaled, weights, operand_bound=max(from_basis.moduli)
+    )
+    return list(out)
+
+
+def _bconv_approx_native_eager(
+    scaled: np.ndarray, from_basis: RnsBasis, to_basis: RnsBasis
+) -> List[np.ndarray]:
+    """The seed's per-target-limb BConv over a stacked ``(Lf, ..., N)``.
+
+    Each target limb reduces the whole stack, Shoup-multiplies by its row
+    of the conversion matrix, and folds the limb axis with a full Barrett
+    reduction every three terms -- the eager dataflow the GEMM replaces.
+    """
     weights, shoups = _bconv_tables(from_basis, to_basis)
     cols = (len(from_basis),) + (1,) * (scaled.ndim - 1)
     out: List[np.ndarray] = []
@@ -176,6 +231,21 @@ def _bconv_approx_native(
             acc = (acc + chunk) % p64
         out.append(acc)
     return out
+
+
+def bconv_weights(from_basis: RnsBasis, to_basis: RnsBasis) -> np.ndarray:
+    """The reduced conversion matrix ``W[j, i] = q_hat_i mod p_j``.
+
+    Shaped ``(len(to), len(from))`` in the target backend's dtype, ready to
+    feed :meth:`~repro.math.modstack.ModulusStack.bconv_matmul` (the GEMM
+    operand of Algorithm 2).  Native targets reuse the cached uint64 table.
+    """
+    if all(modarith.uses_native_backend(p) for p in to_basis.moduli):
+        return _bconv_tables(from_basis, to_basis)[0]
+    return np.array(
+        [[q_hat % p for q_hat in from_basis.q_hat] for p in to_basis.moduli],
+        dtype=object,
+    )
 
 
 def bconv_exact(

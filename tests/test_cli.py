@@ -125,3 +125,28 @@ class TestServeCommand:
     def test_serve_unknown_workload(self, capsys):
         assert main(["serve", "--workload", "nosuchapp:5:1.0"]) == 2
         assert "unknown application" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    SMOKE = ["bench", "keyswitch", "--degree", "512", "--dnum", "2",
+             "--repeats", "1"]
+
+    def test_bench_keyswitch_smoke(self, capsys):
+        assert main(self.SMOKE) == 0
+        out = capsys.readouterr().out
+        assert "KeySwitch loop vs GEMM" in out
+        assert "hybrid" in out and "klss" in out
+        assert "speedup" in out
+        assert "plan cache:" in out and "hit rate" in out
+
+    def test_bench_unknown_kernel(self, capsys):
+        assert main(["bench", "ntt"]) == 2
+        assert "unknown bench kernel" in capsys.readouterr().err
+
+    def test_bench_rejects_bad_degree(self, capsys):
+        assert main(["bench", "keyswitch", "--degree", "100"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_bench_rejects_bad_counts(self, capsys):
+        assert main(["bench", "keyswitch", "--repeats", "0"]) == 2
+        assert ">= 1" in capsys.readouterr().err
