@@ -8,7 +8,7 @@ accounting, which agrees with these up to the conventions discussed there.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..ckks.params import ParameterSet
 
@@ -51,7 +51,7 @@ def klss_complexity(
     }
 
 
-def complexity_table(params: ParameterSet, level: int = None) -> Dict[str, Dict[str, int]]:
+def complexity_table(params: ParameterSet, level: Optional[int] = None) -> Dict[str, Dict[str, int]]:
     """Both Table 2 columns for a parameter set (KLSS column needs a config)."""
     level = params.max_level if level is None else level
     alpha = params.alpha
@@ -68,7 +68,7 @@ def total_complexity(breakdown: Dict[str, int]) -> int:
     return sum(breakdown.values())
 
 
-def klss_beats_hybrid(params: ParameterSet, level: int = None) -> bool:
+def klss_beats_hybrid(params: ParameterSet, level: Optional[int] = None) -> bool:
     """Does the KLSS column total below the Hybrid column? (Section 2.2:
     "judicious parameter selection enables the KLSS method to achieve a
     lower overall complexity".)"""

@@ -8,14 +8,14 @@ everything so those constraints can be checked quantitatively.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..ckks.params import ParameterSet
 from ..gpu.device import A100, DeviceSpec
 from ..gpu.kernels import word_bytes
 
 
-def ciphertext_bytes(params: ParameterSet, level: int = None) -> int:
+def ciphertext_bytes(params: ParameterSet, level: Optional[int] = None) -> int:
     """One ciphertext: two polynomials over the level-``l`` basis."""
     level = params.max_level if level is None else level
     return 2 * (level + 1) * params.degree * word_bytes(params.wordsize)
@@ -27,7 +27,7 @@ def hybrid_evk_bytes(params: ParameterSet) -> int:
     return 2 * params.dnum * limbs * params.degree * word_bytes(params.wordsize)
 
 
-def klss_evk_bytes(params: ParameterSet, level: int = None) -> int:
+def klss_evk_bytes(params: ParameterSet, level: Optional[int] = None) -> int:
     """One KLSS key: ``beta~ x beta`` digit pairs over the ``alpha'``-limb
     auxiliary basis (the "two sets of beta*beta~*alpha' polynomial keys")."""
     if params.klss is None:
@@ -50,7 +50,7 @@ def bootstrap_key_bytes(params: ParameterSet, rotation_count: int = 40) -> int:
 
 
 def working_set_bytes(
-    params: ParameterSet, batch: int, level: int = None
+    params: ParameterSet, batch: int, level: Optional[int] = None
 ) -> Dict[str, int]:
     """The resident working set of one batched KeySwitch."""
     level = params.max_level if level is None else level

@@ -10,7 +10,7 @@ All quantities are bytes for a full batch unless stated otherwise.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..ckks.params import ParameterSet
 from ..gpu.kernels import word_bytes
@@ -53,7 +53,7 @@ def ntt_transfer_bytes(limbs: int, batch: int, degree: int, wordsize: int) -> fl
 
 
 def keyswitch_transfer_breakdown(
-    params: ParameterSet, level: int, batch: int = None, optimized: bool = False
+    params: ParameterSet, level: int, batch: Optional[int] = None, optimized: bool = False
 ) -> Dict[str, float]:
     """Per-kernel transfer of one KeySwitch (the Fig. 2 decomposition).
 
@@ -94,7 +94,7 @@ def keyswitch_transfer_breakdown(
 
 
 def keyswitch_transfer_shares(
-    params: ParameterSet, level: int, batch: int = None
+    params: ParameterSet, level: int, batch: Optional[int] = None
 ) -> Dict[str, float]:
     """Fig. 2: each kernel's share of total KeySwitch transfer at `level`."""
     table = keyswitch_transfer_breakdown(params, level, batch)
@@ -103,7 +103,7 @@ def keyswitch_transfer_shares(
 
 
 def transfer_reduction(
-    params: ParameterSet, level: int, kernel: str, batch: int = None
+    params: ParameterSet, level: int, kernel: str, batch: Optional[int] = None
 ) -> float:
     """Fig. 15: optimised / original transfer ratio for ``bconv`` or ``ip``."""
     before = keyswitch_transfer_breakdown(params, level, batch, optimized=False)

@@ -52,7 +52,7 @@ def format_series(
 
 
 def ratio_report(
-    label: str, measured: float, paper: float, tolerance: float = None
+    label: str, measured: float, paper: float, tolerance: Optional[float] = None
 ) -> str:
     """One paper-vs-measured comparison line."""
     rel = measured / paper if paper else float("inf")

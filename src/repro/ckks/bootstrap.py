@@ -20,12 +20,20 @@ precision at demo parameters is limited by the degree-``eval_degree``
 sine approximation, which is why bootstrappable deployments use sparse
 secrets (`KeyGenerator.secret_key(hamming_weight=...)`) -- they keep
 ``|I|`` small so a modest polynomial degree suffices.
+
+Every stage rides the evaluator's key-switch method: with a GEMM-form
+evaluator (``"hybrid"`` / ``"klss"``), CoeffToSlot and SlotToCoeff run
+through compiled :class:`~repro.ckks.linear_transform.LinearTransformPlan`
+objects (hoisted baby rotations, batched giant steps, rescale folded into
+the accumulation epilogue) and EvalMod's Paterson-Stockmeyer chunks replay
+cached constants; with a ``*-loop`` evaluator the whole pipeline runs the
+per-digit reference forms.  The two are bit-identical end to end.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -120,11 +128,18 @@ class Bootstrapper:
 
     # -- pipeline stages -----------------------------------------------------------
 
-    def mod_raise(self, ct: Ciphertext, target_level: int = None) -> Ciphertext:
+    def mod_raise(
+        self, ct: Ciphertext, target_level: Optional[int] = None
+    ) -> Ciphertext:
         """Reinterpret a level-0 ciphertext over the level-`target` chain."""
         if ct.level != 0:
             raise ValueError("ModRaise expects a level-0 ciphertext")
         target_level = self.params.max_level if target_level is None else target_level
+        if not 1 <= target_level <= self.params.max_level:
+            raise ValueError(
+                f"target_level must be in [1, {self.params.max_level}], "
+                f"got {target_level}"
+            )
         basis = self.params.q_basis(target_level)
 
         def raise_poly(poly: RnsPolynomial) -> RnsPolynomial:

@@ -9,7 +9,7 @@ through a twisted FFT rather than a Vandermonde solve.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class CkksEncoder:
 
     # -- float-level embedding ------------------------------------------------------
 
-    def embed(self, values: np.ndarray, scale: float = None) -> np.ndarray:
+    def embed(self, values: np.ndarray, scale: Optional[float] = None) -> np.ndarray:
         """Inverse canonical embedding: slots -> scaled integer coefficients."""
         scale = self.params.scale if scale is None else scale
         values = np.asarray(values, dtype=np.complex128)
@@ -104,7 +104,7 @@ class CkksEncoder:
 
     # -- ring-level encode/decode -----------------------------------------------------
 
-    def encode(self, values, level: int = None, scale: float = None) -> Plaintext:
+    def encode(self, values, level: Optional[int] = None, scale: Optional[float] = None) -> Plaintext:
         """Encode complex values into a plaintext at `level` (default: top)."""
         level = self.params.max_level if level is None else level
         scale = self.params.scale if scale is None else scale
@@ -118,6 +118,6 @@ class CkksEncoder:
         coeffs = plaintext.poly.to_int_coeffs()
         return self.project(coeffs, plaintext.scale)
 
-    def encode_constant(self, value: float, level: int = None, scale: float = None) -> Plaintext:
+    def encode_constant(self, value: float, level: Optional[int] = None, scale: Optional[float] = None) -> Plaintext:
         """Encode a scalar broadcast across every slot."""
         return self.encode(np.full(self.slots, value, dtype=np.complex128), level, scale)

@@ -10,9 +10,6 @@ from __future__ import annotations
 from functools import reduce
 from typing import Optional, Tuple
 
-import numpy as np
-
-from ..math import modarith
 from ..math.polynomial import RnsPolynomial
 from .ciphertext import Ciphertext
 from .encoder import Plaintext
@@ -225,6 +222,26 @@ class Evaluator:
         p0, p1 = self._keyswitch(rotated_c1, key)
         return Ciphertext(rotated_c0.add(p0), p1, ct.scale, ct.params)
 
+    def rotate_many(self, ct: Ciphertext, steps) -> dict:
+        """All requested rotations off ONE shared (hoisted) ModUp.
+
+        GEMM-form methods run the op-plan compiler's batched engine;
+        ``*-loop`` methods run the per-digit hoisted baseline.  Note the
+        hoisted dataflow is not bit-identical to per-step :meth:`rotate`
+        (the approximate-ModUp slack transforms differently), but both
+        decrypt to the same slots.
+        """
+        self._require_relinearised(ct, "rotate_many")
+        if self.galois_keys is None:
+            raise ValueError("no Galois keys configured")
+        from .hoisting import hoisted_rotations
+
+        engine = "loop" if self.method.endswith("-loop") else "plan"
+        return hoisted_rotations(
+            ct, steps, self.galois_keys, self.params,
+            method=self.method, engine=engine,
+        )
+
     # -- rescaling --------------------------------------------------------------------------
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
@@ -280,10 +297,5 @@ class Evaluator:
             tail_value = tail_basis.compose(poly.limbs[keep:])
         keep_basis = poly.basis.subbasis(0, keep)
         mstack = ModulusStack.for_moduli(keep_basis.moduli)
-        correction = mstack.reduce(np.asarray(tail_value)[None, ...])
-        diff = mstack.sub(poly.stack[:keep], correction)
-        inverses = [
-            modarith.inv_mod(drop_product % q, q) for q in keep_basis.moduli
-        ]
-        scaled = mstack.scalar_mul(diff, inverses)
+        scaled = mstack.divide_exact_drop(poly.stack[:keep], tail_value, drop_product)
         return RnsPolynomial(poly.degree, keep_basis, scaled, is_ntt=False)

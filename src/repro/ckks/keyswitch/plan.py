@@ -37,7 +37,7 @@ import numpy as np
 from ...math import modarith
 from ...math.modstack import ModulusStack
 from ...math.ntt import PlanCache, get_stack
-from ...math.polynomial import RnsPolynomial
+from ...math.polynomial import RnsPolynomial, automorphism_gather_maps
 from ...math.rns import RnsBasis
 from ..params import CkksParameters
 
@@ -437,14 +437,10 @@ def gemm_keyswitch(
     the lazy IP computes the exact sum, and Recover Limbs/ModDown use the
     same constants.
     """
-    x = poly.from_ntt().stack  # (L_Q, batch..., N)
-    scaled = plan.q_mstack.scalar_mul(x, plan.modup_scalars)
-    grouped = _group_digits(scaled, plan)  # (beta, alpha, batch..., N)
+    raised = _modup_stack(poly.from_ntt().stack, plan)
 
     if plan.method == "hybrid":
-        raised = plan.pq_mstack.bconv_matmul(
-            grouped, plan.modup_weights, operand_bound=plan.max_source_modulus
-        )  # (L_PQ, beta, batch..., N)
+        # raised: (L_PQ, beta, batch..., N)
         ntt = get_stack(plan.degree, plan.pq_basis.moduli)
         raised = ntt.forward(raised)
         n_batch = raised.ndim - 3
@@ -454,9 +450,7 @@ def gemm_keyswitch(
         acc = plan.pq_mstack.lazy_mul_sum(evk, raised[:, None], axis=2)
         acc = ntt.inverse(acc)  # (L_PQ, 2, batch..., N)
     else:
-        raised = plan.t_mstack.bconv_matmul(
-            grouped, plan.modup_weights, operand_bound=plan.max_source_modulus
-        )  # (L_T, beta, batch..., N)
+        # raised: (L_T, beta, batch..., N)
         ntt = get_stack(plan.degree, plan.t_basis.moduli)
         raised = ntt.forward(raised)
         n_batch = raised.ndim - 3
@@ -471,6 +465,181 @@ def gemm_keyswitch(
 
     out = _mod_down_stack(acc, plan)  # (L_Q, 2, batch..., N)
     return _split_pair(out, plan)
+
+
+# ---------------------------------------------------------------------------
+# Rotation op-plans: hoisted batches and giant-step batches
+# ---------------------------------------------------------------------------
+
+
+class HoistedRotationPlan:
+    """k rotations compiled to one plan: gather maps + stacked key tensor.
+
+    Generalises :class:`KeySwitchPlan` from one evk to a *batch* of Galois
+    keys: the per-key plans (served from the shared LRU, so repeated
+    rotations reuse their restrictions) contribute their stacked evk
+    tensors, which are concatenated along a new rotation axis ``k``.  The
+    k automorphism permutations become one ``(k, N)`` gather-index matrix
+    plus a negation mask, so the engines below run every rotation of a
+    batch through the same BConv GEMM, NTT, and lazily-reduced IP einsum.
+
+    Used in two dataflows:
+
+    * :func:`hoisted_gemm_rotations` -- ONE shared ModUp of one
+      ciphertext, then all k automorphisms applied to the raised digits
+      (Halevi-Shoup hoisting: decomposition and ModUp are
+      coefficient-wise, hence commute with the automorphism).
+    * :func:`gemm_rotation_batch` (via :class:`RotationBatchPlan`) -- k
+      *different* polynomials, each rotated by its own step and key-
+      switched in one batched pipeline (the BSGS giant steps).
+    """
+
+    def __init__(
+        self,
+        galois_keys,
+        powers: Tuple[int, ...],
+        params: CkksParameters,
+        level: int,
+        method: str,
+    ):
+        if not powers:
+            raise ValueError("a rotation plan needs at least one Galois power")
+        per_key = [
+            get_keyswitch_plan(galois_keys.get(p), params, level, method)
+            for p in powers
+        ]
+        #: ModUp / ModDown / Recover constants are key-independent, so any
+        #: member plan serves as the shared front/back end.
+        self.ks = per_key[0]
+        self.powers = tuple(powers)
+        degree = params.degree
+        src = np.empty((len(powers), degree), dtype=np.int64)
+        neg = np.empty((len(powers), degree), dtype=bool)
+        for i, power in enumerate(powers):
+            src[i], neg[i] = automorphism_gather_maps(power, degree)
+        self.src = src
+        self.negmask = neg
+        if method == "hybrid":
+            # (L_PQ, 2, k, beta, N)
+            self.evk = np.stack([kp.evk for kp in per_key], axis=2)
+        else:
+            # (L_T, beta~, 2, k, beta, N)
+            self.evk = np.stack([kp.evk for kp in per_key], axis=3)
+
+    def __len__(self) -> int:
+        return len(self.powers)
+
+
+class RotationBatchPlan(HoistedRotationPlan):
+    """Per-item automorphism + one batched key switch (BSGS giant steps)."""
+
+
+def _gather_rotations(
+    stack: np.ndarray, rplan: HoistedRotationPlan, mstack: ModulusStack
+) -> np.ndarray:
+    """All k automorphisms of one ``(L, ..., N)`` stack as a single gather."""
+    rot = stack[..., rplan.src]  # (L, ..., k, N)
+    return np.where(rplan.negmask, mstack.neg(rot), rot)
+
+
+def _gather_itemwise(
+    stack: np.ndarray, rplan: HoistedRotationPlan, mstack: ModulusStack
+) -> np.ndarray:
+    """Automorphism ``i`` applied to batch item ``i`` of a ``(L, k, N)`` stack."""
+    rot = np.take_along_axis(stack, rplan.src[None, ...], axis=-1)
+    return np.where(rplan.negmask, mstack.neg(rot), rot)
+
+
+def _rotation_ip(raised: np.ndarray, rplan: HoistedRotationPlan) -> np.ndarray:
+    """Shared epilogue: NTT, batched lazy IP, INTT, Recover, ModDown.
+
+    `raised` is the ModUp'd digit stack ``(L, k, beta, N)`` over PQ
+    (hybrid) or T (KLSS); returns the ``(L_Q, 2, k, N)`` key-switched
+    output stack in coefficient form.  Exact sums modulo each limb at
+    every step, so the result is bit-identical to k per-rotation loop
+    key switches.
+    """
+    plan = rplan.ks
+    if plan.method == "hybrid":
+        ntt = get_stack(plan.degree, plan.pq_basis.moduli)
+        f = ntt.forward(raised)
+        # (L_PQ, 2, k, beta, N) * (L_PQ, 1, k, beta, N) -> fold beta
+        acc = plan.pq_mstack.lazy_mul_sum(rplan.evk, f[:, None], axis=3)
+        acc = ntt.inverse(acc)  # (L_PQ, 2, k, N)
+    else:
+        ntt = get_stack(plan.degree, plan.t_basis.moduli)
+        f = ntt.forward(raised)
+        # (L_T, b~, 2, k, beta, N) * (L_T, 1, 1, k, beta, N) -> fold beta
+        acc = plan.t_mstack.lazy_mul_sum(rplan.evk, f[:, None, None], axis=4)
+        acc = ntt.inverse(acc)  # (L_T, b~, 2, k, N)
+        acc = _recover_limbs(acc, plan)  # (L_PQ, 2, k, N)
+    return _mod_down_stack(acc, plan)  # (L_Q, 2, k, N)
+
+
+def _modup_stack(stack: np.ndarray, plan: KeySwitchPlan) -> np.ndarray:
+    """Batched ModUp of a coefficient ``(L_Q, ..., N)`` stack (Algorithm 2)."""
+    scaled = plan.q_mstack.scalar_mul(stack, plan.modup_scalars)
+    grouped = _group_digits(scaled, plan)  # (beta, alpha, ..., N)
+    target = plan.pq_mstack if plan.method == "hybrid" else plan.t_mstack
+    return target.bconv_matmul(
+        grouped, plan.modup_weights, operand_bound=plan.max_source_modulus
+    )  # (L_target, beta, ..., N)
+
+
+def hoisted_gemm_rotations(
+    c0: RnsPolynomial, c1: RnsPolynomial, hplan: HoistedRotationPlan
+) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
+    """All k rotations of ``(c0, c1)`` off ONE shared ModUp (plan form).
+
+    The hoisted dataflow: decompose + ModUp once, then every rotation is
+    a gathered permutation of the raised digits, one slice of the batched
+    IP, and one slice of the batched ModDown.  Bit-identical to the
+    hoisted *loop* form (:class:`~repro.ckks.hoisting.HoistedRotator`):
+    the gather applies the same signed permutation, BConv/IP/ModDown
+    compute the same exact sums modulo each limb, and NTT-domain
+    accumulation commutes with the (linear) NTT.
+    """
+    plan = hplan.ks
+    raised = _modup_stack(c1.from_ntt().stack, plan)  # (L, beta, N)
+    mstack = plan.pq_mstack if plan.method == "hybrid" else plan.t_mstack
+    rot = _gather_rotations(raised, hplan, mstack)  # (L, beta, k, N)
+    rot = np.ascontiguousarray(np.swapaxes(rot, 1, 2))  # (L, k, beta, N)
+    out = _rotation_ip(rot, hplan)  # (L_Q, 2, k, N)
+
+    rot0 = _gather_rotations(c0.from_ntt().stack, hplan, plan.q_mstack)
+    b_out = plan.q_mstack.add(rot0, out[:, 0])  # (L_Q, k, N)
+    results = []
+    for i in range(len(hplan)):
+        p0 = RnsPolynomial._wrap(
+            plan.degree, plan.q_basis, np.ascontiguousarray(b_out[:, i]), False
+        )
+        p1 = RnsPolynomial._wrap(
+            plan.degree, plan.q_basis, np.ascontiguousarray(out[:, 1, i]), False
+        )
+        results.append((p0, p1))
+    return results
+
+
+def gemm_rotation_batch(
+    c0_stack: np.ndarray, c1_stack: np.ndarray, rplan: RotationBatchPlan
+) -> np.ndarray:
+    """Rotate item ``i`` of a ``(L_Q, k, N)`` pair batch by power ``i``.
+
+    The BSGS giant step: k *different* inner sums, each rotated by its
+    own step -- automorphism first (itemwise gather), then one batched
+    ModUp + IP + ModDown across the whole batch.  Returns the
+    ``(L_Q, 2, k, N)`` rotated ciphertext stack (c0 component already
+    recombined).  Bit-identical to k sequential ``Evaluator.rotate``
+    calls under the same key-switch method family.
+    """
+    plan = rplan.ks
+    rot1 = _gather_itemwise(c1_stack, rplan, plan.q_mstack)  # (L_Q, k, N)
+    raised = _modup_stack(rot1, plan)  # (L, beta, k, N)
+    raised = np.ascontiguousarray(np.swapaxes(raised, 1, 2))  # (L, k, beta, N)
+    out = _rotation_ip(raised, rplan)  # (L_Q, 2, k, N)
+    rot0 = _gather_itemwise(c0_stack, rplan, plan.q_mstack)
+    out[:, 0] = plan.q_mstack.add(rot0, out[:, 0])
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -501,6 +670,52 @@ def get_keyswitch_plan(
     return _PLAN_CACHE.get_or_build(
         key,
         lambda: KeySwitchPlan(method, params, level, ksk),
+        build_outside_lock=True,
+    )
+
+
+def _rotation_plan_key(
+    tag: str, galois_keys, powers, params: CkksParameters, level: int, method: str
+):
+    tokens = tuple(galois_keys.get(p).cache_token for p in powers)
+    return (
+        tag,
+        params.fingerprint(),
+        tokens,
+        level,
+        method,
+        tuple(powers),
+        modarith._BARRETT_ENABLED,
+    )
+
+
+def get_hoisted_rotation_plan(
+    galois_keys, powers, params: CkksParameters, level: int, method: str
+) -> HoistedRotationPlan:
+    """The cached :class:`HoistedRotationPlan` for a batch of Galois powers.
+
+    Keyed by the params fingerprint plus every member key's identity
+    token, so the stacked evk tensor can never outlive a key swap; the
+    per-key :class:`KeySwitchPlan` lookups inside the builder hit the
+    same LRU, so a rotation batch that shares keys with earlier calls
+    reuses their restrictions instead of re-stacking.
+    """
+    key = _rotation_plan_key("hoist", galois_keys, powers, params, level, method)
+    return _PLAN_CACHE.get_or_build(
+        key,
+        lambda: HoistedRotationPlan(galois_keys, tuple(powers), params, level, method),
+        build_outside_lock=True,
+    )
+
+
+def get_rotation_batch_plan(
+    galois_keys, powers, params: CkksParameters, level: int, method: str
+) -> RotationBatchPlan:
+    """The cached :class:`RotationBatchPlan` (giant-step batches)."""
+    key = _rotation_plan_key("rotbatch", galois_keys, powers, params, level, method)
+    return _PLAN_CACHE.get_or_build(
+        key,
+        lambda: RotationBatchPlan(galois_keys, tuple(powers), params, level, method),
         build_outside_lock=True,
     )
 

@@ -13,19 +13,45 @@ to roughly ``2 * sqrt(#diags)``:
 
 This module turns a complex ``slots x slots`` matrix into encoded diagonal
 plaintexts and applies it to a ciphertext with an :class:`Evaluator`.
+
+Two appliers share the BSGS schedule:
+
+* the **plan path** (GEMM-form evaluators) compiles the transform into a
+  :class:`LinearTransformPlan`: baby rotations off ONE hoisted ModUp via
+  :func:`~repro.ckks.keyswitch.plan.hoisted_gemm_rotations`, all
+  ``(g, b)`` plaintext products and the inner sums as one NTT-domain
+  lazily-reduced einsum, giant rotations as one
+  :func:`~repro.ckks.keyswitch.plan.gemm_rotation_batch`, and the final
+  Rescale folded into the accumulation epilogue
+  (:meth:`~repro.math.modstack.ModulusStack.divide_exact_drop`).
+* the **loop path** (``*-loop`` evaluators) keeps per-rotation, per-term
+  evaluator calls -- the bit-identical differential baseline (babies are
+  hoisted through the loop-form :class:`~repro.ckks.hoisting.HoistedRotator`
+  so both paths share the hoisted dataflow).
+
+Encoded diagonal plaintexts are cached per ``(level, scale)`` -- the
+bootstrap pipeline applies the same transform at the same level on every
+invocation, and re-encoding hundreds of identical diagonals dominated its
+profile before the cache.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..math import modarith
+from ..math.modstack import ModulusStack
+from ..math.ntt import get_stack
+from ..math.polynomial import RnsPolynomial
 from .ciphertext import Ciphertext
-from .encoder import CkksEncoder
+from .encoder import CkksEncoder, Plaintext
 from .evaluator import Evaluator
-from .params import CkksParameters
+from .hoisting import HoistedRotator, _base_method
+from .keys import rotation_galois_power
+from .keyswitch import plan as _ksplan
 
 
 def matrix_diagonals(matrix: np.ndarray, tol: float = 0.0) -> Dict[int, np.ndarray]:
@@ -45,6 +71,136 @@ def matrix_diagonals(matrix: np.ndarray, tol: float = 0.0) -> Dict[int, np.ndarr
         if np.abs(diag).max() > tol:
             diagonals[d] = diag
     return diagonals
+
+
+class LinearTransformPlan:
+    """One transform compiled for a ``(level, method, key set)``.
+
+    Holds the hoisted baby-rotation plan, the giant-step batch plan (both
+    served from the shared op-plan LRU), and the NTT-form diagonal tensor
+    ``(L_Q, G, B, N)`` pre-encoded at plan build -- everything
+    :meth:`LinearTransform.apply` would otherwise recompute per call.
+    """
+
+    def __init__(self, lt: "LinearTransform", evaluator: Evaluator, level: int):
+        if level < 1:
+            raise ValueError(
+                "a linear transform consumes one level; "
+                f"cannot apply at level {level}"
+            )
+        params = evaluator.params
+        method = _base_method(evaluator.method)
+        if evaluator.galois_keys is None:
+            raise ValueError("no Galois keys configured")
+        self.params = params
+        self.method = method
+        self.level = level
+        self.q_basis = params.q_basis(level)
+        self.mq = ModulusStack.for_moduli(self.q_basis.moduli)
+        self.ntt = get_stack(params.degree, self.q_basis.moduli)
+
+        self.baby_steps = sorted({b for plan in lt._plan.values() for b in plan})
+        self.bmap = {b: i for i, b in enumerate(self.baby_steps)}
+        self.live_babies = [b for b in self.baby_steps if b % lt.slots != 0]
+        self.giants = sorted(lt._plan)
+        self.live_giants = [g for g in self.giants if (g * lt.baby) % lt.slots != 0]
+
+        gk = evaluator.galois_keys
+        self.hoist: Optional[_ksplan.HoistedRotationPlan] = None
+        if self.live_babies:
+            powers = tuple(
+                rotation_galois_power(b, params.degree) for b in self.live_babies
+            )
+            self.hoist = _ksplan.get_hoisted_rotation_plan(
+                gk, powers, params, level, method
+            )
+        self.giant_batch: Optional[_ksplan.RotationBatchPlan] = None
+        if self.live_giants:
+            powers = tuple(
+                rotation_galois_power(g * lt.baby, params.degree)
+                for g in self.live_giants
+            )
+            self.giant_batch = _ksplan.get_rotation_batch_plan(
+                gk, powers, params, level, method
+            )
+
+        # Diagonal plaintexts, encoded once per level and stacked into one
+        # NTT-domain tensor; absent (g, b) slots stay exact zeros, which
+        # contribute exact-zero products to the inner einsum (bit-identical
+        # to the loop path simply skipping those terms).
+        pts = lt._encoded_diagonals(level)
+        self.pt_scale = next(iter(pts.values())).scale
+        ptt = self.mq.zeros(
+            (len(self.giants), len(self.baby_steps), params.degree)
+        )
+        for gi, g in enumerate(self.giants):
+            for b in lt._plan[g]:
+                ptt[:, gi, self.bmap[b]] = (
+                    pts[(g, b)].poly.keep_limbs(level + 1).to_ntt().stack
+                )
+        self.pt_tensor = ptt
+
+        # Fused-rescale epilogue constants.
+        self.drop_modulus = self.q_basis.moduli[level]
+        self.keep_basis = self.q_basis.subbasis(0, level)
+        self.mkeep = ModulusStack.for_moduli(self.keep_basis.moduli)
+
+    def run(self, ct: Ciphertext) -> Ciphertext:
+        """Apply the compiled transform (one level consumed)."""
+        params = self.params
+        degree = params.degree
+        # -- babies: identity slot(s) + one hoisted GEMM batch -------------
+        bab = np.empty(
+            (len(self.q_basis), 2, len(self.baby_steps), degree),
+            dtype=self.mq.dtype,
+        )
+        for b in self.baby_steps:
+            if b not in self.live_babies:
+                bab[:, 0, self.bmap[b]] = ct.c0.from_ntt().stack
+                bab[:, 1, self.bmap[b]] = ct.c1.from_ntt().stack
+        if self.hoist is not None:
+            pairs = _ksplan.hoisted_gemm_rotations(ct.c0, ct.c1, self.hoist)
+            for b, (p0, p1) in zip(self.live_babies, pairs):
+                bab[:, 0, self.bmap[b]] = p0.stack
+                bab[:, 1, self.bmap[b]] = p1.stack
+
+        # -- all (g, b) products and inner sums: one NTT-domain einsum -----
+        f = self.ntt.forward(bab)  # (L, 2, B, N)
+        inner = self.mq.lazy_mul_sum(
+            f[:, :, None], self.pt_tensor[:, None], axis=3
+        )  # (L, 2, G, N)
+        inner = self.ntt.inverse(inner)
+
+        # -- giants: identity slice(s) + one batched rotation key switch ---
+        acc: Optional[np.ndarray] = None
+        for gi, g in enumerate(self.giants):
+            if g not in self.live_giants:
+                sl = inner[:, :, gi]
+                acc = sl.copy() if acc is None else self.mq.add(acc, sl)
+        if self.giant_batch is not None:
+            idxs = [self.giants.index(g) for g in self.live_giants]
+            out = _ksplan.gemm_rotation_batch(
+                np.ascontiguousarray(inner[:, 0, idxs]),
+                np.ascontiguousarray(inner[:, 1, idxs]),
+                self.giant_batch,
+            )  # (L, 2, k, N)
+            for i in range(len(self.live_giants)):
+                sl = out[:, :, i]
+                acc = sl.copy() if acc is None else self.mq.add(acc, sl)
+
+        # -- fused Rescale epilogue ----------------------------------------
+        scaled = self.mkeep.divide_exact_drop(
+            acc[: self.level], acc[self.level], self.drop_modulus
+        )
+        c0 = RnsPolynomial._wrap(
+            degree, self.keep_basis, np.ascontiguousarray(scaled[:, 0]), False
+        )
+        c1 = RnsPolynomial._wrap(
+            degree, self.keep_basis, np.ascontiguousarray(scaled[:, 1]), False
+        )
+        return Ciphertext(
+            c0, c1, (ct.scale * self.pt_scale) / self.drop_modulus, params
+        )
 
 
 class LinearTransform:
@@ -77,6 +233,10 @@ class LinearTransform:
             g, b = divmod(d, self.baby)
             # Pre-rotate the diagonal so the giant-step rotation commutes.
             self._plan.setdefault(g, {})[b] = np.roll(diag, g * self.baby)
+        #: Encoded diagonals keyed by (level, scale) -- see _encoded_diagonals.
+        self._pt_cache: Dict[Tuple[int, Optional[float]], Dict[Tuple[int, int], Plaintext]] = {}
+        #: Compiled plans keyed by (level, method, backend, key tokens).
+        self._plans: Dict[tuple, LinearTransformPlan] = {}
 
     def required_rotations(self) -> List[int]:
         """Slot rotations whose Galois keys must exist before `apply`."""
@@ -84,20 +244,82 @@ class LinearTransform:
         steps |= {g * self.baby for g in self._plan if g}
         return sorted(steps)
 
+    def _encoded_diagonals(
+        self, level: int, scale: Optional[float] = None
+    ) -> Dict[Tuple[int, int], Plaintext]:
+        """Every diagonal encoded at (`level`, `scale`), cached.
+
+        Both appliers draw from this cache, so a second application at the
+        same level performs zero re-encodes.
+        """
+        key = (level, scale)
+        cached = self._pt_cache.get(key)
+        if cached is None:
+            cached = {}
+            for g, plan in sorted(self._plan.items()):
+                for b, diag in sorted(plan.items()):
+                    if scale is None:
+                        cached[(g, b)] = self.encoder.encode(diag, level=level)
+                    else:
+                        cached[(g, b)] = self.encoder.encode(
+                            diag, level=level, scale=scale
+                        )
+            self._pt_cache[key] = cached
+        return cached
+
+    def _compiled(self, evaluator: Evaluator, level: int) -> LinearTransformPlan:
+        base = _base_method(evaluator.method)
+        tokens = tuple(
+            evaluator.galois_keys.get(rotation_galois_power(s, evaluator.params.degree)).cache_token
+            for s in self.required_rotations()
+        ) if evaluator.galois_keys is not None else ()
+        key = (
+            level,
+            base,
+            evaluator.params.fingerprint(),
+            tokens,
+            modarith._BARRETT_ENABLED,
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = LinearTransformPlan(self, evaluator, level)
+            self._plans[key] = plan
+        return plan
+
     def apply(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
-        """Homomorphically compute ``M z`` (one level consumed)."""
+        """Homomorphically compute ``M z`` (one level consumed).
+
+        GEMM-form evaluators run the compiled :class:`LinearTransformPlan`;
+        ``*-loop`` evaluators run the bit-identical per-term loop baseline.
+        """
+        if ct.c2 is not None:
+            raise ValueError("linear transform requires a relinearised ciphertext")
+        if evaluator.method.endswith("-loop"):
+            return self.apply_loop(evaluator, ct)
+        return self._compiled(evaluator, ct.level).run(ct)
+
+    def apply_loop(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+        """The per-rotation, per-term reference applier.
+
+        Babies come off one hoisted ModUp (loop form), every ``(g, b)``
+        product is an evaluator ``multiply_plain``/``add``, giants are
+        individual ``rotate`` calls, and the Rescale is a standalone
+        evaluator op.  Bit-identical to the plan path.
+        """
         level = ct.level
-        baby_rotations: Dict[int, Ciphertext] = {0: ct}
-        for plan in self._plan.values():
-            for b in plan:
-                if b not in baby_rotations:
-                    baby_rotations[b] = evaluator.rotate(ct, b)
+        pts = self._encoded_diagonals(level)
+        baby_steps = [b for plan in self._plan.values() for b in plan]
+        rotator = HoistedRotator(
+            ct, evaluator.params, method=_base_method(evaluator.method)
+        )
+        baby_rotations: Dict[int, Ciphertext] = {}
+        for b in sorted(set(baby_steps)):
+            baby_rotations[b] = rotator.rotate(b, evaluator.galois_keys)
         outer: Optional[Ciphertext] = None
         for g, plan in sorted(self._plan.items()):
             inner: Optional[Ciphertext] = None
-            for b, diag in sorted(plan.items()):
-                pt = self.encoder.encode(diag, level=level)
-                term = evaluator.multiply_plain(baby_rotations[b], pt)
+            for b in sorted(plan):
+                term = evaluator.multiply_plain(baby_rotations[b], pts[(g, b)])
                 inner = term if inner is None else evaluator.add(inner, term)
             if g:
                 inner = evaluator.rotate(inner, g * self.baby)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -113,7 +114,7 @@ class NoiseEstimator:
         self,
         a: NoiseEstimate,
         b: NoiseEstimate,
-        message_scale_bits: float = None,
+        message_scale_bits: Optional[float] = None,
     ) -> NoiseEstimate:
         """Noise of a ciphertext-ciphertext product (before key switching)."""
         msg = (

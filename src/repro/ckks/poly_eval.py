@@ -40,6 +40,23 @@ class PolynomialEvaluator:
     def __init__(self, encoder: CkksEncoder, evaluator: Evaluator):
         self.encoder = encoder
         self.evaluator = evaluator
+        #: Encoded coefficient constants keyed by (value, level, scale) --
+        #: EvalMod re-evaluates the same polynomial every bootstrap, so the
+        #: chunk constants encode once and replay from here.
+        self._const_cache: Dict[tuple, object] = {}
+
+    def _constant(self, value: complex, level: int, scale: Optional[float] = None):
+        key = (complex(value), level, scale)
+        pt = self._const_cache.get(key)
+        if pt is None:
+            if scale is None:
+                pt = self.encoder.encode_constant(complex(value), level=level)
+            else:
+                pt = self.encoder.encode_constant(
+                    complex(value), level=level, scale=scale
+                )
+            self._const_cache[key] = pt
+        return pt
 
     # -- power ladder ----------------------------------------------------------
 
@@ -70,9 +87,7 @@ class PolynomialEvaluator:
             coeffs = coeffs[:-1]
         degree = len(coeffs) - 1
         if degree == 0:
-            pt = self.encoder.encode_constant(
-                complex(coeffs[0]), level=ct.level, scale=ct.scale
-            )
+            pt = self._constant(complex(coeffs[0]), ct.level, ct.scale)
             zero = self.evaluator.sub(ct, ct)
             return self.evaluator.add_plain(zero, pt)
 
@@ -124,7 +139,7 @@ class PolynomialEvaluator:
             if abs(coeff) < 1e-12 or b == 0:
                 continue
             power = table[b]
-            pt = self.encoder.encode_constant(complex(coeff), level=power.level)
+            pt = self._constant(complex(coeff), power.level)
             term = ev.rescale(ev.multiply_plain(power, pt))
             result = term if result is None else ev.add(result, term)
         constant = complex(chunk[0]) if len(chunk) else 0.0
@@ -133,22 +148,14 @@ class PolynomialEvaluator:
                 # Constant-only chunk: encode on a zero ciphertext.
                 zero = ev.sub(ct, ct)
                 zero = ev.rescale(
-                    ev.multiply_plain(
-                        zero, self.encoder.encode_constant(1.0, level=zero.level)
-                    )
+                    ev.multiply_plain(zero, self._constant(1.0, zero.level))
                 )
                 result = ev.add_plain(
-                    zero,
-                    self.encoder.encode_constant(
-                        constant, level=zero.level, scale=zero.scale
-                    ),
+                    zero, self._constant(constant, zero.level, zero.scale)
                 )
             else:
                 result = ev.add_plain(
-                    result,
-                    self.encoder.encode_constant(
-                        constant, level=result.level, scale=result.scale
-                    ),
+                    result, self._constant(constant, result.level, result.scale)
                 )
         return result
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro profile <app>       # per-op/per-kernel profile
     python -m repro serve --workload mixed   # dynamic-batching serving report
     python -m repro bench keyswitch     # loop vs GEMM key-switch timings
+    python -m repro bench bootstrap     # loop vs op-plan bootstrap timings
 """
 
 from __future__ import annotations
@@ -300,12 +301,19 @@ def cmd_bench(args) -> int:
     from .ckks.params import CkksParameters
     from .math.polynomial import RnsPolynomial
 
-    if args.kernel != "keyswitch":
+    if args.kernel not in ("keyswitch", "bootstrap"):
         print(
-            f"unknown bench kernel {args.kernel!r}; choose from: keyswitch",
+            f"unknown bench kernel {args.kernel!r}; "
+            "choose from: keyswitch, bootstrap",
             file=sys.stderr,
         )
         return 2
+    # Kernel-specific defaults: the functional bootstrap pipeline is far
+    # heavier per invocation than one key switch, and needs a longer chain.
+    if args.degree is None:
+        args.degree = 32 if args.kernel == "bootstrap" else 1024
+    if args.dnum is None:
+        args.dnum = 4 if args.kernel == "bootstrap" else 2
     if args.degree < 8 or args.degree & (args.degree - 1):
         print(f"--degree must be a power of two >= 8, got {args.degree}",
               file=sys.stderr)
@@ -313,6 +321,8 @@ def cmd_bench(args) -> int:
     if args.dnum < 1 or args.repeats < 1:
         print("--dnum and --repeats must be >= 1", file=sys.stderr)
         return 2
+    if args.kernel == "bootstrap":
+        return _bench_bootstrap(args)
     try:
         params = CkksParameters(
             degree=args.degree,
@@ -375,6 +385,96 @@ def cmd_bench(args) -> int:
         f"{ksplan.keyswitch_plan_cache_size()} plans resident)"
     )
     return 0
+
+
+def _bench_bootstrap(args) -> int:
+    """Time the full functional bootstrap: op-plan path vs loop path."""
+    import time
+
+    import numpy as np
+
+    from .ckks import (
+        CkksEncoder,
+        CkksParameters,
+        Encryptor,
+        Evaluator,
+        KeyGenerator,
+    )
+    from .ckks.bootstrap import Bootstrapper
+    from .ckks.keys import conjugation_galois_power
+    from .ckks.keyswitch import plan as ksplan
+
+    try:
+        params = CkksParameters(
+            degree=args.degree,
+            max_level=3 * args.dnum,
+            wordsize=args.wordsize,
+            dnum=args.dnum,
+            first_prime_bits=args.wordsize + 2,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    gen = KeyGenerator(params, seed=args.seed)
+    sk = gen.secret_key(hamming_weight=1)
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(sk), seed=args.seed + 1)
+    relin = gen.relinearisation_key(sk)
+    # One shared key set: key generation is randomized, so separate keys
+    # would (correctly) break the bit-identity check below.
+    ev_plan = Evaluator(params, relin_key=relin, method="hybrid")
+    ev_loop = Evaluator(params, relin_key=relin, method="hybrid-loop")
+    boot_plan = Bootstrapper(params, encoder, ev_plan)
+    boot_loop = Bootstrapper(params, encoder, ev_loop)
+    galois = gen.rotation_keys(sk, boot_plan.required_rotations())
+    conj = conjugation_galois_power(params.degree)
+    galois.add(conj, gen.galois_key(sk, conj))
+    ev_plan.galois_keys = galois
+    ev_loop.galois_keys = galois
+
+    rng = np.random.default_rng(args.seed)
+    v = np.clip(0.3 * rng.normal(size=params.slots), -0.8, 0.8)
+    ct = encryptor.encrypt(encoder.encode(v, level=0))
+
+    def best(fn):
+        t = float("inf")
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            fn()
+            t = min(t, time.perf_counter() - start)
+        return t
+
+    ksplan.clear_keyswitch_plan_cache()
+    # Warm runs compile the op plans / encode the diagonals, and feed the
+    # bit-identity check.
+    out_plan = boot_plan.bootstrap(ct)
+    out_loop = boot_loop.bootstrap(ct)
+    identical = all(
+        np.array_equal(a.from_ntt().limb_stack(), b.from_ntt().limb_stack())
+        for a, b in ((out_plan.c0, out_loop.c0), (out_plan.c1, out_loop.c1))
+    )
+    t_plan = best(lambda: boot_plan.bootstrap(ct))
+    t_loop = best(lambda: boot_loop.bootstrap(ct))
+    _print(
+        format_table(
+            ["method", "loop ms", "plan ms", "speedup", "bit-identical"],
+            [["hybrid", f"{t_loop * 1e3:.1f}", f"{t_plan * 1e3:.1f}",
+              f"{t_loop / t_plan:.2f}x", str(identical)]],
+            title=(
+                f"Bootstrap loop vs GEMM plan (N=2^{params.log_degree}, "
+                f"WS={args.wordsize}, dnum={args.dnum}, L={params.max_level})"
+            ),
+        )
+    )
+    stats = ksplan.keyswitch_plan_cache_stats()
+    _print(
+        "plan cache: "
+        f"{stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['evictions']} evictions "
+        f"(hit rate {stats['hit_rate'] * 100:.0f}%, "
+        f"{ksplan.keyswitch_plan_cache_size()} plans resident)"
+    )
+    return 0 if identical else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -458,15 +558,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="time a functional kernel (loop form vs GEMM form)"
     )
-    bench.add_argument("kernel", help="kernel to benchmark: keyswitch")
+    bench.add_argument("kernel", help="kernel to benchmark: keyswitch, bootstrap")
     bench.add_argument(
-        "--degree", type=int, default=1024, help="ring degree N (default 1024)"
+        "--degree", type=int, default=None,
+        help="ring degree N (default: 1024 for keyswitch, 32 for bootstrap)",
     )
     bench.add_argument(
         "--wordsize", type=int, default=25, help="limb bits (default 25)"
     )
     bench.add_argument(
-        "--dnum", type=int, default=2, help="digit count (default 2)"
+        "--dnum", type=int, default=None,
+        help="digit count (default: 2 for keyswitch, 4 for bootstrap)",
     )
     bench.add_argument(
         "--repeats", type=int, default=3, help="best-of repeats (default 3)"

@@ -125,7 +125,7 @@ class OperationPipeline:
     def wordsize(self) -> int:
         return self.params.wordsize
 
-    def _ntt(self, limbs: int, inverse: bool = False, wordsize: int = None) -> KernelCost:
+    def _ntt(self, limbs: int, inverse: bool = False, wordsize: Optional[int] = None) -> KernelCost:
         return ntt_cost(
             self.degree,
             batch_limbs=self.batch * limbs,
@@ -135,7 +135,7 @@ class OperationPipeline:
             inverse=inverse,
         )
 
-    def _bconv(self, alpha_in: int, alpha_out: int, wordsize: int = None) -> KernelCost:
+    def _bconv(self, alpha_in: int, alpha_out: int, wordsize: Optional[int] = None) -> KernelCost:
         return bconv_cost(
             alpha_in,
             alpha_out,

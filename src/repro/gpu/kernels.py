@@ -11,6 +11,7 @@ overlap components across kernels -- see :mod:`repro.gpu.trace`).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from .device import DeviceSpec
 from .fragments import (
@@ -88,7 +89,7 @@ class KernelCost:
 
     # -- algebra -----------------------------------------------------------------
 
-    def scaled(self, factor: float, name: str = None) -> "KernelCost":
+    def scaled(self, factor: float, name: Optional[str] = None) -> "KernelCost":
         """The cost of running this kernel `factor` times.
 
         Launches scale linearly (no rounding, no floor): a zero-launch
@@ -105,7 +106,7 @@ class KernelCost:
             launches=self.launches * factor,
         )
 
-    def merged(self, other: "KernelCost", name: str = None) -> "KernelCost":
+    def merged(self, other: "KernelCost", name: Optional[str] = None) -> "KernelCost":
         """Back-to-back execution of two kernels (launches add)."""
         return KernelCost(
             name=name or f"{self.name}+{other.name}",
@@ -117,7 +118,7 @@ class KernelCost:
             launches=self.launches + other.launches,
         )
 
-    def fused_with(self, other: "KernelCost", saved_bytes: float, name: str = None) -> "KernelCost":
+    def fused_with(self, other: "KernelCost", saved_bytes: float, name: Optional[str] = None) -> "KernelCost":
         """Kernel fusion (Section 4.6): one launch, intermediates stay in
         shared memory so `saved_bytes` of global traffic disappear."""
         merged = self.merged(other, name=name)
@@ -185,7 +186,7 @@ def gemm_cost_tcu_int8(
     n: int,
     k: int,
     wordsize: int,
-    shape: FragmentShape = None,
+    shape: Optional[FragmentShape] = None,
     include_io: bool = True,
 ) -> KernelCost:
     """Modular GEMM on INT8 tensor cores (TensorFHE's Booth-split scheme)."""

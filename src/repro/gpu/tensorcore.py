@@ -15,7 +15,7 @@ same plane counts feed the analytic cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -63,7 +63,7 @@ def plan_fp64_split(wordsize_a: int, wordsize_b: int, k_dim: int) -> SplitPlan:
     """
     if min(wordsize_a, wordsize_b, k_dim) < 1:
         raise ValueError("wordsizes and k_dim must be positive")
-    best: SplitPlan = None
+    best: Optional[SplitPlan] = None
     for a_planes in range(1, wordsize_a + 1):
         a_bits = -(-wordsize_a // a_planes)
         for b_planes in range(1, wordsize_b + 1):
@@ -107,7 +107,7 @@ def _split_matrix(matrix: np.ndarray, plane_bits: int, plane_count: int) -> List
 
 
 def fp64_gemm_mod(
-    a: np.ndarray, b: np.ndarray, modulus: int, plan: SplitPlan = None
+    a: np.ndarray, b: np.ndarray, modulus: int, plan: Optional[SplitPlan] = None
 ) -> np.ndarray:
     """Exact modular GEMM through FP64 plane products (TCU FP64 emulation).
 
@@ -146,7 +146,7 @@ def fp64_gemm_mod(
 
 
 def int8_gemm_mod(
-    a: np.ndarray, b: np.ndarray, modulus: int, plan: SplitPlan = None
+    a: np.ndarray, b: np.ndarray, modulus: int, plan: Optional[SplitPlan] = None
 ) -> np.ndarray:
     """Exact modular GEMM through INT8 plane products (TensorFHE's scheme).
 
@@ -186,7 +186,7 @@ def reference_gemm_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray
     )
 
 
-def make_tcu_gemm(modulus: int, plan: SplitPlan = None):
+def make_tcu_gemm(modulus: int, plan: Optional[SplitPlan] = None):
     """A ``gemm(a, b, q)``-shaped hook running on the FP64 TCU emulation.
 
     Suitable for injection into :func:`repro.math.ntt.multi_step_ntt`, which

@@ -338,6 +338,25 @@ class ModulusStack:
             return np.zeros(out_shape, dtype=_U64)
         return out
 
+    def divide_exact_drop(
+        self, keep: np.ndarray, tail: np.ndarray, drop_modulus: int
+    ) -> np.ndarray:
+        """Round-divide by one dropped limb: ``(x - [x]_{q_drop}) / q_drop``.
+
+        The Rescale epilogue over this stack's (kept) moduli: broadcast the
+        dropped limb's residues into every kept limb, subtract, multiply by
+        the cached inverse of the dropped modulus.  This is exactly the
+        stack arithmetic of the evaluator's single-limb Rescale, exposed so
+        fused GEMM epilogues (the op-plan compiler's folded rescale) stay
+        bit-identical to the standalone operation.
+        """
+        correction = self.reduce(np.asarray(tail)[None, ...])
+        diff = self.sub(keep, correction)
+        inverses = [
+            modarith.inv_mod(int(drop_modulus) % q, q) for q in self.moduli
+        ]
+        return self.scalar_mul(diff, inverses)
+
     def bconv_matmul(
         self, scaled: np.ndarray, weights: np.ndarray, operand_bound: int = 0
     ) -> np.ndarray:

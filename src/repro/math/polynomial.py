@@ -72,6 +72,29 @@ def _automorphism_tables(galois_power: int, degree: int):
     return dest, sign
 
 
+def automorphism_gather_maps(galois_power: int, degree: int):
+    """Gather-form ``(source index, negate mask)`` of ``X -> X**galois_power``.
+
+    The scatter tables of :func:`_automorphism_tables` say coefficient
+    ``i`` lands at ``dest[i]`` with ``sign[i]``; the inverse view reads
+    ``out[j] = sign[src[j]] * in[src[j]]`` with ``src[dest[i]] = i``.  A
+    gather lets k automorphisms of the same limb stack run as ONE fancy
+    index with a ``(k, N)`` index matrix -- the op-plan compiler's AUTO
+    step -- instead of k scatters.  Bit-identical to the scatter form:
+    both move the same residues to the same places with the same signs.
+    """
+    key = (galois_power, degree, "gather")
+    cached = _AUTO_CACHE.get(key)
+    if cached is not None:
+        return cached
+    dest, sign = _automorphism_tables(galois_power, degree)
+    src = np.empty(degree, dtype=np.int64)
+    src[dest] = np.arange(degree, dtype=np.int64)
+    negate = sign[src] < 0
+    _AUTO_CACHE[key] = (src, negate)
+    return src, negate
+
+
 def automorphism(coeffs: np.ndarray, galois_power: int, degree: int, modulus: int) -> np.ndarray:
     """Apply ``X -> X**galois_power`` in coefficient form (AUTO kernel).
 

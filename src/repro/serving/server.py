@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..analysis.reporting import format_table
+from ..ckks.keyswitch import plan as ksplan
 from ..apps import get_application
 from ..core.neo_context import NeoContext
 from ..core.pipeline import NEO_CONFIG, PipelineConfig
@@ -89,6 +90,10 @@ class ServingReport:
     mean_queue_depth: float = 0.0
     max_queue_depth: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Key-switch / rotation op-plan cache counters (hits, misses,
+    #: evictions, hit_rate) snapshotted at drain time -- shows how much
+    #: GEMM-plan compilation the serving run amortised.
+    op_plans: Dict[str, float] = field(default_factory=dict)
 
     # -- headline metrics ---------------------------------------------------------
 
@@ -226,6 +231,13 @@ class ServingReport:
             f"{self.cache.hits} hits / {self.cache.misses} misses "
             f"({100 * self.cache.hit_rate:.1f}% hit rate)"
         )
+        if self.op_plans:
+            lines.append(
+                "op-plan cache: "
+                f"{int(self.op_plans.get('hits', 0))} hits / "
+                f"{int(self.op_plans.get('misses', 0))} misses "
+                f"({100 * self.op_plans.get('hit_rate', 0.0):.1f}% hit rate)"
+            )
         return "\n".join(lines)
 
 
@@ -409,6 +421,7 @@ class Server:
             mean_queue_depth=queue.mean_depth(),
             max_queue_depth=queue.max_depth(),
             cache=self.model.cache_stats(),
+            op_plans=ksplan.keyswitch_plan_cache_stats(),
         )
         self._last_report = report
         return report

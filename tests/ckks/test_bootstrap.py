@@ -64,6 +64,13 @@ class TestModRaise:
         with pytest.raises(ValueError):
             boot.mod_raise(ct)
 
+    @pytest.mark.parametrize("bad_target", [0, -1, 13, 100])
+    def test_rejects_out_of_range_target_level(self, boot_setup, bad_target):
+        params, _, encoder, encryptor, *_, boot = boot_setup
+        ct = encryptor.encrypt(encoder.encode([0.25], level=0))
+        with pytest.raises(ValueError, match="target_level"):
+            boot.mod_raise(ct, target_level=bad_target)
+
 
 class TestStages:
     def test_coeff_to_slot_extracts_coefficients(self, boot_setup):

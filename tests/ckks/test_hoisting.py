@@ -70,6 +70,55 @@ class TestHoistedRotations:
         assert np.abs(got - np.roll(values, -1)).max() < 1e-3
 
 
+class TestIdentitySteps:
+    """steps = 0 (or any multiple of the slot count) is the identity
+    automorphism: no key switch, no Galois key lookup, same ciphertext."""
+
+    @pytest.mark.parametrize("engine", ["plan", "loop"])
+    def test_zero_and_slot_multiples_return_input(
+        self, params, keyset, encrypted, engine
+    ):
+        _, ct = encrypted
+        steps = [0, params.slots, 2 * params.slots, -params.slots]
+        out = hoisted_rotations(ct, steps, keyset["galois"], params, engine=engine)
+        for s in steps:
+            assert out[s] is ct, s
+
+    @pytest.mark.parametrize("engine", ["plan", "loop"])
+    def test_identity_needs_no_galois_keys(self, params, encrypted, engine):
+        # No key for power 1 exists; the short circuit must never look.
+        _, ct = encrypted
+        out = hoisted_rotations(ct, [0], None, params, engine=engine)
+        assert out[0] is ct
+
+    def test_rotator_short_circuits(self, params, keyset, encrypted):
+        _, ct = encrypted
+        rotator = HoistedRotator(ct, params)
+        assert rotator.rotate(0, keyset["galois"]) is ct
+        assert rotator.rotate(params.slots, keyset["galois"]) is ct
+
+    def test_mixed_live_and_identity(self, params, keyset, encoder, decryptor,
+                                     encrypted):
+        values, ct = encrypted
+        out = hoisted_rotations(ct, [0, 1, params.slots], keyset["galois"], params)
+        assert out[0] is ct and out[params.slots] is ct
+        got = encoder.decode(decryptor.decrypt(out[1]))
+        assert np.abs(got - np.roll(values, -1)).max() < 1e-3
+
+
+class TestPlanCache:
+    def test_repeat_rotations_hit_the_plan_cache(self, params, keyset, encrypted):
+        from repro.ckks.keyswitch import plan as ksplan
+
+        _, ct = encrypted
+        hoisted_rotations(ct, STEPS, keyset["galois"], params)  # build
+        before = ksplan.keyswitch_plan_cache_stats()
+        hoisted_rotations(ct, STEPS, keyset["galois"], params)
+        after = ksplan.keyswitch_plan_cache_stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] > before["hits"]
+
+
 class TestSavings:
     def test_savings_formula(self):
         assert hoisting_modup_savings(beta=3, rotations=1) == 0.0

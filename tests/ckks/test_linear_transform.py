@@ -129,3 +129,71 @@ class TestApply:
         lt = LinearTransform(encoder, np.ones((n, n)) / n)
         assert 2 <= lt.baby <= n
         assert len(lt.required_rotations()) < n - 1
+
+
+class CountingEncoder(CkksEncoder):
+    """Counts ``encode`` calls -- instruments the diagonal cache."""
+
+    def __init__(self, params):
+        super().__init__(params)
+        self.encode_calls = 0
+
+    def encode(self, values, level=None, scale=None):
+        self.encode_calls += 1
+        return super().encode(values, level=level, scale=scale)
+
+
+class TestDiagonalCache:
+    def test_second_apply_at_same_level_encodes_nothing(self, setup):
+        params, _, encryptor, decryptor, evaluator = setup
+        counting = CountingEncoder(params)
+        rng = np.random.default_rng(7)
+        n = params.slots
+        m = rng.normal(size=(n, n)) / n
+        lt = LinearTransform(counting, m)
+        z = rng.normal(size=n)
+        ct = encryptor.encrypt(counting.encode(z))
+        counting.encode_calls = 0
+        lt.apply(evaluator, ct)
+        first = counting.encode_calls
+        assert first > 0  # the diagonals were encoded on the cold call
+        counting.encode_calls = 0
+        out = lt.apply(evaluator, ct)
+        assert counting.encode_calls == 0  # the warm call replays the cache
+        got = counting.decode(decryptor.decrypt(out))
+        assert np.abs(got - m @ z).max() < 1e-3
+
+    def test_loop_path_shares_the_cache(self, setup):
+        from repro.ckks import Evaluator
+
+        params, _, encryptor, _, evaluator = setup
+        counting = CountingEncoder(params)
+        rng = np.random.default_rng(8)
+        n = params.slots
+        lt = LinearTransform(counting, rng.normal(size=(n, n)) / n)
+        ct = encryptor.encrypt(counting.encode(rng.normal(size=n)))
+        counting.encode_calls = 0
+        lt.apply(evaluator, ct)
+        loop_evaluator = Evaluator(
+            params,
+            relin_key=evaluator.relin_key,
+            galois_keys=evaluator.galois_keys,
+            method="hybrid-loop",
+        )
+        counting.encode_calls = 0
+        lt.apply(loop_evaluator, ct)
+        assert counting.encode_calls == 0
+
+    def test_different_level_encodes_again(self, setup):
+        params, _, encryptor, _, evaluator = setup
+        counting = CountingEncoder(params)
+        rng = np.random.default_rng(9)
+        n = params.slots
+        lt = LinearTransform(counting, rng.normal(size=(n, n)) / n)
+        ct = encryptor.encrypt(counting.encode(rng.normal(size=n)))
+        counting.encode_calls = 0
+        lt.apply(evaluator, ct)
+        lower = evaluator.mod_switch_to_level(ct, ct.level - 1)
+        counting.encode_calls = 0
+        lt.apply(evaluator, lower)
+        assert counting.encode_calls > 0

@@ -1,0 +1,229 @@
+"""Differential tests: op-plan engines against their loop baselines.
+
+The op-plan compiler (:mod:`repro.ckks.keyswitch.plan`) promises *bit
+identity* with the per-digit loop forms -- exact modular sums are
+order-independent, so fusing k rotations into one GEMM must not change a
+single limb.  These tests pit the plan engines against the loop engines
+across both key-switch methods and the boundary levels (0, 1, max).
+
+Every pipeline pair shares ONE key set: key generation is randomized, so
+separately generated keys would (correctly) break bit identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksEncoder,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    KlssConfig,
+    small_test_parameters,
+)
+from repro.ckks.bootstrap import Bootstrapper
+from repro.ckks.hoisting import hoisted_rotations
+from repro.ckks.keys import conjugation_galois_power
+from repro.ckks.linear_transform import LinearTransform
+
+from .conftest import random_slots
+
+
+def assert_ct_identical(a, b):
+    """Every limb of both components equal, plus level and scale."""
+    assert a.level == b.level
+    assert a.scale == b.scale
+    for pa, pb in zip((a.c0, a.c1), (b.c0, b.c1)):
+        assert np.array_equal(
+            pa.from_ntt().limb_stack(), pb.from_ntt().limb_stack()
+        )
+
+
+STEPS = [1, 2, 3, 4, 8]
+
+
+class TestHoistedRotations:
+    """plan-hoisted vs loop-hoisted rotations (never vs non-hoisted --
+    the approximate-ModUp slack makes those differ in the noise bits)."""
+
+    @pytest.mark.parametrize("method", ["hybrid", "klss"])
+    @pytest.mark.parametrize("level", [0, 1, "max"])
+    def test_plan_matches_loop(
+        self, params, keyset, encoder, encryptor, evaluator, rng, method, level
+    ):
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values))
+        target = params.max_level if level == "max" else level
+        ct = evaluator.mod_switch_to_level(ct, target)
+        plan = hoisted_rotations(
+            ct, STEPS, keyset["galois"], params, method=method, engine="plan"
+        )
+        loop = hoisted_rotations(
+            ct, STEPS, keyset["galois"], params, method=method, engine="loop"
+        )
+        for s in STEPS:
+            assert_ct_identical(plan[s], loop[s])
+
+    @pytest.mark.parametrize("method", ["hybrid", "klss"])
+    def test_identity_steps_short_circuit_identically(
+        self, params, keyset, encoder, encryptor, rng, method
+    ):
+        values = random_slots(rng, encoder.slots)
+        ct = encryptor.encrypt(encoder.encode(values))
+        steps = [0, params.slots, 3, -2 * params.slots]
+        plan = hoisted_rotations(
+            ct, steps, keyset["galois"], params, method=method, engine="plan"
+        )
+        loop = hoisted_rotations(
+            ct, steps, keyset["galois"], params, method=method, engine="loop"
+        )
+        for s in steps:
+            assert_ct_identical(plan[s], loop[s])
+
+    def test_rejects_unknown_engine(self, params, keyset, encoder, encryptor, rng):
+        ct = encryptor.encrypt(encoder.encode(random_slots(rng, encoder.slots)))
+        with pytest.raises(ValueError):
+            hoisted_rotations(ct, [1], keyset["galois"], params, engine="vectorised")
+
+
+@pytest.fixture(scope="module")
+def lt_setup():
+    params = small_test_parameters(
+        degree=32,
+        max_level=6,
+        wordsize=25,
+        dnum=3,
+        klss=KlssConfig(wordsize_t=28, alpha_tilde=2),
+    )
+    gen = KeyGenerator(params, seed=33)
+    sk = gen.secret_key()
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(sk), seed=4)
+    decryptor = Decryptor(params, sk)
+    relin = gen.relinearisation_key(sk)
+    galois = gen.rotation_keys(sk, list(range(1, params.slots)))
+    evaluators = {
+        m: Evaluator(params, relin_key=relin, galois_keys=galois, method=m)
+        for m in ("hybrid", "hybrid-loop", "klss", "klss-loop")
+    }
+    return params, encoder, encryptor, decryptor, evaluators
+
+
+class TestLinearTransform:
+    """Compiled BSGS plan vs the per-term loop applier."""
+
+    @pytest.mark.parametrize("method", ["hybrid", "klss"])
+    @pytest.mark.parametrize("level", [1, 2, "max"])
+    def test_plan_matches_loop(self, lt_setup, method, level):
+        params, encoder, encryptor, decryptor, evaluators = lt_setup
+        rng = np.random.default_rng(17)
+        n = params.slots
+        m = (rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))) / n
+        lt = LinearTransform(encoder, m)
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ct = encryptor.encrypt(encoder.encode(z))
+        target = params.max_level if level == "max" else level
+        ct = evaluators[method].mod_switch_to_level(ct, target)
+        out_plan = lt.apply(evaluators[method], ct)
+        out_loop = lt.apply(evaluators[method + "-loop"], ct)
+        assert_ct_identical(out_plan, out_loop)
+        got = encoder.decode(decryptor.decrypt(out_plan))
+        assert np.abs(got - m @ z).max() < 1e-3
+
+    @pytest.mark.parametrize("method", ["hybrid", "klss"])
+    def test_identity_transform(self, lt_setup, method):
+        """Every giant/baby step is the identity automorphism."""
+        params, encoder, encryptor, decryptor, evaluators = lt_setup
+        rng = np.random.default_rng(18)
+        lt = LinearTransform(encoder, np.eye(params.slots, dtype=np.complex128))
+        z = random_slots(rng, params.slots)
+        ct = encryptor.encrypt(encoder.encode(z))
+        out_plan = lt.apply(evaluators[method], ct)
+        out_loop = lt.apply(evaluators[method + "-loop"], ct)
+        assert_ct_identical(out_plan, out_loop)
+        assert np.abs(encoder.decode(decryptor.decrypt(out_plan)) - z).max() < 1e-3
+
+    def test_single_off_diagonal(self, lt_setup):
+        """One live baby, one live giant -- the smallest mixed schedule."""
+        params, encoder, encryptor, decryptor, evaluators = lt_setup
+        rng = np.random.default_rng(19)
+        n = params.slots
+        shift = np.roll(np.eye(n), 5, axis=1)  # (Mz)_i = z_{i+5}
+        lt = LinearTransform(encoder, shift)
+        z = random_slots(rng, n)
+        ct = encryptor.encrypt(encoder.encode(z))
+        out_plan = lt.apply(evaluators["hybrid"], ct)
+        out_loop = lt.apply(evaluators["hybrid-loop"], ct)
+        assert_ct_identical(out_plan, out_loop)
+        got = encoder.decode(decryptor.decrypt(out_plan))
+        assert np.abs(got - np.roll(z, -5)).max() < 1e-3
+
+    def test_level_one_floor(self, lt_setup):
+        params, encoder, encryptor, _, evaluators = lt_setup
+        lt = LinearTransform(encoder, np.eye(params.slots, dtype=np.complex128))
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        ct = evaluators["hybrid"].mod_switch_to_level(ct, 0)
+        with pytest.raises(ValueError):
+            lt.apply(evaluators["hybrid"], ct)
+
+
+@pytest.fixture(scope="module")
+def boot_diff_setup():
+    params = CkksParameters(
+        degree=32, max_level=12, wordsize=25, dnum=4, first_prime_bits=27
+    )
+    gen = KeyGenerator(params, seed=5)
+    sk = gen.secret_key(hamming_weight=1)
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, public_key=gen.public_key(sk), seed=6)
+    decryptor = Decryptor(params, sk)
+    relin = gen.relinearisation_key(sk)
+    ev_plan = Evaluator(params, relin_key=relin, method="hybrid")
+    ev_loop = Evaluator(params, relin_key=relin, method="hybrid-loop")
+    boot_plan = Bootstrapper(params, encoder, ev_plan, eval_degree=15,
+                             overflow_bound=1.0)
+    boot_loop = Bootstrapper(params, encoder, ev_loop, eval_degree=15,
+                             overflow_bound=1.0)
+    galois = gen.rotation_keys(sk, boot_plan.required_rotations())
+    conj = conjugation_galois_power(params.degree)
+    galois.add(conj, gen.galois_key(sk, conj))
+    ev_plan.galois_keys = galois
+    ev_loop.galois_keys = galois
+    return params, encoder, encryptor, decryptor, boot_plan, boot_loop
+
+
+class TestBootstrapEndToEnd:
+    def test_plan_bootstrap_matches_loop_bit_for_bit(self, boot_diff_setup):
+        params, encoder, encryptor, decryptor, boot_plan, boot_loop = (
+            boot_diff_setup
+        )
+        rng = np.random.default_rng(23)
+        v = np.clip(0.3 * rng.normal(size=params.slots), -0.8, 0.8)
+        ct = encryptor.encrypt(encoder.encode(v, level=0))
+        out_plan = boot_plan.bootstrap(ct)
+        out_loop = boot_loop.bootstrap(ct)
+        assert_ct_identical(out_plan, out_loop)
+        got = encoder.decode(decryptor.decrypt(out_plan)).real
+        assert np.abs(got - v).max() < 2e-2
+
+    def test_stage_outputs_match(self, boot_diff_setup):
+        """CtS / EvalMod / StC each stay bit-identical in isolation."""
+        params, encoder, encryptor, _, boot_plan, boot_loop = boot_diff_setup
+        rng = np.random.default_rng(29)
+        v = 0.3 * rng.normal(size=params.slots)
+        ct = encryptor.encrypt(encoder.encode(v, level=0))
+        raised_p = boot_plan.mod_raise(ct)
+        raised_l = boot_loop.mod_raise(ct)
+        assert_ct_identical(raised_p, raised_l)
+        lo_p, hi_p = boot_plan.coeff_to_slot(raised_p)
+        lo_l, hi_l = boot_loop.coeff_to_slot(raised_l)
+        assert_ct_identical(lo_p, lo_l)
+        assert_ct_identical(hi_p, hi_l)
+        w_p = boot_plan.eval_mod(lo_p)
+        w_l = boot_loop.eval_mod(lo_l)
+        assert_ct_identical(w_p, w_l)
+        out_p = boot_plan.slot_to_coeff(w_p, boot_plan.eval_mod(hi_p))
+        out_l = boot_loop.slot_to_coeff(w_l, boot_loop.eval_mod(hi_l))
+        assert_ct_identical(out_p, out_l)

@@ -139,6 +139,14 @@ class TestBenchCommand:
         assert "speedup" in out
         assert "plan cache:" in out and "hit rate" in out
 
+    def test_bench_bootstrap_smoke(self, capsys):
+        assert main(["bench", "bootstrap", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bootstrap loop vs GEMM plan" in out
+        assert "speedup" in out and "bit-identical" in out
+        assert "True" in out
+        assert "plan cache:" in out
+
     def test_bench_unknown_kernel(self, capsys):
         assert main(["bench", "ntt"]) == 2
         assert "unknown bench kernel" in capsys.readouterr().err
