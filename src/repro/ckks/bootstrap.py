@@ -44,6 +44,7 @@ from .linear_transform import LinearTransform
 from .params import CkksParameters
 from .poly_eval import PolynomialEvaluator, chebyshev_coefficients
 from ..math.polynomial import RnsPolynomial
+from ..telemetry.tracing import span as _span
 
 
 class Bootstrapper:
@@ -176,11 +177,16 @@ class Bootstrapper:
 
     def bootstrap(self, ct: Ciphertext) -> Ciphertext:
         """The full pipeline: a level-0 ciphertext comes back refreshed."""
-        raised = self.mod_raise(ct)
-        u_lo, u_hi = self.coeff_to_slot(raised)
-        w_lo = self.eval_mod(u_lo)
-        w_hi = self.eval_mod(u_hi)
-        refreshed = self.slot_to_coeff(w_lo, w_hi)
+        with _span("bootstrap", category="bootstrap", method=self.evaluator.method):
+            with _span("bootstrap.mod_raise", category="bootstrap"):
+                raised = self.mod_raise(ct)
+            with _span("bootstrap.coeff_to_slot", category="bootstrap"):
+                u_lo, u_hi = self.coeff_to_slot(raised)
+            with _span("bootstrap.eval_mod", category="bootstrap"):
+                w_lo = self.eval_mod(u_lo)
+                w_hi = self.eval_mod(u_hi)
+            with _span("bootstrap.slot_to_coeff", category="bootstrap"):
+                refreshed = self.slot_to_coeff(w_lo, w_hi)
         if refreshed.level <= 0:
             raise ValueError(
                 "bootstrapping consumed the whole chain; raise max_level"

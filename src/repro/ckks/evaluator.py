@@ -44,6 +44,11 @@ class Evaluator:
         relin_key: key for ``s**2 -> s`` (required by :meth:`multiply`).
         galois_keys: rotation/conjugation keys (required by :meth:`rotate`).
         method: key-switching back-end, ``"hybrid"`` or ``"klss"``.
+        observer: optional telemetry hook (e.g.
+            :class:`~repro.telemetry.fhe.FheMeter`); after every operation
+            its ``after_op(name, inputs, output)`` is called with the input
+            and output ciphertexts.  ``None`` (the default) costs a single
+            ``is not None`` test per operation.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class Evaluator:
         relin_key: Optional[KeySwitchKey] = None,
         galois_keys: Optional[GaloisKeys] = None,
         method: str = "hybrid",
+        observer=None,
     ):
         if method not in KEYSWITCH_METHODS:
             raise ValueError(f"method must be one of {KEYSWITCH_METHODS}")
@@ -61,6 +67,12 @@ class Evaluator:
         self.relin_key = relin_key
         self.galois_keys = galois_keys
         self.method = method
+        self.observer = observer
+
+    def _observe(self, op: str, inputs, output: Ciphertext) -> Ciphertext:
+        if self.observer is not None:
+            self.observer.after_op(op, inputs, output)
+        return output
 
     # -- key switching dispatch ----------------------------------------------------
 
@@ -114,17 +126,19 @@ class Evaluator:
         self._require_relinearised(ct0, "add")
         self._require_relinearised(ct1, "add")
         ct0, ct1 = self._align(ct0, ct1)
-        return Ciphertext(
+        out = Ciphertext(
             ct0.c0.add(ct1.c0), ct0.c1.add(ct1.c1), ct0.scale, ct0.params
         )
+        return self._observe("add", (ct0, ct1), out)
 
     def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
         self._require_relinearised(ct0, "sub")
         self._require_relinearised(ct1, "sub")
         ct0, ct1 = self._align(ct0, ct1)
-        return Ciphertext(
+        out = Ciphertext(
             ct0.c0.sub(ct1.c0), ct0.c1.sub(ct1.c1), ct0.scale, ct0.params
         )
+        return self._observe("sub", (ct0, ct1), out)
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
         return Ciphertext(
@@ -138,11 +152,13 @@ class Evaluator:
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """PADD: plaintext + ciphertext (noise-free, no key material)."""
         pt_poly = self._plain_at_level(pt, ct.level, ct.scale)
-        return Ciphertext(ct.c0.add(pt_poly), ct.c1, ct.scale, ct.params, ct.c2)
+        out = Ciphertext(ct.c0.add(pt_poly), ct.c1, ct.scale, ct.params, ct.c2)
+        return self._observe("add_plain", (ct,), out)
 
     def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         pt_poly = self._plain_at_level(pt, ct.level, ct.scale)
-        return Ciphertext(ct.c0.sub(pt_poly), ct.c1, ct.scale, ct.params, ct.c2)
+        out = Ciphertext(ct.c0.sub(pt_poly), ct.c1, ct.scale, ct.params, ct.c2)
+        return self._observe("sub_plain", (ct,), out)
 
     def _plain_at_level(
         self, pt: Plaintext, level: int, expected_scale: float
@@ -163,7 +179,8 @@ class Evaluator:
         pt_poly = pt.poly.keep_limbs(ct.level + 1).to_ntt()
         c0 = ct.c0.to_ntt().multiply(pt_poly).from_ntt()
         c1 = ct.c1.to_ntt().multiply(pt_poly).from_ntt()
-        return Ciphertext(c0, c1, ct.scale * pt.scale, ct.params)
+        out = Ciphertext(c0, c1, ct.scale * pt.scale, ct.params)
+        return self._observe("multiply_plain", (ct,), out)
 
     def multiply(
         self, ct0: Ciphertext, ct1: Ciphertext, relinearise: bool = True
@@ -180,6 +197,7 @@ class Evaluator:
         d1 = a0.multiply(b1).add(a1.multiply(b0)).from_ntt()
         d2 = a1.multiply(b1).from_ntt()
         product = Ciphertext(d0, d1, ct0.scale * ct1.scale, ct0.params, c2=d2)
+        self._observe("multiply", (ct0, ct1), product)
         if relinearise:
             product = self.relinearise(product)
         return product
@@ -194,9 +212,10 @@ class Evaluator:
         if self.relin_key is None:
             raise ValueError("no relinearisation key configured")
         p0, p1 = self._keyswitch(ct.c2, self.relin_key)
-        return Ciphertext(
+        out = Ciphertext(
             ct.c0.add(p0), ct.c1.add(p1), ct.scale, ct.params
         )
+        return self._observe("relinearise", (ct,), out)
 
     # -- rotations ------------------------------------------------------------------------
 
@@ -206,14 +225,15 @@ class Evaluator:
         if self.galois_keys is None:
             raise ValueError("no Galois keys configured")
         power = rotation_galois_power(steps, self.params.degree)
-        return self._apply_galois(ct, power)
+        return self._observe("rotate", (ct,), self._apply_galois(ct, power))
 
     def conjugate(self, ct: Ciphertext) -> Ciphertext:
         """Complex-conjugate every slot."""
         self._require_relinearised(ct, "conjugate")
         if self.galois_keys is None:
             raise ValueError("no Galois keys configured")
-        return self._apply_galois(ct, conjugation_galois_power(self.params.degree))
+        out = self._apply_galois(ct, conjugation_galois_power(self.params.degree))
+        return self._observe("conjugate", (ct,), out)
 
     def _apply_galois(self, ct: Ciphertext, power: int) -> Ciphertext:
         key = self.galois_keys.get(power)
@@ -246,18 +266,18 @@ class Evaluator:
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Divide by the last prime and drop one level (Section 2.1)."""
-        return self._drop_scaled(ct, 1)
+        return self._observe("rescale", (ct,), self._drop_scaled(ct, 1))
 
     def rescale_raw(self, ct: Ciphertext) -> Ciphertext:
         """Rescale without requiring relinearisation (alias kept for clarity)."""
-        return self._drop_scaled(ct, 1)
+        return self._observe("rescale", (ct,), self._drop_scaled(ct, 1))
 
     def double_rescale(self, ct: Ciphertext) -> Ciphertext:
         """DS: divide by the last *two* primes, dropping two levels.
 
         Used during Bootstrapping at small WordSize (Section 2.1, DS).
         """
-        return self._drop_scaled(ct, 2)
+        return self._observe("double_rescale", (ct,), self._drop_scaled(ct, 2))
 
     def _drop_scaled(self, ct: Ciphertext, count: int) -> Ciphertext:
         level = ct.level

@@ -39,6 +39,8 @@ from ...math.modstack import ModulusStack
 from ...math.ntt import PlanCache, get_stack
 from ...math.polynomial import RnsPolynomial, automorphism_gather_maps
 from ...math.rns import RnsBasis
+from ...telemetry.stats import register_cache
+from ...telemetry.tracing import span as _span
 from ..params import CkksParameters
 
 _U64 = np.uint64
@@ -437,6 +439,14 @@ def gemm_keyswitch(
     the lazy IP computes the exact sum, and Recover Limbs/ModDown use the
     same constants.
     """
+    with _span("keyswitch.gemm", category="keyswitch",
+               method=plan.method, level=plan.level):
+        return _gemm_keyswitch_inner(poly, plan)
+
+
+def _gemm_keyswitch_inner(
+    poly: RnsPolynomial, plan: KeySwitchPlan
+) -> Tuple[RnsPolynomial, RnsPolynomial]:
     raised = _modup_stack(poly.from_ntt().stack, plan)
 
     if plan.method == "hybrid":
@@ -600,6 +610,15 @@ def hoisted_gemm_rotations(
     accumulation commutes with the (linear) NTT.
     """
     plan = hplan.ks
+    with _span("keyswitch.hoisted_rotations", category="keyswitch",
+               method=plan.method, level=plan.level, rotations=len(hplan)):
+        return _hoisted_gemm_rotations_inner(c0, c1, hplan)
+
+
+def _hoisted_gemm_rotations_inner(
+    c0: RnsPolynomial, c1: RnsPolynomial, hplan: HoistedRotationPlan
+) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
+    plan = hplan.ks
     raised = _modup_stack(c1.from_ntt().stack, plan)  # (L, beta, N)
     mstack = plan.pq_mstack if plan.method == "hybrid" else plan.t_mstack
     rot = _gather_rotations(raised, hplan, mstack)  # (L, beta, k, N)
@@ -647,6 +666,8 @@ def gemm_rotation_batch(
 # ---------------------------------------------------------------------------
 
 _PLAN_CACHE = PlanCache(maxsize=64)
+
+register_cache("op_plans", lambda: _PLAN_CACHE.stats, lambda: len(_PLAN_CACHE))
 
 
 def get_keyswitch_plan(

@@ -108,7 +108,14 @@ class NoiseEstimator:
     ) -> NoiseEstimate:
         """`plaintext_magnitude`: max slot magnitude of the plaintext."""
         pt_norm = abs(plaintext_magnitude) * self.params.scale
-        return self._wrap(2**noise.bits * pt_norm * math.sqrt(self.degree))
+        # Log-domain: ``2**noise.bits`` overflows floats past ~1024 bits,
+        # which deep (or already-dead) circuits legitimately reach.
+        factor = pt_norm * math.sqrt(self.degree)
+        if factor <= 0.0:
+            return NoiseEstimate(self.MARGIN_BITS)
+        return NoiseEstimate(
+            max(noise.bits + math.log2(factor), 0.0) + self.MARGIN_BITS
+        )
 
     def after_multiply(
         self,
@@ -138,9 +145,15 @@ class NoiseEstimator:
         return NoiseEstimate(max(noise.bits, added, 0.0) + 1.0)
 
     def after_rescale(self, noise: NoiseEstimate, dropped_prime: int) -> NoiseEstimate:
-        rounded = 2 ** max(noise.bits - math.log2(dropped_prime), 0.0)
+        rounded_bits = max(noise.bits - math.log2(dropped_prime), 0.0)
         rounding_term = math.sqrt(self.degree) * (self.params.alpha + 2)
-        return self._wrap(rounded + rounding_term)
+        # log2(2**a + r) computed without leaving the log domain, so noise
+        # bounds beyond float range (deep circuits) stay finite.
+        term_bits = math.log2(rounding_term)
+        hi = max(rounded_bits, term_bits)
+        lo = min(rounded_bits, term_bits)
+        combined = hi + math.log2(1.0 + 2.0 ** (lo - hi))
+        return NoiseEstimate(max(combined, 0.0) + self.MARGIN_BITS)
 
     def multiplication_depth_budget(self) -> int:
         """How many multiply+rescale steps fit before the noise eats the

@@ -8,8 +8,11 @@ Usage::
     python -m repro params [A-H]        # parameter-set details
     python -m repro profile <app>       # per-op/per-kernel profile
     python -m repro serve --workload mixed   # dynamic-batching serving report
+    python -m repro metrics             # metrics snapshot of a serve run
+    python -m repro trace req-0         # one request's span tree
     python -m repro bench keyswitch     # loop vs GEMM key-switch timings
     python -m repro bench bootstrap     # loop vs op-plan bootstrap timings
+    python -m repro bench keyswitch --record   # append to BENCH_keyswitch.json
 """
 
 from __future__ import annotations
@@ -259,6 +262,12 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    tracer = None
+    if args.metrics or args.trace_jsonl:
+        from .telemetry import Tracer, enable_telemetry
+
+        enable_telemetry().reset()
+        tracer = Tracer()
     try:
         phases = parse_workload_spec(args.workload)
         requests = synthesize_arrivals(phases, seed=args.seed)
@@ -268,6 +277,7 @@ def cmd_serve(args) -> int:
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms / 1e3,
             lanes=args.lanes,
+            tracer=tracer,
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
@@ -287,6 +297,119 @@ def cmd_serve(args) -> int:
             f"{args.chrome_trace} (open via chrome://tracing or "
             "https://ui.perfetto.dev)"
         )
+    if args.metrics:
+        from .telemetry import global_registry
+
+        with open(args.metrics, "w") as fh:
+            fh.write(global_registry().snapshot_json())
+            fh.write("\n")
+        print(f"metrics snapshot written to {args.metrics}")
+    if args.trace_jsonl:
+        with open(args.trace_jsonl, "w") as fh:
+            text = tracer.to_jsonl()
+            fh.write(text + ("\n" if text else ""))
+        print(
+            f"span log ({len(tracer)} spans, {len(tracer.trace_ids())} traces) "
+            f"written to {args.trace_jsonl}"
+        )
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Drive one serve run with telemetry on; print the metrics snapshot."""
+    from .serving import Server, parse_workload_spec, synthesize_arrivals
+    from .telemetry import enable_telemetry
+
+    registry = enable_telemetry()
+    registry.reset()
+    try:
+        phases = parse_workload_spec(args.workload)
+        requests = synthesize_arrivals(phases, seed=args.seed)
+        server = Server(params=args.set)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    server.submit_many(requests)
+    server.drain()
+    if args.format == "prometheus":
+        print(registry.to_prometheus_text(), end="")
+    else:
+        print(registry.snapshot_json())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Drive one serve run with a tracer; print one request's span tree."""
+    from .serving import Server, parse_workload_spec, synthesize_arrivals
+    from .telemetry import Tracer
+
+    tracer = Tracer()
+    try:
+        phases = parse_workload_spec(args.workload)
+        requests = synthesize_arrivals(phases, seed=args.seed)
+        server = Server(params=args.set, tracer=tracer)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    server.submit_many(requests)
+    server.drain()
+    rid = args.request_id
+    trace_id = rid if rid.startswith("req-") else f"req-{rid}"
+    known = tracer.trace_ids()
+    if trace_id not in known:
+        preview = ", ".join(known[:8]) + (", ..." if len(known) > 8 else "")
+        print(
+            f"no trace {trace_id!r} in this workload; request ids: {preview}",
+            file=sys.stderr,
+        )
+        return 2
+    # Kernel spans are recorded once per batch shape and linked from the
+    # request's batch span (``kernel_trace`` attribute); splice them back
+    # in so the printed path covers queue -> batch -> op -> kernel.
+    linked: list = []
+    for s in tracer.spans_for(trace_id):
+        link = s.attr_dict().get("kernel_trace")
+        if link and link not in linked:
+            linked.append(link)
+    _print(tracer.format_tree(trace_id))
+    for link in linked:
+        _print("")
+        _print("linked kernel trace (timestamps relative to batch start):")
+        _print(tracer.format_tree(link))
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            parts = [tracer.to_jsonl(trace_id)]
+            parts.extend(tracer.to_jsonl(link) for link in linked)
+            text = "\n".join(p for p in parts if p)
+            fh.write(text + ("\n" if text else ""))
+        print(f"span log for {trace_id} written to {args.jsonl}")
+    return 0
+
+
+def _bench_finish(args, name: str, metrics, meta) -> int:
+    """Shared --record / --fail-on-regress tail of the bench commands."""
+    if not (args.record or args.fail_on_regress):
+        return 0
+    from .telemetry.bench_history import (
+        compare_to_last,
+        format_regressions,
+        history_path,
+        record_result,
+    )
+
+    baseline, regressions = compare_to_last(
+        name, metrics, directory=args.bench_dir, rtol=args.rtol
+    )
+    if baseline is not None:
+        _print(
+            f"vs last recorded run ({baseline.recorded_at}): "
+            + format_regressions(regressions)
+        )
+    if args.record:
+        record_result(name, metrics, meta=meta, directory=args.bench_dir)
+        print(f"recorded to {history_path(name, args.bench_dir)}")
+    if regressions and args.fail_on_regress:
+        return 1
     return 0
 
 
@@ -356,6 +479,7 @@ def cmd_bench(args) -> int:
 
     ksplan.clear_keyswitch_plan_cache()
     rows = []
+    metrics = {}
     for name, mod in (("hybrid", hybrid), ("klss", klss)):
         mod.keyswitch(poly, ksk, params)  # warm the plan + NTT caches
         mod.keyswitch_loop(poly, ksk, params)
@@ -365,6 +489,9 @@ def cmd_bench(args) -> int:
             [name, f"{t_loop * 1e3:.2f}", f"{t_gemm * 1e3:.2f}",
              f"{t_loop / t_gemm:.2f}x"]
         )
+        metrics[f"{name}_loop_ms"] = t_loop * 1e3
+        metrics[f"{name}_gemm_ms"] = t_gemm * 1e3
+        metrics[f"{name}_speedup"] = t_loop / t_gemm
     _print(
         format_table(
             ["method", "loop ms", "gemm ms", "speedup"],
@@ -384,7 +511,13 @@ def cmd_bench(args) -> int:
         f"(hit rate {stats['hit_rate'] * 100:.0f}%, "
         f"{ksplan.keyswitch_plan_cache_size()} plans resident)"
     )
-    return 0
+    return _bench_finish(
+        args, "keyswitch", metrics,
+        meta={
+            "degree": args.degree, "wordsize": args.wordsize,
+            "dnum": args.dnum, "repeats": args.repeats,
+        },
+    )
 
 
 def _bench_bootstrap(args) -> int:
@@ -474,7 +607,19 @@ def _bench_bootstrap(args) -> int:
         f"(hit rate {stats['hit_rate'] * 100:.0f}%, "
         f"{ksplan.keyswitch_plan_cache_size()} plans resident)"
     )
-    return 0 if identical else 1
+    bench_rc = _bench_finish(
+        args, "bootstrap",
+        {
+            "loop_ms": t_loop * 1e3,
+            "plan_ms": t_plan * 1e3,
+            "speedup": t_loop / t_plan,
+        },
+        meta={
+            "degree": args.degree, "wordsize": args.wordsize,
+            "dnum": args.dnum, "repeats": args.repeats,
+        },
+    )
+    return (0 if identical else 1) or bench_rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -554,7 +699,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the serving timeline as Chrome-trace JSON",
     )
+    serve.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="enable telemetry and write the metrics snapshot (JSON)",
+    )
+    serve.add_argument(
+        "--trace-jsonl",
+        metavar="FILE",
+        default=None,
+        help="enable tracing and write every request's spans as JSONL",
+    )
     serve.set_defaults(func=cmd_serve)
+    metrics = sub.add_parser(
+        "metrics", help="metrics snapshot of one telemetry-enabled serve run"
+    )
+    metrics.add_argument(
+        "--workload", default="smoke",
+        help="workload preset or spec (default: smoke)",
+    )
+    metrics.add_argument(
+        "--format", default="prometheus", choices=("prometheus", "json"),
+        help="output format (default: prometheus)",
+    )
+    metrics.add_argument("--set", default="C", help="parameter set (default: C)")
+    metrics.add_argument("--seed", type=int, default=0, help="arrival seed")
+    metrics.set_defaults(func=cmd_metrics)
+    trace = sub.add_parser(
+        "trace", help="span tree of one request from a traced serve run"
+    )
+    trace.add_argument("request_id", help="request id, e.g. req-0 (or just 0)")
+    trace.add_argument(
+        "--workload", default="smoke",
+        help="workload preset or spec (default: smoke)",
+    )
+    trace.add_argument("--set", default="C", help="parameter set (default: C)")
+    trace.add_argument("--seed", type=int, default=0, help="arrival seed")
+    trace.add_argument(
+        "--jsonl", metavar="FILE", default=None,
+        help="also write the request's spans as JSONL",
+    )
+    trace.set_defaults(func=cmd_trace)
     bench = sub.add_parser(
         "bench", help="time a functional kernel (loop form vs GEMM form)"
     )
@@ -574,6 +760,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="best-of repeats (default 3)"
     )
     bench.add_argument("--seed", type=int, default=0, help="rng seed (default 0)")
+    bench.add_argument(
+        "--record", action="store_true",
+        help="append this run to BENCH_<kernel>.json",
+    )
+    bench.add_argument(
+        "--bench-dir", default=".",
+        help="directory holding BENCH_<kernel>.json (default: .)",
+    )
+    bench.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="exit non-zero when a metric regresses vs the last recorded run",
+    )
+    bench.add_argument(
+        "--rtol", type=float, default=0.5,
+        help="relative regression tolerance (default 0.5 -- wall-clock "
+        "timings on shared CI runners jitter)",
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -22,11 +22,39 @@ from typing import Optional
 from ..ckks.params import ParameterSet
 from ..gpu.kernels import KernelCost, elementwise_cost
 from ..gpu.trace import ExecutionTrace
+from ..telemetry.registry import global_registry
 from .bconv_matmul import bconv_cost
 from .ip_matmul import ip_cost
 from .mapping import choose_ip_component, ip_gemm_shape
 from .radix16_ntt import ntt_cost
 from .trace_cache import TraceCache, TraceKey, default_trace_cache
+
+
+#: Cached ``(family, child)`` counter handles per op name.  The family is
+#: re-validated against the registry on every event (``registry.get``), so
+#: a ``reset()`` -- which drops families -- invalidates stale handles and
+#: the next event re-creates them; the common case is one dict lookup +
+#: ``inc()`` instead of the full get-or-create path per trace request.
+_OP_COUNTER_HANDLES: dict = {}
+
+_OP_COUNTER_NAME = "core_operation_traces_total"
+
+
+def _count_operation_trace(name: str) -> None:
+    """Per-op trace-request counter (hot path: cached child handle)."""
+    registry = global_registry()
+    cached = _OP_COUNTER_HANDLES.get(name)
+    if cached is not None and registry.get(_OP_COUNTER_NAME) is cached[0]:
+        cached[1].inc()
+        return
+    family = registry.counter(
+        _OP_COUNTER_NAME,
+        "Operation-trace requests through the pipeline, by operation",
+        labelnames=("op",),
+    )
+    child = family.labels(op=name)
+    _OP_COUNTER_HANDLES[name] = (family, child)
+    child.inc()
 
 
 @dataclass(frozen=True)
@@ -345,6 +373,8 @@ class OperationPipeline:
         # would otherwise be a cache hit.
         if name.lower() not in self.OPERATION_BUILDERS:
             raise ValueError(f"unknown operation {name!r}")
+        if global_registry().enabled:
+            _count_operation_trace(name.lower())
         return self.cache.get_or_build(
             self.trace_key(name, level),
             lambda: self.build_operation_trace(name, level),

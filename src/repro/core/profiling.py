@@ -191,11 +191,19 @@ def percentile(values: Sequence[float], q: float) -> float:
     ``q`` is in percent (50 for the median).  The nearest-rank definition
     always returns an observed value, so percentile reports are reproducible
     bit for bit across runs -- the serving determinism tests rely on it.
+
+    Edge cases (audited; regression tests in ``tests/core``):
+
+    * ``q`` outside ``[0, 100]`` raises **before** the empty-input check,
+      so an invalid quantile never silently returns 0 on an empty sample.
+    * An empty sample returns 0.0 for any valid ``q``.
+    * ``q=0`` is the minimum, ``q=100`` the maximum (both observed values).
+    * A single sample returns that sample for every valid ``q``.
     """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not values:
         return 0.0
-    if not 0 < q <= 100:
-        raise ValueError(f"percentile q must be in (0, 100], got {q}")
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]

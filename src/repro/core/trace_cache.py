@@ -23,40 +23,16 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
 from ..gpu.trace import ExecutionTrace
+from ..telemetry.stats import CacheStats, register_cache
 
 #: A fully value-based cache key: (params, config, batch, operation, level).
 TraceKey = Tuple[Hashable, ...]
 
-
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction counters of one :class:`TraceCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions)
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+__all__ = ["CacheStats", "TraceCache", "TraceKey", "GLOBAL_TRACE_CACHE",
+           "default_trace_cache"]
 
 
 @dataclass
@@ -124,6 +100,14 @@ class TraceCache:
 #: its own.  Keys are fully value-based, so sharing across parameter sets,
 #: configs and batch sizes is safe by construction.
 GLOBAL_TRACE_CACHE = TraceCache(maxsize=4096)
+
+# All long-lived caches announce themselves to the telemetry directory so
+# `ServingReport`, `repro metrics` and the exporters can enumerate them.
+register_cache(
+    "trace_cache",
+    lambda: GLOBAL_TRACE_CACHE.stats,
+    lambda: len(GLOBAL_TRACE_CACHE),
+)
 
 
 def default_trace_cache() -> TraceCache:

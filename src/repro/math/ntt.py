@@ -22,8 +22,11 @@ paper's discussion (Section 4.4):
 All transforms agree element-for-element; the test-suite asserts it.
 
 Plans are memoised in a bounded LRU cache (same discipline as
-:mod:`repro.core.trace_cache`, reimplemented here because ``math`` must not
-import ``core``); see :func:`clear_plan_cache` / :func:`plan_cache_stats`.
+:mod:`repro.core.trace_cache`; ``math`` must not import ``core``, so the
+cache is local but its counters share the unified
+:class:`repro.telemetry.stats.CacheStats` vocabulary and register with the
+process-wide cache directory); see :func:`clear_plan_cache` /
+:func:`plan_cache_stats`.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import modarith
+from ..telemetry.stats import CacheStats, register_cache
 from .primes import root_of_unity
 
 _U64 = np.uint64
@@ -624,32 +628,9 @@ class NttStack:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class PlanCacheStats:
-    """Hit/miss/eviction counters of the plan caches."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def snapshot(self) -> "PlanCacheStats":
-        return PlanCacheStats(self.hits, self.misses, self.evictions)
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+#: The unified cache-counters type (one vocabulary for every cache in the
+#: process); the old per-module name is kept as an alias.
+PlanCacheStats = CacheStats
 
 
 class PlanCache:
@@ -731,6 +712,10 @@ class PlanCache:
 
 _PLAN_CACHE = PlanCache(maxsize=256)
 _STACK_CACHE = PlanCache(maxsize=64)
+
+register_cache("ntt_plans", lambda: _PLAN_CACHE.stats, lambda: len(_PLAN_CACHE))
+register_cache("ntt_stacks", lambda: _STACK_CACHE.stats,
+               lambda: len(_STACK_CACHE))
 
 
 def get_plan(degree: int, modulus: int) -> NttPlan:

@@ -60,6 +60,11 @@ class Request:
         """The absolute SLO deadline on the simulated clock."""
         return self.arrival_s + self.slo_s
 
+    @property
+    def trace_id(self) -> str:
+        """The request's trace id (``repro trace req-<rid>`` finds it)."""
+        return f"req-{self.rid}"
+
 
 @dataclass(frozen=True)
 class RequestRecord:

@@ -26,12 +26,32 @@ from ..apps import get_application
 from ..core.neo_context import NeoContext
 from ..core.pipeline import NEO_CONFIG, PipelineConfig
 from ..core.profiling import latency_percentiles, timeline_schedule_result
-from ..core.streams import ScheduledKernel
+from ..core.streams import ScheduledKernel, StreamScheduler
 from ..core.trace_cache import CacheStats, TraceCache
+from ..telemetry.registry import MetricsRegistry, global_registry
+from ..telemetry.stats import all_cache_stats
+from ..telemetry.tracing import Tracer, active_tracer
 from .batcher import Batch, ContinuousBatcher
 from .policies import AdmissionPolicy, get_policy
 from .queue import RequestQueue
 from .request import Request, RequestRecord
+
+#: Executed-BatchSize histogram boundaries (powers of two up to Table 5's
+#: largest modelled batch).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+#: Queue-depth histogram boundaries (requests waiting).
+QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Per-batch kernel spans recorded per request trace; everything beyond is
+#: summarised in the batch span's ``kernels``/``kernels_traced`` attributes.
+MAX_KERNEL_SPANS = 64
+
+#: Process-wide kernel-span descriptor cache.  The simulated kernel
+#: placement is a pure function of (params, config, app, size, streams,
+#: limit), so fresh Server instances share already-simulated shapes --
+#: keeps first-drain telemetry cost flat across servers.
+_SPAN_DESCRIPTOR_CACHE: Dict[tuple, tuple] = {}
 
 
 class NeoServiceModel:
@@ -48,21 +68,66 @@ class NeoServiceModel:
         config: PipelineConfig = NEO_CONFIG,
         trace_cache: Optional[TraceCache] = None,
     ):
+        # ``is not None``, not ``or``: TraceCache defines __len__, so an
+        # empty (still-cold) cache is falsy and ``or`` would discard it.
         self._root = NeoContext(
-            params, config=config, batch=1, trace_cache=trace_cache or TraceCache()
+            params,
+            config=config,
+            batch=1,
+            trace_cache=trace_cache if trace_cache is not None else TraceCache(),
         )
+        self._config = config
         self._apps: Dict[str, object] = {}
+        self._span_cache = _SPAN_DESCRIPTOR_CACHE
+
+    def _app(self, app: str):
+        if app not in self._apps:
+            self._apps[app] = get_application(app)
+        return self._apps[app]
 
     def service_time_s(self, app: str, size: int, streams: int) -> float:
         """Wall time of one `app` batch of `size` ciphertexts on `streams`."""
-        if app not in self._apps:
-            self._apps[app] = get_application(app)
         ctx = self._root.with_batch(size)
-        trace = ctx.application_trace(self._apps[app])
+        trace = ctx.application_trace(self._app(app))
         return trace.overlapped_time_s(ctx.device, streams)
 
     def cache_stats(self) -> CacheStats:
         return self._root.cache_stats()
+
+    def batch_spans(
+        self, app: str, size: int, streams: int, limit: int = MAX_KERNEL_SPANS
+    ) -> tuple:
+        """Relative kernel spans of one `app` batch: the per-op path.
+
+        Returns ``(descriptors, total_kernels)`` where each descriptor is
+        ``(name, resource, stream, rel_start_s, rel_end_s)`` relative to the
+        batch start.  The discrete-event stream schedule is simulated once
+        per (app, size, streams) shape and rescaled onto the analytic
+        service time, so batch sub-spans land inside the batch span exactly.
+        """
+        key = (self._root.params, self._config, app, size, streams, limit)
+        cached = self._span_cache.get(key)
+        if cached is None:
+            ctx = self._root.with_batch(size)
+            trace = ctx.application_trace(self._app(app))
+            result = StreamScheduler(ctx.device, streams).run(trace)
+            service = trace.overlapped_time_s(ctx.device, streams)
+            scale = service / result.makespan_s if result.makespan_s > 0 else 1.0
+            descriptors = tuple(
+                (k.name, k.resource, k.stream, k.start_s * scale, k.end_s * scale)
+                for k in result.timeline[:limit]
+            )
+            cached = (descriptors, len(result.timeline))
+            self._span_cache[key] = cached
+        return cached
+
+    def noise_trajectory(self, app: str):
+        """Modeled noise-budget series of one `app` run (per schedule level)."""
+        from ..telemetry.fhe import modeled_noise_trajectory
+
+        return modeled_noise_trajectory(
+            self._root.params, self._app(app).schedule(self._root.params)
+        )
 
 
 class FixedServiceModel:
@@ -94,6 +159,10 @@ class ServingReport:
     #: evictions, hit_rate) snapshotted at drain time -- shows how much
     #: GEMM-plan compilation the serving run amortised.
     op_plans: Dict[str, float] = field(default_factory=dict)
+    #: Every registered cache surface (trace cache, NTT plan/stack caches,
+    #: op-plan cache, ...) as ``{name: {hits, misses, evictions, hit_rate}}``
+    #: -- the unified view :mod:`repro.telemetry.stats` keeps per process.
+    caches: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # -- headline metrics ---------------------------------------------------------
 
@@ -238,6 +307,25 @@ class ServingReport:
                 f"{int(self.op_plans.get('misses', 0))} misses "
                 f"({100 * self.op_plans.get('hit_rate', 0.0):.1f}% hit rate)"
             )
+        if self.caches:
+            rows = [
+                [
+                    name,
+                    int(c.get("hits", 0)),
+                    int(c.get("misses", 0)),
+                    int(c.get("evictions", 0)),
+                    f"{100 * c.get('hit_rate', 0.0):.1f}%",
+                ]
+                for name, c in sorted(self.caches.items())
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["cache", "hits", "misses", "evictions", "hit rate"],
+                    rows,
+                    title="cache surfaces",
+                )
+            )
         return "\n".join(lines)
 
 
@@ -262,6 +350,9 @@ class Server:
         max_wait_s: continuous-batching window, simulated seconds.
         lanes: concurrent batch slots (each gets ``streams // lanes`` streams).
         model: service-time model; defaults to :class:`NeoServiceModel`.
+        tracer: span sink for per-request traces.  ``None`` falls back to
+            the process-wide :func:`~repro.telemetry.tracing.active_tracer`
+            at drain time (still ``None`` -> no spans, no cost).
     """
 
     def __init__(
@@ -274,6 +365,7 @@ class Server:
         lanes: int = 2,
         model=None,
         trace_cache: Optional[TraceCache] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if lanes < 1:
             raise ValueError(f"need at least one lane, got {lanes}")
@@ -282,6 +374,7 @@ class Server:
         self.lanes = lanes
         self.streams_per_lane = max(1, config.streams // lanes)
         self.model = model or NeoServiceModel(params, config, trace_cache)
+        self.tracer = tracer
         self._submitted: List[Request] = []
         self._next_rid = 0
         self._last_report: Optional[ServingReport] = None
@@ -412,6 +505,12 @@ class Server:
                 for r in take
             )
 
+        caches = {
+            name: stats.as_dict() for name, stats in all_cache_stats().items()
+        }
+        # The serving run's trace cache is the model's own instance, not the
+        # process-global one the registry tracks -- report the live one.
+        caches["trace_cache"] = self.model.cache_stats().as_dict()
         report = ServingReport(
             records=records,
             batches=batches,
@@ -422,6 +521,178 @@ class Server:
             max_queue_depth=queue.max_depth(),
             cache=self.model.cache_stats(),
             op_plans=ksplan.keyswitch_plan_cache_stats(),
+            caches=caches,
         )
         self._last_report = report
+        self._emit_telemetry(report, queue)
         return report
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def _emit_telemetry(self, report: ServingReport, queue: RequestQueue) -> None:
+        """Spans and metrics for one drain; no-ops unless enabled/active."""
+        tracer = self.tracer if self.tracer is not None else active_tracer()
+        if tracer is not None:
+            self._record_spans(tracer, report)
+        registry = global_registry()
+        if registry.enabled:
+            self._record_metrics(registry, report, queue)
+
+    def _record_spans(self, tracer: Tracer, report: ServingReport) -> None:
+        """One trace per request plus one kernel trace per batch *shape*.
+
+        Every batch of the same (app, executed BatchSize) shape replays the
+        identical simulated kernel schedule, so per-kernel spans are
+        recorded once per shape under a ``shape-<app>-b<size>`` trace
+        (timestamps relative to batch start) and linked from each request's
+        batch span via its ``kernel_trace`` attribute -- an OpenTelemetry-
+        style span link.  Per-request cost stays at three spans while the
+        full queue -> batch -> op -> kernel path remains reconstructable
+        (``repro trace`` splices the linked kernel trace back in).
+        """
+        span_model = getattr(self.model, "batch_spans", None)
+        shapes: Dict[tuple, tuple] = {}
+
+        def kernel_trace(app: str, size: int) -> tuple:
+            key = (app, size)
+            cached = shapes.get(key)
+            if cached is None:
+                descriptors, total = span_model(
+                    app, size, self.streams_per_lane
+                )
+                tid = f"shape-{app}-b{size}"
+                root = tracer.record_span(
+                    tid, "batch_kernels", 0.0,
+                    max((d[4] for d in descriptors), default=0.0),
+                    category="kernel", app=app, executed_size=size,
+                    kernels=total, kernels_traced=len(descriptors),
+                )
+                for name, resource, stream, rel_start, rel_end in descriptors:
+                    tracer.record_span(
+                        tid, name, rel_start, rel_end,
+                        parent_id=root.span_id, category="kernel",
+                        resource=resource, stream=stream,
+                    )
+                cached = (tid, total, len(descriptors))
+                shapes[key] = cached
+            return cached
+
+        for record in report.records:
+            request = record.request
+            tid = request.trace_id
+            root = tracer.record_span(
+                tid, "request", request.arrival_s, record.finish_s,
+                category="serving", app=request.app, rid=request.rid,
+                size=request.size, lane=record.lane, slo_met=record.slo_met,
+            )
+            tracer.record_span(
+                tid, "queue_wait", request.arrival_s, record.start_s,
+                parent_id=root.span_id, category="serving",
+            )
+            link, total_kernels, traced = "", 0, 0
+            if span_model is not None:
+                link, total_kernels, traced = kernel_trace(
+                    request.app, record.batch_size
+                )
+            tracer.record_span(
+                tid, "batch", record.start_s, record.finish_s,
+                parent_id=root.span_id, category="serving",
+                bid=record.batch_id, executed_size=record.batch_size,
+                app=request.app, kernels=total_kernels,
+                kernels_traced=traced, kernel_trace=link,
+            )
+
+    def _record_metrics(
+        self, registry: MetricsRegistry, report: ServingReport,
+        queue: RequestQueue,
+    ) -> None:
+        requests_total = registry.counter(
+            "serving_requests_total", "Requests served, by application",
+            labelnames=("app",),
+        )
+        latency_hist = registry.histogram(
+            "serving_latency_seconds",
+            "Arrival-to-completion latency, simulated seconds",
+            labelnames=("app",),
+        )
+        wait_hist = registry.histogram(
+            "serving_queue_wait_seconds",
+            "Admission-queue wait before the batch started",
+        )
+        # Pre-aggregate per-app counters and cache labeled children: the
+        # label resolution, not the arithmetic, is the per-record cost.
+        by_app: Dict[str, int] = {}
+        lat_children: Dict[str, object] = {}
+        for record in report.records:
+            app = record.request.app
+            by_app[app] = by_app.get(app, 0) + 1
+            child = lat_children.get(app)
+            if child is None:
+                child = lat_children[app] = latency_hist.labels(app=app)
+            child.observe(record.latency_s)
+            wait_hist.observe(record.queue_wait_s)
+        for app, count in by_app.items():
+            requests_total.labels(app=app).inc(count)
+
+        batches_total = registry.counter(
+            "serving_batches_total", "Dynamic batches formed, by application",
+            labelnames=("app",),
+        )
+        batch_hist = registry.histogram(
+            "serving_batch_size", "Executed BatchSize per dynamic batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        batches_by_app: Dict[str, int] = {}
+        for batch in report.batches:
+            batches_by_app[batch.app] = batches_by_app.get(batch.app, 0) + 1
+            batch_hist.observe(batch.executed_size)
+        for app, count in batches_by_app.items():
+            batches_total.labels(app=app).inc(count)
+
+        depth_hist = registry.histogram(
+            "serving_queue_depth", "Queue depth at every queue mutation",
+            buckets=QUEUE_DEPTH_BUCKETS,
+        )
+        for _, depth in queue.depth_samples():
+            depth_hist.observe(depth)
+        registry.gauge(
+            "serving_queue_depth_peak", "Peak admission-queue depth",
+        ).set(report.max_queue_depth)
+        registry.gauge(
+            "serving_queue_depth_mean", "Time-weighted mean queue depth",
+        ).set(report.mean_queue_depth)
+        registry.gauge(
+            "serving_makespan_seconds", "Simulated makespan of the last drain",
+        ).set(report.makespan_s)
+        registry.gauge(
+            "serving_slo_attainment", "Fraction of requests meeting their SLO",
+        ).set(report.slo_attainment)
+
+        hits = registry.gauge(
+            "cache_hits", "Cache hits, per cache surface", labelnames=("cache",)
+        )
+        misses = registry.gauge(
+            "cache_misses", "Cache misses, per cache surface",
+            labelnames=("cache",),
+        )
+        hit_rate = registry.gauge(
+            "cache_hit_rate", "Hit rate in [0, 1], per cache surface",
+            labelnames=("cache",),
+        )
+        for name, stats in report.caches.items():
+            hits.labels(cache=name).set(stats.get("hits", 0))
+            misses.labels(cache=name).set(stats.get("misses", 0))
+            hit_rate.labels(cache=name).set(stats.get("hit_rate", 0.0))
+
+        noise_fn = getattr(self.model, "noise_trajectory", None)
+        if noise_fn is not None:
+            budget = registry.gauge(
+                "fhe_noise_budget_bits_modeled",
+                "Modeled remaining noise budget per app and schedule level",
+                labelnames=("app", "level"),
+            )
+            for app in sorted({r.request.app for r in report.records}):
+                for point in noise_fn(app):
+                    budget.labels(app=app, level=str(point.level)).set(
+                        point.budget_bits
+                    )

@@ -1,0 +1,181 @@
+"""Benchmark-history recorder: append results, flag regressions.
+
+``repro bench <kernel> --record`` appends one structured record to
+``BENCH_<name>.json`` (a JSON array -- human-diffable, append-only), and
+the comparator checks fresh results against the *last* recorded run so CI
+can turn "the key-switch GEMM got slower" into a red build instead of a
+silent drift.
+
+Direction matters: timings regress *up*, speedups and throughputs regress
+*down*.  The comparator defaults to lower-is-better and takes an explicit
+``higher_is_better`` key set; anything outside the tolerance band in the
+bad direction is a :class:`Regression`.  Improvements are never flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+#: Metric-name suffixes treated as higher-is-better by default.
+DEFAULT_HIGHER_IS_BETTER: FrozenSet[str] = frozenset(
+    {"speedup", "throughput", "rps", "cts", "hit_rate", "attainment"}
+)
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One recorded benchmark run."""
+
+    name: str
+    recorded_at: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "recorded_at": self.recorded_at,
+            "metrics": dict(self.metrics),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "BenchRecord":
+        return cls(
+            name=data["name"],
+            recorded_at=data.get("recorded_at", ""),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            meta={k: str(v) for k, v in data.get("meta", {}).items()},
+        )
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved outside tolerance in the bad direction."""
+
+    metric: str
+    previous: float
+    current: float
+    change: float  # signed relative change, + means increased
+    higher_is_better: bool
+
+    def format(self) -> str:
+        direction = "dropped" if self.higher_is_better else "rose"
+        return (
+            f"{self.metric} {direction} {abs(self.change) * 100:.1f}%: "
+            f"{self.previous:g} -> {self.current:g}"
+        )
+
+
+def history_path(name: str, directory: str = ".") -> str:
+    """``BENCH_<name>.json`` under `directory` (name slug-sanitised)."""
+    slug = "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+    return os.path.join(directory, f"BENCH_{slug}.json")
+
+
+def load_history(name: str, directory: str = ".") -> List[BenchRecord]:
+    """Every recorded run of `name`, oldest first ([] when none)."""
+    path = history_path(name, directory)
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{path} is not a benchmark-history array")
+    return [BenchRecord.from_jsonable(entry) for entry in data]
+
+
+def record_result(
+    name: str,
+    metrics: Mapping[str, float],
+    meta: Optional[Mapping[str, str]] = None,
+    directory: str = ".",
+) -> BenchRecord:
+    """Append one run to ``BENCH_<name>.json`` and return its record."""
+    record = BenchRecord(
+        name=name,
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        metrics={k: float(v) for k, v in metrics.items()},
+        meta={k: str(v) for k, v in (meta or {}).items()},
+    )
+    history = load_history(name, directory)
+    history.append(record)
+    os.makedirs(directory, exist_ok=True)
+    path = history_path(name, directory)
+    with open(path, "w") as fh:
+        json.dump([r.to_jsonable() for r in history], fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")
+    return record
+
+
+def _is_higher_better(metric: str, higher_is_better: Iterable[str]) -> bool:
+    keys = set(higher_is_better)
+    if metric in keys:
+        return True
+    tail = metric.rsplit("_", 1)[-1]
+    return tail in DEFAULT_HIGHER_IS_BETTER or metric in DEFAULT_HIGHER_IS_BETTER
+
+
+def compare(
+    previous: BenchRecord,
+    current: Mapping[str, float],
+    rtol: float = 0.10,
+    higher_is_better: Iterable[str] = (),
+) -> List[Regression]:
+    """Regressions of `current` against `previous` outside ``rtol``.
+
+    Only metrics present in both runs are compared; new or dropped metrics
+    are not regressions.  A zero previous value only regresses when the
+    current one is worse in absolute terms (avoids divide-by-zero blowups
+    on metrics that legitimately start at zero).
+    """
+    regressions: List[Regression] = []
+    for metric in sorted(previous.metrics):
+        if metric not in current:
+            continue
+        prev = previous.metrics[metric]
+        curr = float(current[metric])
+        higher = _is_higher_better(metric, higher_is_better)
+        if prev == 0:
+            worse = curr < 0 if higher else curr > 0
+            change = 0.0 if not worse else (1.0 if curr > prev else -1.0)
+        else:
+            change = (curr - prev) / abs(prev)
+            worse = change < -rtol if higher else change > rtol
+        if worse:
+            regressions.append(
+                Regression(metric, prev, curr, change, higher)
+            )
+    return regressions
+
+
+def compare_to_last(
+    name: str,
+    metrics: Mapping[str, float],
+    directory: str = ".",
+    rtol: float = 0.10,
+    higher_is_better: Iterable[str] = (),
+) -> Tuple[Optional[BenchRecord], List[Regression]]:
+    """Compare `metrics` to the most recent record of `name`.
+
+    Returns ``(baseline, regressions)``; baseline is ``None`` (and the
+    regression list empty) on a first-ever run.
+    """
+    history = load_history(name, directory)
+    if not history:
+        return None, []
+    baseline = history[-1]
+    return baseline, compare(baseline, metrics, rtol, higher_is_better)
+
+
+def format_regressions(regressions: List[Regression]) -> str:
+    if not regressions:
+        return "no regressions against the last recorded run"
+    lines = [f"{len(regressions)} regression(s) vs last recorded run:"]
+    lines.extend(f"  - {r.format()}" for r in regressions)
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""FHE-semantic instrumentation: is this ciphertext about to go bad?
+
+Performance telemetry says where the time went; this module tracks the
+*correctness budget* flowing alongside it.  CKKS ciphertexts die in three
+ways -- the noise eats the message, the level chain runs out, or the scale
+drifts off the encoder's expectations -- and all three are observable
+without any key material via the conservative analytic bounds of
+:class:`~repro.ckks.noise.NoiseEstimator`.
+
+Two consumers:
+
+* :class:`FheMeter` -- an :class:`~repro.ckks.evaluator.Evaluator` observer
+  (set ``evaluator.observer = meter``).  Every operation updates the
+  output ciphertext's noise estimate, emits noise-budget-remaining and
+  level gauges plus a scale-drift histogram into the metrics registry,
+  records a per-ciphertext trajectory (for post-mortems and the demo), and
+  counts level-exhaustion / budget-exhaustion warnings.
+* :func:`modeled_noise_trajectory` -- the serving layer's analytic mirror:
+  walks an application's ``{level: {op: count}}`` schedule through the
+  same estimator (Table 4 sets carry no functional moduli, so a shim
+  derives them from the wordsize), giving the noise-budget-remaining
+  series a pure ``repro serve`` run can report per application.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ckks.noise import NoiseEstimate, NoiseEstimator
+from .registry import MetricsRegistry, global_registry
+
+#: Histogram boundaries for scale drift, bits: rescale by ``q_i ~ Delta``
+#: drifts fractions of a bit per level; whole bits signal encoder mismatch.
+SCALE_DRIFT_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One observed step of a ciphertext's noise-budget trajectory."""
+
+    op: str
+    level: int
+    scale_bits: float
+    noise_bits: float
+    budget_bits: float
+
+
+@dataclass
+class FheWarning:
+    """One emitted health warning (also counted in the registry)."""
+
+    kind: str
+    op: str
+    level: int
+    detail: str
+
+
+class FheMeter:
+    """Evaluator observer tracking noise, level and scale health.
+
+    Estimates are keyed by ciphertext identity; the meter holds strong
+    references (so ids stay unique) and is meant to live for one request /
+    circuit -- call :meth:`reset` between workloads.
+
+    Args:
+        params: the functional :class:`~repro.ckks.params.CkksParameters`.
+        registry: metrics registry (defaults to the process-wide one).
+        warn_level: warn when an output ciphertext lands at or below this
+            level (the chain is nearly exhausted).
+        warn_budget_bits: warn when the remaining noise budget drops below
+            this many bits.
+    """
+
+    def __init__(
+        self,
+        params,
+        registry: Optional[MetricsRegistry] = None,
+        warn_level: int = 1,
+        warn_budget_bits: float = 10.0,
+    ):
+        self.params = params
+        self.estimator = NoiseEstimator(params)
+        self.registry = registry if registry is not None else global_registry()
+        self.warn_level = warn_level
+        self.warn_budget_bits = warn_budget_bits
+        self.warnings: List[FheWarning] = []
+        self._estimates: Dict[int, Tuple[object, NoiseEstimate]] = {}
+        self._history: Dict[int, List[TrajectoryPoint]] = {}
+        self._budget_gauge = self.registry.gauge(
+            "fhe_noise_budget_bits",
+            "Remaining noise budget of the last ciphertext through each op",
+            labelnames=("op",),
+        )
+        self._level_gauge = self.registry.gauge(
+            "fhe_ciphertext_level",
+            "Level of the last ciphertext produced by each op",
+            labelnames=("op",),
+        )
+        self._drift_hist = self.registry.histogram(
+            "fhe_scale_drift_bits",
+            "Absolute drift of log2(scale) from the encoder default",
+            buckets=SCALE_DRIFT_BUCKETS,
+        )
+        self._warn_counter = self.registry.counter(
+            "fhe_health_warnings_total",
+            "Level/budget exhaustion warnings",
+            labelnames=("kind",),
+        )
+
+    # -- estimate bookkeeping --------------------------------------------------
+
+    def track(self, ct, estimate: Optional[NoiseEstimate] = None) -> NoiseEstimate:
+        """Start tracking `ct` (fresh-encryption bound unless given)."""
+        estimate = estimate if estimate is not None else self.estimator.fresh()
+        self._estimates[id(ct)] = (ct, estimate)
+        self._history[id(ct)] = [
+            self._point("fresh", ct, estimate)
+        ]
+        return estimate
+
+    def estimate(self, ct) -> NoiseEstimate:
+        """The current noise bound for `ct` (fresh bound if untracked)."""
+        entry = self._estimates.get(id(ct))
+        return entry[1] if entry is not None else self.estimator.fresh()
+
+    def budget_bits(self, ct) -> float:
+        """Bits of modulus headroom above ``max(scale, noise)`` for `ct`."""
+        return self._budget(ct, self.estimate(ct).bits)
+
+    def trajectory(self, ct) -> List[TrajectoryPoint]:
+        """The recorded noise-budget trajectory that produced `ct`."""
+        return list(self._history.get(id(ct), ()))
+
+    def reset(self) -> None:
+        self._estimates.clear()
+        self._history.clear()
+        self.warnings.clear()
+
+    # -- the observer hook -----------------------------------------------------
+
+    def after_op(self, op: str, inputs: Sequence[object], output) -> None:
+        """Called by the evaluator after each operation (ct in, ct out)."""
+        estimate = self._propagate(op, inputs, output)
+        self._estimates[id(output)] = (output, estimate)
+        point = self._point(op, output, estimate)
+        lineage: List[TrajectoryPoint] = []
+        for ct in inputs:
+            history = self._history.get(id(ct))
+            if history:
+                lineage = history
+                break
+        self._history[id(output)] = lineage + [point]
+        self._emit(op, output, point)
+
+    def _propagate(self, op: str, inputs, output) -> NoiseEstimate:
+        est = self.estimator
+        bounds = [self.estimate(ct) for ct in inputs]
+        a = bounds[0] if bounds else est.fresh()
+        if op in ("add", "sub"):
+            return est.after_add(a, bounds[1] if len(bounds) > 1 else a)
+        if op in ("add_plain", "sub_plain", "negate", "mod_switch"):
+            return a
+        if op == "multiply_plain":
+            return est.after_multiply_plain(a, 1.0)
+        if op in ("multiply", "square"):
+            b = bounds[1] if len(bounds) > 1 else a
+            product = est.after_multiply(a, b)
+            # Relinearisation (when it ran) adds key-switch noise.
+            if getattr(output, "is_relinearised", True):
+                product = est.after_keyswitch(product, output.level)
+            return product
+        if op in ("rotate", "conjugate", "relinearise", "keyswitch"):
+            return est.after_keyswitch(a, output.level)
+        if op in ("rescale", "double_rescale"):
+            dropped = self._dropped_product(inputs[0], output)
+            return est.after_rescale(a, dropped)
+        # Unknown ops keep the bound (conservative enough for gauges).
+        return a
+
+    @staticmethod
+    def _dropped_product(before, after) -> int:
+        product = 1
+        for q in before.c0.basis.moduli[after.level + 1: before.level + 1]:
+            product *= int(q)
+        return max(product, 2)
+
+    def _budget(self, ct, noise_bits: float) -> float:
+        modulus_bits = math.log2(ct.c0.basis.product)
+        used = max(math.log2(ct.scale), noise_bits)
+        return modulus_bits - used
+
+    def _point(self, op: str, ct, estimate: NoiseEstimate) -> TrajectoryPoint:
+        return TrajectoryPoint(
+            op=op,
+            level=ct.level,
+            scale_bits=math.log2(ct.scale),
+            noise_bits=estimate.bits,
+            budget_bits=self._budget(ct, estimate.bits),
+        )
+
+    def _emit(self, op: str, output, point: TrajectoryPoint) -> None:
+        self._budget_gauge.labels(op=op).set(point.budget_bits)
+        self._level_gauge.labels(op=op).set(point.level)
+        drift = abs(point.scale_bits - math.log2(self.params.scale))
+        self._drift_hist.observe(drift)
+        if point.level <= self.warn_level:
+            self._warn("level_exhaustion", op, point.level,
+                       f"level {point.level} <= warn threshold {self.warn_level}")
+        if point.budget_bits < self.warn_budget_bits:
+            self._warn("budget_exhaustion", op, point.level,
+                       f"{point.budget_bits:.1f} budget bits "
+                       f"< {self.warn_budget_bits}")
+
+    def _warn(self, kind: str, op: str, level: int, detail: str) -> None:
+        self.warnings.append(FheWarning(kind, op, level, detail))
+        self._warn_counter.labels(kind=kind).inc()
+
+    def format_trajectory(self, ct) -> str:
+        """A printable noise-budget trajectory table for `ct`."""
+        lines = ["op              level  scale bits  noise bits  budget bits"]
+        for p in self.trajectory(ct):
+            lines.append(
+                f"{p.op:<15s} {p.level:>5d}  {p.scale_bits:>10.1f}  "
+                f"{p.noise_bits:>10.1f}  {p.budget_bits:>11.1f}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Analytic (Table 4) noise trajectories for the serving layer
+# ---------------------------------------------------------------------------
+
+
+class _AnalyticParams:
+    """Duck-typed :class:`CkksParameters` surface over a Table 4 set.
+
+    The analytic sets carry no concrete moduli; every prime is modelled as
+    exactly ``2**wordsize`` (the calibration the cost model itself uses),
+    which is all the estimator's bounds consume.
+    """
+
+    def __init__(self, params):
+        self.degree = params.degree
+        self.error_std = 3.2
+        self.wordsize = params.wordsize
+        self.scale = 2.0 ** params.wordsize
+        self.alpha = params.alpha
+        self.special_product = 2 ** (params.wordsize * params.alpha)
+        self.max_level = params.max_level
+        self.moduli = tuple(
+            2 ** params.wordsize for _ in range(params.max_level + 1)
+        )
+        self._beta = params.beta
+
+    def beta(self, level: int) -> int:
+        return self._beta(level)
+
+
+@dataclass(frozen=True)
+class ModeledNoisePoint:
+    """Modeled noise state after finishing one schedule level."""
+
+    level: int
+    noise_bits: float
+    budget_bits: float
+
+
+def modeled_noise_trajectory(
+    params, schedule: Mapping[int, Mapping[str, int]]
+) -> List[ModeledNoisePoint]:
+    """Walk an app schedule through the analytic noise estimator.
+
+    `params` is a Table 4 :class:`~repro.ckks.params.ParameterSet`.  Levels
+    run top-down (as applications consume them).  Within one schedule level
+    the op counts are *breadth* -- independent ciphertexts processed side
+    by side -- so each primitive kind contributes **once** to the depth
+    path per level (multiplicative depth per level is one; that is why the
+    schedule steps down a level at all).  The returned budget series is
+    what the serving layer registers as ``fhe_noise_budget_bits_modeled``
+    gauges per application.
+    """
+    shim = _AnalyticParams(params)
+    est = NoiseEstimator(shim)
+    noise = est.fresh()
+    points: List[ModeledNoisePoint] = []
+    levels = sorted((int(l) for l in schedule), reverse=True)
+    for level in levels:
+        ops = schedule[level] if level in schedule else schedule[str(level)]
+        counts = {op: n for op, n in ops.items() if n > 0}
+        if counts.get("hmult"):
+            noise = est.after_multiply(noise, noise)
+            noise = est.after_keyswitch(noise, level)
+        if counts.get("pmult"):
+            noise = est.after_multiply_plain(noise, 1.0)
+        if counts.get("hrotate") or counts.get("keyswitch"):
+            noise = est.after_keyswitch(noise, level)
+        if counts.get("hadd") or counts.get("padd"):
+            noise = est.after_add(noise, noise)
+        if counts.get("double_rescale"):
+            noise = est.after_rescale(noise, shim.moduli[level] ** 2)
+        elif counts.get("rescale") or counts.get("hmult") or counts.get("pmult"):
+            noise = est.after_rescale(noise, shim.moduli[level])
+        modulus_bits = params.wordsize * (level + 1)
+        # Saturate at the modulus: a dead ciphertext (budget 0) stays dead,
+        # the bound does not keep compounding past physical meaning.
+        noise = NoiseEstimate(min(noise.bits, float(modulus_bits)))
+        budget = modulus_bits - max(params.wordsize, noise.bits)
+        points.append(ModeledNoisePoint(level, noise.bits, budget))
+    return points

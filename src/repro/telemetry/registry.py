@@ -1,0 +1,423 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The always-on signal layer the scaling roadmap items report through.  Three
+instrument kinds in the Prometheus data model:
+
+* :class:`Counter` -- monotonically increasing totals (requests served,
+  cache lookups, level-exhaustion warnings).
+* :class:`Gauge` -- last-write-wins point samples (queue depth, noise
+  budget remaining, resident cache entries).
+* :class:`Histogram` -- fixed-boundary bucket counts plus sum/count
+  (latencies, batch sizes, scale drift).  Boundaries are chosen at
+  creation and never change, so merged snapshots stay comparable.
+
+Instruments are labelled: ``counter.labels(app="helr").inc()`` gives one
+time series per label combination.  Everything is thread-safe (one lock
+per metric family) and **near-zero cost when disabled**: every mutation
+starts with a single ``enabled`` attribute test and returns immediately,
+so shipping instrumented code costs one branch per site.
+
+Two exporters cover the consumers the repo has today: ``snapshot()`` is a
+plain-JSON structure (CI artifacts, the bench recorder), and
+``to_prometheus_text()`` is the Prometheus text exposition format (what a
+scraper would pull from a ``/metrics`` endpoint).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelValues = Tuple[str, ...]
+
+#: Default histogram boundaries, seconds-flavoured: spans simulated FHE
+#: service times (tens of seconds) down to sub-millisecond kernel spans.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0, 600.0,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(
+            f"metric name must be non-empty [a-zA-Z0-9_:], got {name!r}"
+        )
+    return name
+
+
+class _Metric:
+    """Shared labelled-family machinery of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labelnames: Sequence[str] = ()):
+        self.registry = registry
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[LabelValues, object] = {}
+
+    def _resolve(self, labels: Mapping[str, str]) -> LabelValues:
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.labelnames)
+
+    def labels(self, **labels: str) -> "_Metric":
+        """A bound child carrying fixed label values."""
+        return _BoundMetric(self, self._resolve(labels))
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _zero(self):
+        raise NotImplementedError
+
+    def _cell(self, key: LabelValues):
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                cell = self._zero()
+                self._series[key] = cell
+            return cell
+
+    def series(self) -> Dict[LabelValues, object]:
+        """Point-in-time copy of every (labelvalues -> value) series."""
+        with self._lock:
+            return {k: self._copy_value(v) for k, v in self._series.items()}
+
+    @staticmethod
+    def _copy_value(value):
+        return value
+
+
+class _BoundMetric:
+    """One labelled child: forwards mutations with its fixed label values."""
+
+    def __init__(self, parent: _Metric, key: LabelValues):
+        self._parent = parent
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._parent._inc(self._key, amount)
+
+    def set(self, value: float) -> None:
+        self._parent._set(self._key, value)
+
+    def observe(self, value: float) -> None:
+        self._parent._observe(self._key, value)
+
+    @property
+    def value(self) -> float:
+        return self._parent._value(self._key)
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def _zero(self):
+        return [0.0]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._inc((), amount)
+
+    def _inc(self, key: LabelValues, amount: float) -> None:
+        if not self.registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        cell = self._cell(key)
+        with self._lock:
+            cell[0] += amount
+
+    @property
+    def value(self) -> float:
+        return self._value(())
+
+    def _value(self, key: LabelValues) -> float:
+        with self._lock:
+            cell = self._series.get(key)
+            return cell[0] if cell else 0.0
+
+    @staticmethod
+    def _copy_value(value):
+        return value[0]
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def _zero(self):
+        return [0.0]
+
+    def set(self, value: float) -> None:
+        self._set((), value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._inc((), amount)
+
+    def _set(self, key: LabelValues, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        cell = self._cell(key)
+        with self._lock:
+            cell[0] = float(value)
+
+    def _inc(self, key: LabelValues, amount: float) -> None:
+        if not self.registry.enabled:
+            return
+        cell = self._cell(key)
+        with self._lock:
+            cell[0] += amount
+
+    @property
+    def value(self) -> float:
+        return self._value(())
+
+    def _value(self, key: LabelValues) -> float:
+        with self._lock:
+            cell = self._series.get(key)
+            return cell[0] if cell else 0.0
+
+    @staticmethod
+    def _copy_value(value):
+        return value[0]
+
+
+class HistogramValue:
+    """One histogram series: bucket counts + sum + count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per ``le`` boundary (Prometheus convention)."""
+        total, out = 0, []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+    def copy(self) -> "HistogramValue":
+        dup = HistogramValue(self.buckets)
+        dup.counts = list(self.counts)
+        dup.sum = self.sum
+        dup.count = self.count
+        return dup
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames=(),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(registry, name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} buckets must be non-empty, sorted, unique"
+            )
+        self.buckets = bounds
+
+    def _zero(self):
+        return HistogramValue(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._observe((), value)
+
+    def _observe(self, key: LabelValues, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        cell = self._cell(key)
+        with self._lock:
+            cell.observe(float(value))
+
+    @staticmethod
+    def _copy_value(value):
+        return value.copy()
+
+
+class MetricsRegistry:
+    """A named collection of metric families with snapshot/text exporters."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: "Dict[str, _Metric]" = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; instruments become one-branch no-ops."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric family (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- instrument factories --------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if type(metric) is not cls or metric.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{metric.kind} with labels {metric.labelnames}"
+                    )
+                return metric
+            metric = cls(self, name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    # -- exporters -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-able dump of every family and series.
+
+        Shape: ``{name: {type, help, labelnames, series: [{labels, ...}]}}``
+        with counters/gauges carrying ``value`` and histograms carrying
+        ``buckets`` / ``counts`` / ``sum`` / ``count``.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, dict] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            series = []
+            for key, value in sorted(metric.series().items()):
+                entry = {"labels": dict(zip(metric.labelnames, key))}
+                if isinstance(value, HistogramValue):
+                    entry.update(
+                        buckets=list(value.buckets),
+                        counts=list(value.counts),
+                        sum=value.sum,
+                        count=value.count,
+                    )
+                else:
+                    entry["value"] = value
+                series.append(entry)
+            out[name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "series": series,
+            }
+        return out
+
+    def snapshot_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: List[str] = []
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key, value in sorted(metric.series().items()):
+                base = _format_labels(metric.labelnames, key)
+                if isinstance(value, HistogramValue):
+                    cumulative = value.cumulative()
+                    for bound, count in zip(value.buckets, cumulative):
+                        le = _format_labels(
+                            metric.labelnames + ("le",), key + (_fmt(bound),)
+                        )
+                        lines.append(f"{name}_bucket{le} {count}")
+                    inf = _format_labels(
+                        metric.labelnames + ("le",), key + ("+Inf",)
+                    )
+                    lines.append(f"{name}_bucket{inf} {cumulative[-1]}")
+                    lines.append(f"{name}_sum{base} {_fmt(value.sum)}")
+                    lines.append(f"{name}_count{base} {value.count}")
+                else:
+                    lines.append(f"{name}{base} {_fmt(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{n}="{_escape(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+#: The process-wide registry.  Disabled by default: plain library/benchmark
+#: use pays one branch per instrumented site and records nothing; serving
+#: runs, the CLI observability commands and the demo flip it on.
+GLOBAL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def global_registry() -> MetricsRegistry:
+    return GLOBAL_REGISTRY
+
+
+def telemetry_enabled() -> bool:
+    return GLOBAL_REGISTRY.enabled
+
+
+def enable_telemetry() -> MetricsRegistry:
+    GLOBAL_REGISTRY.enable()
+    return GLOBAL_REGISTRY
+
+
+def disable_telemetry() -> None:
+    GLOBAL_REGISTRY.disable()

@@ -1,0 +1,95 @@
+"""One cache-stats vocabulary for every cache in the process.
+
+Before this module each caching layer grew its own counters dataclass --
+``core.trace_cache.CacheStats``, ``math.ntt.PlanCacheStats`` and the
+key-switch/op-plan LRU all carried structurally identical (hits, misses,
+evictions) triples with slightly different surfaces.  They now share one
+:class:`CacheStats`, and every long-lived cache *registers* itself here so
+observability consumers (the metrics registry, :class:`ServingReport`, the
+``repro metrics`` CLI) can enumerate all of them without knowing which
+subsystem owns which cache.
+
+This module sits below every other layer (stdlib only), so ``math`` --
+which cannot import ``core`` -- and ``core`` both import it freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache (trace, plan, op-plan...)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: name -> (stats provider, size provider).  Providers are zero-argument
+#: callables so registration never pins a cache's *contents*, only a way
+#: to read its counters at snapshot time.
+_CACHE_PROVIDERS: Dict[str, Tuple[Callable[[], CacheStats], Callable[[], int]]] = {}
+_LOCK = threading.Lock()
+
+
+def register_cache(
+    name: str,
+    stats_fn: Callable[[], CacheStats],
+    size_fn: Callable[[], int] = lambda: 0,
+) -> None:
+    """Register (or re-register) a named cache with the stats directory.
+
+    Re-registration replaces the providers: module reloads and tests that
+    rebuild a global cache keep the directory pointing at the live object.
+    """
+    with _LOCK:
+        _CACHE_PROVIDERS[name] = (stats_fn, size_fn)
+
+
+def registered_caches() -> Tuple[str, ...]:
+    with _LOCK:
+        return tuple(sorted(_CACHE_PROVIDERS))
+
+
+def cache_stats(name: str) -> CacheStats:
+    """Point-in-time counters of one registered cache."""
+    with _LOCK:
+        stats_fn, _ = _CACHE_PROVIDERS[name]
+    return stats_fn()
+
+
+def all_cache_stats() -> Dict[str, CacheStats]:
+    """Point-in-time counters of every registered cache, by name."""
+    with _LOCK:
+        providers = dict(_CACHE_PROVIDERS)
+    return {name: stats_fn() for name, (stats_fn, _) in providers.items()}
+
+
+def all_cache_sizes() -> Dict[str, int]:
+    """Resident entry counts of every registered cache, by name."""
+    with _LOCK:
+        providers = dict(_CACHE_PROVIDERS)
+    return {name: size_fn() for name, (_, size_fn) in providers.items()}

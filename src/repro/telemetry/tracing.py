@@ -1,0 +1,353 @@
+"""Request-scoped span tracing: one trace per request, spans per stage.
+
+A :class:`Span` is a named, timed interval with a parent -- the classic
+distributed-tracing shape, here spanning the *simulated* serving clock and
+the *wall* clock with the same record type:
+
+* The serving layer mints one trace id per :class:`~repro.serving.request.
+  Request` and emits spans with **explicit** simulated timestamps
+  (``record_span``): queue wait, batch assignment, batch execution, and --
+  once per batch shape, linked via the batch span's ``kernel_trace``
+  attribute -- the per-op / per-kernel sub-spans reconstructed from the
+  batch's execution trace.  One request's full path -- queue -> batch ->
+  op -> kernel -- is reconstructable from its trace id plus that link.
+* Functional code (key-switch plans, bootstrap stages) uses the
+  **wall-clock** context-manager form (``with span("bootstrap.eval_mod")``)
+  which nests through a thread-local stack.  When no tracer is active the
+  helper returns a shared null context manager: one global read per site.
+
+Exports: Chrome ``chrome://tracing`` JSON (``to_chrome_trace``) and a
+structured JSONL event log (``to_jsonl`` / ``from_jsonl``) that round-trips
+every span, so traces can be archived and re-inspected offline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+
+class Span(NamedTuple):
+    """One named, timed interval inside a trace.
+
+    A ``NamedTuple`` rather than a dataclass: span construction is the
+    tracing hot path (one per recorded interval), and tuple construction
+    skips the per-field ``object.__setattr__`` cost of frozen dataclasses.
+    """
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_s: float
+    end_s: float
+    #: Attribute values are stored as recorded (int, bool, str, ...) and
+    #: stringified lazily at export -- recording is the hot path, exports
+    #: are not.  Spans parsed back from JSONL therefore carry str values.
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def attr_dict(self) -> Dict[str, str]:
+        return {k: str(v) for k, v in self.attrs}
+
+    def to_jsonable(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": {k: str(v) for k, v in self.attrs},
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Span":
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=int(data["span_id"]),
+            parent_id=None if data.get("parent_id") is None
+            else int(data["parent_id"]),
+            name=data["name"],
+            category=data.get("category", ""),
+            start_s=float(data["start_s"]),
+            end_s=float(data["end_s"]),
+            attrs=tuple(sorted(
+                (str(k), str(v)) for k, v in data.get("attrs", {}).items()
+            )),
+        )
+
+
+def _freeze_attrs(attrs: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    if not attrs:
+        return ()
+    return tuple(sorted(attrs.items()))
+
+
+class _LiveSpan:
+    """Context manager for one wall-clock span on the thread-local stack."""
+
+    __slots__ = ("tracer", "name", "category", "attrs", "trace_id",
+                 "parent_id", "span_id", "start")
+
+    def __init__(self, tracer, name, category, attrs, trace_id):
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.trace_id = trace_id
+        self.parent_id: Optional[int] = None
+        self.span_id = 0
+        self.start = 0.0
+
+    def __enter__(self):
+        stack = self.tracer._stack()
+        if stack:
+            parent_trace, parent_id = stack[-1]
+            self.trace_id = self.trace_id or parent_trace
+            self.parent_id = parent_id
+        self.trace_id = self.trace_id or self.tracer.new_trace_id()
+        self.span_id = self.tracer._next_id()
+        stack.append((self.trace_id, self.span_id))
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        end = time.perf_counter()
+        self.tracer._stack().pop()
+        self.tracer._append(Span(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            category=self.category,
+            start_s=self.start,
+            end_s=end,
+            attrs=_freeze_attrs(self.attrs),
+        ))
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager used when tracing is inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans; mints trace/span ids; exports timelines."""
+
+    def __init__(self):
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- id minting ------------------------------------------------------------
+
+    def new_trace_id(self, hint: str = "trace") -> str:
+        return f"{hint}-{next(self._trace_ids)}"
+
+    # ``itertools.count.__next__`` and ``list.append`` are atomic under the
+    # GIL, so the per-span hot path (record_span) takes no locks at all;
+    # the lock only guards whole-list reads/clears.
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _append(self, span: Span) -> None:
+        self._spans.append(span)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_span(
+        self,
+        trace_id: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent_id: Optional[int] = None,
+        category: str = "",
+        **attrs: object,
+    ) -> Span:
+        """Record a span with explicit (e.g. simulated-clock) timestamps."""
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_id(),
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            start_s=float(start_s),
+            end_s=float(end_s),
+            attrs=_freeze_attrs(attrs),
+        )
+        self._append(span)
+        return span
+
+    def span(self, name: str, category: str = "",
+             trace_id: Optional[str] = None, **attrs: object) -> _LiveSpan:
+        """Wall-clock context manager; nests via the thread-local stack."""
+        return _LiveSpan(self, name, category, attrs, trace_id)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def trace_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def span_tree(self, trace_id: str) -> List["SpanNode"]:
+        """The trace's spans as parent->children forest, start-ordered."""
+        spans = sorted(self.spans_for(trace_id),
+                       key=lambda s: (s.start_s, s.span_id))
+        nodes = {s.span_id: SpanNode(s) for s in spans}
+        roots: List[SpanNode] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def format_tree(self, trace_id: str) -> str:
+        """A printable indented span tree with durations and attributes."""
+        lines = [f"trace {trace_id}"]
+
+        def walk(node: "SpanNode", depth: int):
+            s = node.span
+            attrs = ", ".join(f"{k}={v}" for k, v in s.attrs)
+            suffix = f"  [{attrs}]" if attrs else ""
+            lines.append(
+                f"{'  ' * depth}- {s.name} "
+                f"({s.start_s:.3f}s -> {s.end_s:.3f}s, "
+                f"{s.duration_s * 1e3:.3f} ms){suffix}"
+            )
+            for child in node.children:
+                walk(child, depth + 1)
+
+        for root in self.span_tree(trace_id):
+            walk(root, 1)
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- exporters -------------------------------------------------------------
+
+    def to_chrome_trace(self, trace_id: Optional[str] = None) -> str:
+        """Chrome ``chrome://tracing`` JSON; one tid per trace id."""
+        spans = self.spans if trace_id is None else self.spans_for(trace_id)
+        tids: Dict[str, int] = {}
+        events = []
+        for span in spans:
+            tid = tids.setdefault(span.trace_id, len(tids))
+            events.append({
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "args": dict(span.attrs),
+            })
+        return json.dumps({"traceEvents": events})
+
+    def to_jsonl(self, trace_id: Optional[str] = None) -> str:
+        """One JSON object per span, newline-delimited (archival log)."""
+        spans = self.spans if trace_id is None else self.spans_for(trace_id)
+        return "\n".join(json.dumps(s.to_jsonable(), sort_keys=True)
+                         for s in spans)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Tracer":
+        """Rebuild a tracer (read-only use) from a JSONL export."""
+        tracer = cls()
+        max_id = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            span = Span.from_jsonable(json.loads(line))
+            tracer._append(span)
+            max_id = max(max_id, span.span_id)
+        tracer._ids = itertools.count(max_id + 1)
+        return tracer
+
+
+@dataclass
+class SpanNode:
+    """One node of a reconstructed span tree."""
+
+    span: Span
+    children: List["SpanNode"] = field(default_factory=list)
+
+
+#: The process-wide active tracer; ``None`` keeps every ``span(...)`` call
+#: site at one global read + identity test.
+_ACTIVE: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def activate_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def deactivate_tracer() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def span(name: str, category: str = "", **attrs: object):
+    """Wall-clock span on the active tracer; shared no-op when inactive."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, category, **attrs)

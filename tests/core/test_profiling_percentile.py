@@ -1,0 +1,73 @@
+"""Regression tests for the audited ``percentile`` edge cases (S2).
+
+The nearest-rank definition is load-bearing for serving determinism:
+every reported percentile must be an observed sample, bit for bit.
+"""
+
+import pytest
+
+from repro.core.profiling import latency_percentiles, percentile
+
+
+class TestValidation:
+    @pytest.mark.parametrize("q", [-0.001, -1, 100.001, 200])
+    def test_out_of_range_q_raises(self, q):
+        with pytest.raises(ValueError, match="must be in"):
+            percentile([1.0, 2.0], q)
+
+    @pytest.mark.parametrize("q", [-5, 150])
+    def test_invalid_q_raises_even_on_empty_input(self, q):
+        # validation runs before the empty-sample check: an invalid
+        # quantile never silently returns 0.0
+        with pytest.raises(ValueError):
+            percentile([], q)
+
+
+class TestEdgeCases:
+    def test_empty_sample_returns_zero_for_valid_q(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
+    def test_q0_is_minimum_q100_is_maximum(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_single_sample_for_every_q(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_nearest_rank_returns_observed_values_only(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        for q in (10, 25, 37.5, 50, 75, 90, 99):
+            assert percentile(values, q) in values
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 50)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_median_of_even_sample_is_lower_middle(self):
+        # nearest-rank (no interpolation): ceil(0.5 * 4) = rank 2
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+    def test_duplicates_are_ranked_not_collapsed(self):
+        assert percentile([1.0, 1.0, 1.0, 10.0], 75) == 1.0
+        assert percentile([1.0, 1.0, 1.0, 10.0], 76) == 10.0
+
+
+class TestLatencySummary:
+    def test_summary_keys_and_empty_sample(self):
+        empty = latency_percentiles([])
+        assert empty == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0,
+                         "max": 0.0}
+
+    def test_summary_consistency(self):
+        values = [float(i) for i in range(1, 101)]
+        summary = latency_percentiles(values)
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)

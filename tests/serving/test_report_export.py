@@ -1,0 +1,102 @@
+"""ServingReport exports under degenerate workloads (S3).
+
+Chrome-trace export and fingerprinting must hold up on the edges a real
+deployment produces: a drain that served nothing, a single request, every
+request missing its SLO -- not just the happy mixed workload.
+"""
+
+import json
+
+import pytest
+
+from repro.serving import FixedServiceModel, Request, Server, ServingReport
+
+FLAT = FixedServiceModel(lambda app, size: 10.0)
+
+
+def _drain(requests, **kwargs):
+    defaults = dict(policy="fifo", max_batch=4, max_wait_s=5.0, lanes=1,
+                    model=FLAT)
+    defaults.update(kwargs)
+    server = Server(**defaults)
+    server.submit_many(requests)
+    return server.drain()
+
+
+class TestEmptyReport:
+    def test_empty_drain_yields_empty_but_valid_report(self):
+        report = _drain([])
+        assert report.served == 0
+        assert report.makespan_s == 0.0
+        assert report.throughput_rps == 0.0
+        assert report.slo_attainment == 1.0
+        assert report.mean_batch_size() == 0.0
+        assert report.batch_size_histogram() == {}
+
+    def test_empty_chrome_trace_is_valid_json(self):
+        report = _drain([])
+        events = json.loads(report.to_chrome_trace())["traceEvents"]
+        assert events == []
+
+    def test_empty_fingerprint_is_stable(self):
+        assert _drain([]).fingerprint() == _drain([]).fingerprint()
+
+    def test_empty_format_renders(self):
+        text = _drain([]).format()
+        assert "served 0 requests" in text
+
+    def test_default_constructed_report_exports(self):
+        report = ServingReport()
+        assert json.loads(report.to_chrome_trace())["traceEvents"] == []
+        assert isinstance(report.fingerprint(), str)
+
+    def test_empty_latency_summary_is_zeroed(self):
+        lat = _drain([]).latency_summary()
+        assert lat == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0,
+                       "max": 0.0}
+
+
+class TestSingleRequest:
+    def test_single_request_timeline_has_one_block(self):
+        report = _drain([Request(rid=0, app="helr")])
+        assert report.served == 1
+        (block,) = report.timeline()
+        assert block.start_s == 0.0
+        assert block.end_s == pytest.approx(10.0)
+        events = json.loads(report.to_chrome_trace())["traceEvents"]
+        assert len(events) == 1
+
+    def test_single_request_percentiles_collapse_to_sample(self):
+        report = _drain([Request(rid=0, app="helr")])
+        lat = report.latency_summary()
+        assert lat["p50"] == lat["p99"] == lat["max"] == pytest.approx(10.0)
+
+
+class TestAllRejectedSlo:
+    def test_every_request_missing_slo_still_exports(self):
+        # service time 10s against an impossible 1s SLO: 0% attainment
+        requests = [Request(rid=i, app="helr", arrival_s=0.0, slo_s=1.0)
+                    for i in range(4)]
+        report = _drain(requests)
+        assert report.served == 4
+        assert report.slo_violations == 4
+        assert report.slo_attainment == 0.0
+        assert "0.0% attainment" in report.format()
+        events = json.loads(report.to_chrome_trace())["traceEvents"]
+        assert events, "violating requests still appear on the timeline"
+
+    def test_fingerprint_distinguishes_schedules(self):
+        good = _drain([Request(rid=0, app="helr")])
+        other = _drain([Request(rid=0, app="helr"),
+                        Request(rid=1, app="helr", arrival_s=50.0)])
+        assert good.fingerprint() != other.fingerprint()
+
+
+class TestDeterminism:
+    def test_identical_replays_fingerprint_equal(self):
+        requests = [Request(rid=i, app="helr", arrival_s=float(i))
+                    for i in range(6)]
+        first = _drain(list(requests))
+        second = _drain(list(requests))
+        assert first.fingerprint() == second.fingerprint()
+        assert first.to_chrome_trace() == second.to_chrome_trace()

@@ -1,0 +1,170 @@
+"""Serving telemetry end to end: spans, metrics, linked kernel traces.
+
+Drives real drains with a tracer and an enabled registry and asserts the
+acceptance path: every request's trace covers queue -> batch, the batch
+span links the per-shape kernel trace (op -> kernel), and the metrics
+snapshot carries the queue/batch/cache/noise families.
+"""
+
+import pytest
+
+from repro.serving import (
+    FixedServiceModel,
+    Request,
+    Server,
+    parse_workload_spec,
+    synthesize_arrivals,
+)
+from repro.telemetry.registry import MetricsRegistry, global_registry
+from repro.telemetry.tracing import Tracer, activate_tracer, deactivate_tracer
+
+FLAT = FixedServiceModel(lambda app, size: 10.0)
+
+
+@pytest.fixture
+def registry_on():
+    registry = global_registry()
+    was_enabled = registry.enabled
+    registry.enable()
+    registry.reset()
+    yield registry
+    registry.reset()
+    if not was_enabled:
+        registry.disable()
+
+
+class TestRequestSpans:
+    def test_fixed_model_trace_covers_queue_and_batch(self):
+        tracer = Tracer()
+        server = Server(policy="fifo", max_batch=4, max_wait_s=5.0, lanes=1,
+                        model=FLAT, tracer=tracer)
+        server.submit(Request(rid=0, app="helr", arrival_s=1.0))
+        server.drain()
+        (root,) = tracer.span_tree("req-0")
+        assert root.span.name == "request"
+        assert root.span.start_s == 1.0
+        names = [c.span.name for c in root.children]
+        assert names == ["queue_wait", "batch"]
+
+    def test_neo_model_links_kernel_trace(self):
+        tracer = Tracer()
+        server = Server(params="C", policy="fifo", max_batch=4,
+                        max_wait_s=5.0, lanes=1, tracer=tracer)
+        server.submit(Request(rid=0, app="helr"))
+        server.drain()
+        (root,) = tracer.span_tree("req-0")
+        batch = next(c for c in root.children if c.span.name == "batch")
+        attrs = batch.span.attr_dict()
+        link = attrs["kernel_trace"]
+        assert link.startswith("shape-helr-b")
+        assert int(attrs["kernels"]) > 0
+        kernel_spans = tracer.spans_for(link)
+        assert len(kernel_spans) == int(attrs["kernels_traced"]) + 1
+        kernels = [s for s in kernel_spans if s.parent_id is not None]
+        assert all(s.category == "kernel" for s in kernels)
+        resources = {s.attr_dict()["resource"] for s in kernels}
+        # the Neo pipeline splits work across TCU and CUDA-core kernels
+        assert "tcu" in resources and "cuda" in resources
+
+    def test_kernel_trace_shared_across_same_shape_batches(self):
+        tracer = Tracer()
+        server = Server(params="C", policy="fifo", max_batch=1,
+                        max_wait_s=0.0, lanes=1, tracer=tracer)
+        server.submit(Request(rid=0, app="helr"))
+        server.submit(Request(rid=1, app="helr", arrival_s=1000.0))
+        server.drain()
+        links = set()
+        for rid in (0, 1):
+            (root,) = tracer.span_tree(f"req-{rid}")
+            batch = next(c for c in root.children if c.span.name == "batch")
+            links.add(batch.span.attr_dict()["kernel_trace"])
+        assert len(links) == 1, "same shape -> one shared kernel trace"
+        shape_roots = [s for s in tracer.spans_for(links.pop())
+                       if s.parent_id is None]
+        assert len(shape_roots) == 1, "kernel spans recorded once, not twice"
+
+    def test_no_tracer_records_nothing(self, registry_on):
+        deactivate_tracer()
+        server = Server(policy="fifo", max_batch=4, max_wait_s=5.0, lanes=1,
+                        model=FLAT)
+        server.submit(Request(rid=0, app="helr"))
+        report = server.drain()
+        assert report.served == 1  # drains fine, just no spans anywhere
+
+    def test_falls_back_to_process_tracer(self):
+        tracer = activate_tracer()
+        try:
+            server = Server(policy="fifo", max_batch=4, max_wait_s=5.0,
+                            lanes=1, model=FLAT)
+            server.submit(Request(rid=0, app="helr"))
+            server.drain()
+            assert tracer.spans_for("req-0")
+        finally:
+            deactivate_tracer()
+
+
+class TestServingMetrics:
+    def test_drain_populates_metric_families(self, registry_on):
+        phases = parse_workload_spec("smoke")
+        requests = synthesize_arrivals(phases, seed=0)
+        server = Server(params="C", policy="bucketed", max_batch=64,
+                        max_wait_s=30.0, lanes=2)
+        server.submit_many(requests)
+        report = server.drain()
+        names = registry_on.names()
+        for family in (
+            "serving_requests_total",
+            "serving_latency_seconds",
+            "serving_queue_wait_seconds",
+            "serving_batches_total",
+            "serving_batch_size",
+            "serving_queue_depth",
+            "serving_queue_depth_peak",
+            "serving_queue_depth_mean",
+            "serving_makespan_seconds",
+            "serving_slo_attainment",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "fhe_noise_budget_bits_modeled",
+        ):
+            assert family in names, family
+        served = sum(
+            registry_on.get("serving_requests_total").series().values()
+        )
+        assert served == report.served
+        assert registry_on.get("serving_makespan_seconds").value == (
+            pytest.approx(report.makespan_s)
+        )
+
+    def test_latency_histogram_counts_match(self, registry_on):
+        server = Server(policy="fifo", max_batch=4, max_wait_s=5.0, lanes=1,
+                        model=FLAT)
+        server.submit_many(Request(rid=i, app="helr") for i in range(3))
+        server.drain()
+        hist = registry_on.get("serving_latency_seconds")
+        (value,) = hist.series().values()
+        assert value.count == 3
+
+    def test_disabled_registry_stays_empty(self):
+        registry = global_registry()
+        registry.reset()
+        registry.disable()
+        server = Server(policy="fifo", max_batch=4, max_wait_s=5.0, lanes=1,
+                        model=FLAT)
+        server.submit(Request(rid=0, app="helr"))
+        server.drain()
+        assert registry.names() == ()
+
+
+class TestReportCacheSurfaces:
+    def test_report_carries_unified_cache_table(self):
+        server = Server(params="C", policy="fifo", max_batch=4,
+                        max_wait_s=5.0, lanes=1)
+        server.submit(Request(rid=0, app="helr"))
+        report = server.drain()
+        assert "trace_cache" in report.caches
+        assert set(report.caches["trace_cache"]) == {
+            "hits", "misses", "evictions", "hit_rate"
+        }
+        assert "cache surfaces" in report.format()

@@ -1,0 +1,59 @@
+"""The unified cache-stats directory every cache surface registers with."""
+
+from repro.telemetry.stats import (
+    CacheStats,
+    all_cache_sizes,
+    all_cache_stats,
+    cache_stats,
+    register_cache,
+    registered_caches,
+)
+
+
+class TestCacheStats:
+    def test_hit_rate_math(self):
+        stats = CacheStats(hits=3, misses=1, evictions=2)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(hits=1)
+        snap = stats.snapshot()
+        stats.hits = 99
+        assert snap.hits == 1
+
+    def test_as_dict_shape(self):
+        d = CacheStats(hits=1, misses=1).as_dict()
+        assert d == {"hits": 1, "misses": 1, "evictions": 0, "hit_rate": 0.5}
+
+
+class TestDirectory:
+    def test_register_and_read_back(self):
+        live = CacheStats(hits=5)
+        register_cache("test_surface", lambda: live.snapshot(), lambda: 7)
+        try:
+            assert "test_surface" in registered_caches()
+            assert cache_stats("test_surface").hits == 5
+            assert all_cache_stats()["test_surface"].hits == 5
+            assert all_cache_sizes()["test_surface"] == 7
+        finally:
+            # re-register with a dead provider so later reads stay harmless
+            register_cache("test_surface", CacheStats, lambda: 0)
+
+    def test_reregistration_replaces_provider(self):
+        register_cache("test_replace", lambda: CacheStats(hits=1))
+        register_cache("test_replace", lambda: CacheStats(hits=2))
+        assert cache_stats("test_replace").hits == 2
+
+    def test_process_surfaces_register_on_import(self):
+        # importing the owning modules is enough -- no explicit wiring
+        import repro.ckks.keyswitch.plan  # noqa: F401  (op_plans)
+        import repro.core.trace_cache  # noqa: F401  (trace_cache)
+        import repro.math.ntt  # noqa: F401  (ntt_plans, ntt_stacks)
+
+        names = registered_caches()
+        for expected in ("ntt_plans", "ntt_stacks", "op_plans", "trace_cache"):
+            assert expected in names

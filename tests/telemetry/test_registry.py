@@ -1,0 +1,188 @@
+"""Metrics registry: instruments, labels, exporters, the disabled path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    disable_telemetry,
+    enable_telemetry,
+    global_registry,
+    telemetry_enabled,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("requests_total", "requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self, registry):
+        c = registry.counter("x_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_labels_are_independent_series(self, registry):
+        c = registry.counter("served_total", labelnames=("app",))
+        c.labels(app="helr").inc(3)
+        c.labels(app="resnet20").inc()
+        assert c.labels(app="helr").value == 3
+        assert c.labels(app="resnet20").value == 1
+
+    def test_wrong_labelnames_raise(self, registry):
+        c = registry.counter("served_total", labelnames=("app",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.labels(wrong="x").inc()
+
+
+class TestGauge:
+    def test_set_is_last_write_wins(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+
+    def test_inc_moves_gauge(self, registry):
+        g = registry.gauge("resident")
+        g.inc(4)
+        g.inc(-1)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_observe_fills_buckets_and_sum(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        value = h.series()[()]
+        assert value.count == 4
+        assert value.sum == pytest.approx(105.0)
+        # per-bucket (non-cumulative) counts, last slot is +Inf
+        assert value.counts == [1, 1, 1, 1]
+        assert value.cumulative() == [1, 2, 3, 4]
+
+    def test_boundary_value_lands_in_its_le_bucket(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive (Prometheus convention)
+        assert h.series()[()].counts == [1, 0, 0]
+
+    def test_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a_total")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("a_total", labelnames=("app",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("a_total", labelnames=("op",))
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="metric name"):
+            registry.counter("bad name")
+
+    def test_reset_drops_families(self, registry):
+        registry.counter("a_total").inc()
+        registry.reset()
+        assert registry.names() == ()
+        assert registry.counter("a_total").value == 0
+
+    def test_get_returns_live_family_or_none(self, registry):
+        c = registry.counter("a_total")
+        assert registry.get("a_total") is c
+        registry.reset()
+        assert registry.get("a_total") is None
+
+    def test_disabled_mutations_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("a_total")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        c.inc()
+        g.set(5)
+        h.observe(1.0)
+        assert c.value == 0
+        assert g.value == 0
+        assert h.series() == {}
+
+    def test_thread_safety_under_contention(self, registry):
+        c = registry.counter("hits_total", labelnames=("worker",))
+
+        def hammer(worker):
+            for _ in range(1000):
+                c.labels(worker=str(worker)).inc()
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(c.series().values()) == 4000
+
+
+class TestExporters:
+    def test_snapshot_json_round_trips(self, registry):
+        registry.counter("served_total", "served", labelnames=("app",)).labels(
+            app="helr"
+        ).inc(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        data = json.loads(registry.snapshot_json())
+        assert data["served_total"]["type"] == "counter"
+        assert data["served_total"]["series"][0] == {
+            "labels": {"app": "helr"},
+            "value": 2,
+        }
+        hist = data["lat"]["series"][0]
+        assert hist["count"] == 1 and hist["buckets"] == [1.0]
+
+    def test_prometheus_text_format(self, registry):
+        registry.counter("served_total", "requests served",
+                         labelnames=("app",)).labels(app="helr").inc(2)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = registry.to_prometheus_text()
+        assert "# HELP served_total requests served" in text
+        assert "# TYPE served_total counter" in text
+        assert 'served_total{app="helr"} 2' in text
+        # histogram exposition: cumulative le buckets + +Inf + sum + count
+        assert 'lat_bucket{le="1"} 0' in text
+        assert 'lat_bucket{le="2"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 1.5" in text
+        assert "lat_count 1" in text
+
+    def test_label_values_escaped(self, registry):
+        registry.gauge("g", labelnames=("k",)).labels(k='a"b\nc').set(1)
+        text = registry.to_prometheus_text()
+        assert 'g{k="a\\"b\\nc"} 1' in text
+
+
+class TestGlobalRegistry:
+    def test_enable_disable_cycle(self):
+        try:
+            registry = enable_telemetry()
+            assert registry is global_registry()
+            assert telemetry_enabled()
+        finally:
+            disable_telemetry()
+        assert not telemetry_enabled()

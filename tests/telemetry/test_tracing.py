@@ -1,0 +1,141 @@
+"""Span tracing: recording, nesting, trees, exports, the inactive path."""
+
+import json
+
+import pytest
+
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    activate_tracer,
+    active_tracer,
+    deactivate_tracer,
+    span,
+)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+class TestRecordSpan:
+    def test_explicit_timestamps_and_ids(self, tracer):
+        root = tracer.record_span("req-0", "request", 1.0, 5.0,
+                                  category="serving", app="helr")
+        child = tracer.record_span("req-0", "queue_wait", 1.0, 2.0,
+                                   parent_id=root.span_id)
+        assert root.trace_id == "req-0"
+        assert root.duration_s == pytest.approx(4.0)
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        assert len(tracer) == 2
+
+    def test_attrs_recorded_raw_and_stringified_on_export(self, tracer):
+        s = tracer.record_span("t", "x", 0.0, 1.0, rid=3, ok=True)
+        assert dict(s.attrs) == {"rid": 3, "ok": True}
+        assert s.attr_dict() == {"rid": "3", "ok": "True"}
+
+    def test_attrs_are_sorted_deterministically(self, tracer):
+        s = tracer.record_span("t", "x", 0.0, 1.0, zeta=1, alpha=2)
+        assert [k for k, _ in s.attrs] == ["alpha", "zeta"]
+
+
+class TestContextManagerSpans:
+    def test_nesting_through_thread_local_stack(self, tracer):
+        with tracer.span("outer", category="bootstrap"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert outer.parent_id is None
+        assert outer.start_s <= inner.start_s <= inner.end_s <= outer.end_s
+
+    def test_module_helper_is_noop_when_inactive(self):
+        deactivate_tracer()
+        ctx = span("anything")
+        with ctx:
+            pass
+        # shared null object: no tracer, no allocation per call site
+        assert span("other") is ctx
+
+    def test_module_helper_records_on_active_tracer(self):
+        tracer = activate_tracer()
+        try:
+            with span("stage", category="bootstrap"):
+                pass
+            assert active_tracer() is tracer
+            assert [s.name for s in tracer.spans] == ["stage"]
+        finally:
+            deactivate_tracer()
+
+
+class TestTrees:
+    def test_span_tree_and_format(self, tracer):
+        root = tracer.record_span("req-1", "request", 0.0, 10.0)
+        tracer.record_span("req-1", "queue_wait", 0.0, 4.0,
+                           parent_id=root.span_id)
+        batch = tracer.record_span("req-1", "batch", 4.0, 10.0,
+                                   parent_id=root.span_id, bid=7)
+        tracer.record_span("req-1", "ntt", 4.0, 6.0, parent_id=batch.span_id,
+                           category="kernel")
+        roots = tracer.span_tree("req-1")
+        assert len(roots) == 1
+        names = [c.span.name for c in roots[0].children]
+        assert names == ["queue_wait", "batch"]
+        text = tracer.format_tree("req-1")
+        assert "trace req-1" in text
+        assert "- request" in text and "- ntt" in text
+        assert "bid=7" in text
+
+    def test_trace_isolation(self, tracer):
+        tracer.record_span("a", "x", 0.0, 1.0)
+        tracer.record_span("b", "y", 0.0, 1.0)
+        assert tracer.trace_ids() == ["a", "b"]
+        assert [s.name for s in tracer.spans_for("b")] == ["y"]
+
+
+class TestExports:
+    def test_chrome_trace_shape(self, tracer):
+        tracer.record_span("req-0", "request", 1.0, 3.0, app="helr")
+        events = json.loads(tracer.to_chrome_trace())["traceEvents"]
+        (event,) = events
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(1e6)
+        assert event["dur"] == pytest.approx(2e6)
+        assert event["args"] == {"app": "helr"}
+
+    def test_jsonl_round_trip(self, tracer):
+        root = tracer.record_span("req-0", "request", 0.0, 2.0, rid=0)
+        tracer.record_span("req-0", "batch", 1.0, 2.0,
+                           parent_id=root.span_id, category="serving")
+        clone = Tracer.from_jsonl(tracer.to_jsonl())
+        assert len(clone) == 2
+        got_root, got_batch = clone.spans
+        assert got_root.name == "request"
+        assert got_batch.parent_id == got_root.span_id
+        # attr values come back as strings (stringified at export)
+        assert got_root.attr_dict() == {"rid": "0"}
+        # ids keep minting above the imported ones
+        fresh = clone.record_span("req-1", "x", 0.0, 1.0)
+        assert fresh.span_id > got_batch.span_id
+
+    def test_jsonl_skips_blank_lines(self):
+        tracer = Tracer.from_jsonl("\n\n")
+        assert len(tracer) == 0
+
+    def test_span_from_jsonable_round_trip(self):
+        s = Span("t", 1, None, "n", "c", 0.0, 1.0, (("k", "v"),))
+        assert Span.from_jsonable(s.to_jsonable()) == s
+
+
+class TestLifecycle:
+    def test_clear_empties_spans(self, tracer):
+        tracer.record_span("t", "x", 0.0, 1.0)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_trace_id_minting_is_unique(self, tracer):
+        assert tracer.new_trace_id() != tracer.new_trace_id()
