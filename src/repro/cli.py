@@ -8,10 +8,12 @@ Usage::
     python -m repro params [A-H]        # parameter-set details
     python -m repro profile <app>       # per-op/per-kernel profile
     python -m repro serve --workload mixed   # dynamic-batching serving report
+    python -m repro serve --gpus 4 --workload overload  # fleet serving report
     python -m repro metrics             # metrics snapshot of a serve run
     python -m repro trace req-0         # one request's span tree
     python -m repro bench keyswitch     # loop vs GEMM key-switch timings
     python -m repro bench bootstrap     # loop vs op-plan bootstrap timings
+    python -m repro bench fleet         # fleet scaling vs one device
     python -m repro bench keyswitch --record   # append to BENCH_keyswitch.json
 """
 
@@ -252,7 +254,7 @@ def cmd_profile(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .serving import Server, parse_workload_spec, synthesize_arrivals
+    from .serving import Fleet, Server, parse_workload_spec, synthesize_arrivals
     from .serving.policies import POLICIES
 
     if args.policy.lower() not in POLICIES:
@@ -271,14 +273,27 @@ def cmd_serve(args) -> int:
     try:
         phases = parse_workload_spec(args.workload)
         requests = synthesize_arrivals(phases, seed=args.seed)
-        server = Server(
-            params=args.set,
-            policy=args.policy,
-            max_batch=args.max_batch,
-            max_wait_s=args.max_wait_ms / 1e3,
-            lanes=args.lanes,
-            tracer=tracer,
-        )
+        if args.gpus > 1:
+            server = Fleet(
+                gpus=args.gpus,
+                params=args.set,
+                policy=args.policy,
+                max_batch=args.max_batch,
+                max_wait_s=args.max_wait_ms / 1e3,
+                lanes=args.lanes,
+                placement=args.placement,
+                tensor_parallel=args.tensor_parallel,
+                tracer=tracer,
+            )
+        else:
+            server = Server(
+                params=args.set,
+                policy=args.policy,
+                max_batch=args.max_batch,
+                max_wait_s=args.max_wait_ms / 1e3,
+                lanes=args.lanes,
+                tracer=tracer,
+            )
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -317,7 +332,7 @@ def cmd_serve(args) -> int:
 
 def cmd_metrics(args) -> int:
     """Drive one serve run with telemetry on; print the metrics snapshot."""
-    from .serving import Server, parse_workload_spec, synthesize_arrivals
+    from .serving import Fleet, Server, parse_workload_spec, synthesize_arrivals
     from .telemetry import enable_telemetry
 
     registry = enable_telemetry()
@@ -325,7 +340,10 @@ def cmd_metrics(args) -> int:
     try:
         phases = parse_workload_spec(args.workload)
         requests = synthesize_arrivals(phases, seed=args.seed)
-        server = Server(params=args.set)
+        if args.gpus > 1:
+            server = Fleet(gpus=args.gpus, params=args.set)
+        else:
+            server = Server(params=args.set)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -424,13 +442,20 @@ def cmd_bench(args) -> int:
     from .ckks.params import CkksParameters
     from .math.polynomial import RnsPolynomial
 
-    if args.kernel not in ("keyswitch", "bootstrap"):
+    if args.kernel not in ("keyswitch", "bootstrap", "serving", "fleet"):
         print(
             f"unknown bench kernel {args.kernel!r}; "
-            "choose from: keyswitch, bootstrap",
+            "choose from: keyswitch, bootstrap, serving, fleet",
             file=sys.stderr,
         )
         return 2
+    # The serving-layer benches run entirely on the simulated clock and
+    # take workload/gpus knobs, not ring parameters -- dispatch before the
+    # keyswitch-specific degree/dnum validation below.
+    if args.kernel == "serving":
+        return _bench_serving(args)
+    if args.kernel == "fleet":
+        return _bench_fleet(args)
     # Kernel-specific defaults: the functional bootstrap pipeline is far
     # heavier per invocation than one key switch, and needs a longer chain.
     if args.degree is None:
@@ -622,6 +647,110 @@ def _bench_bootstrap(args) -> int:
     return (0 if identical else 1) or bench_rc
 
 
+def _bench_serving(args) -> int:
+    """Continuous batching vs serial dispatch on the simulated clock."""
+    from .serving import Server, parse_workload_spec, synthesize_arrivals
+
+    workload = args.workload or "mixed"
+    try:
+        phases = parse_workload_spec(workload)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    requests = synthesize_arrivals(phases, seed=args.seed)
+    serial = Server(policy="fifo", max_batch=1, max_wait_s=0.0, lanes=1)
+    serial.submit_many(requests)
+    serial_report = serial.drain()
+    batched = Server()
+    batched.submit_many(requests)
+    batched_report = batched.drain()
+    speedup = (
+        batched_report.throughput_rps / serial_report.throughput_rps
+        if serial_report.throughput_rps
+        else 0.0
+    )
+    _print(
+        format_table(
+            ["dispatch", "req/s", "P95 s", "SLO attainment"],
+            [
+                ["serial", f"{serial_report.throughput_rps:.3f}",
+                 f"{serial_report.latency_summary()['p95']:.1f}",
+                 f"{100 * serial_report.slo_attainment:.1f}%"],
+                ["continuous", f"{batched_report.throughput_rps:.3f}",
+                 f"{batched_report.latency_summary()['p95']:.1f}",
+                 f"{100 * batched_report.slo_attainment:.1f}%"],
+            ],
+            title=f"Serving throughput, workload {workload!r} (seed {args.seed})",
+        )
+    )
+    _print(f"continuous batching speedup: {speedup:.2f}x")
+    return _bench_finish(
+        args, "serving",
+        {
+            "serial_rps": serial_report.throughput_rps,
+            "continuous_rps": batched_report.throughput_rps,
+            "batching_speedup": speedup,
+            "continuous_attainment": batched_report.slo_attainment,
+        },
+        meta={"workload": workload, "seed": args.seed},
+    )
+
+
+def _bench_fleet(args) -> int:
+    """Fleet scaling: N modeled GPUs vs one on an overload workload."""
+    from .serving import Fleet, Server, parse_workload_spec, synthesize_arrivals
+
+    workload = args.workload or "overload"
+    if args.gpus < 1:
+        print(f"--gpus must be >= 1, got {args.gpus}", file=sys.stderr)
+        return 2
+    try:
+        phases = parse_workload_spec(workload)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    requests = synthesize_arrivals(phases, seed=args.seed)
+    single = Server()
+    single.submit_many(requests)
+    single_report = single.drain()
+    fleet = Fleet(gpus=args.gpus)
+    fleet.submit_many(requests)
+    fleet_report = fleet.drain()
+    speedup = (
+        fleet_report.throughput_rps / single_report.throughput_rps
+        if single_report.throughput_rps
+        else 0.0
+    )
+    _print(
+        format_table(
+            ["devices", "req/s", "P95 s", "SLO attainment"],
+            [
+                ["1", f"{single_report.throughput_rps:.3f}",
+                 f"{single_report.latency_summary()['p95']:.1f}",
+                 f"{100 * single_report.slo_attainment:.1f}%"],
+                [str(args.gpus), f"{fleet_report.throughput_rps:.3f}",
+                 f"{fleet_report.latency_summary()['p95']:.1f}",
+                 f"{100 * fleet_report.slo_attainment:.1f}%"],
+            ],
+            title=f"Fleet scaling, workload {workload!r} (seed {args.seed})",
+        )
+    )
+    _print(
+        f"fleet speedup: {speedup:.2f}x on {args.gpus} device(s) "
+        f"({100 * speedup / args.gpus:.0f}% scaling efficiency)"
+    )
+    return _bench_finish(
+        args, "fleet",
+        {
+            "single_rps": single_report.throughput_rps,
+            "fleet_rps": fleet_report.throughput_rps,
+            "fleet_speedup": speedup,
+            "fleet_attainment": fleet_report.slo_attainment,
+        },
+        meta={"workload": workload, "gpus": args.gpus, "seed": args.seed},
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Neo (ISCA'25) reproduction toolkit"
@@ -691,6 +820,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--lanes", type=int, default=2, help="concurrent batch lanes (default 2)"
     )
     serve.add_argument(
+        "--gpus", type=int, default=1,
+        help="modeled GPUs; > 1 routes across a fleet (default 1)",
+    )
+    serve.add_argument(
+        "--placement", default="replicate", choices=("replicate", "shard"),
+        help="evaluation-key placement across the fleet (default: replicate)",
+    )
+    serve.add_argument(
+        "--tensor-parallel", type=int, default=1,
+        help="GPUs ganged per serving group; must divide --gpus (default 1)",
+    )
+    serve.add_argument(
         "--seed", type=int, default=0, help="arrival-trace seed (default 0)"
     )
     serve.add_argument(
@@ -725,6 +866,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--set", default="C", help="parameter set (default: C)")
     metrics.add_argument("--seed", type=int, default=0, help="arrival seed")
+    metrics.add_argument(
+        "--gpus", type=int, default=1,
+        help="modeled GPUs; > 1 drains a fleet and adds fleet_* metrics",
+    )
     metrics.set_defaults(func=cmd_metrics)
     trace = sub.add_parser(
         "trace", help="span tree of one request from a traced serve run"
@@ -744,7 +889,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="time a functional kernel (loop form vs GEMM form)"
     )
-    bench.add_argument("kernel", help="kernel to benchmark: keyswitch, bootstrap")
+    bench.add_argument(
+        "kernel",
+        help="benchmark to run: keyswitch, bootstrap, serving, fleet",
+    )
+    bench.add_argument(
+        "--workload", default=None,
+        help="workload preset or spec for serving/fleet benches "
+        "(default: mixed for serving, overload for fleet)",
+    )
+    bench.add_argument(
+        "--gpus", type=int, default=4,
+        help="fleet size for the fleet bench (default 4)",
+    )
     bench.add_argument(
         "--degree", type=int, default=None,
         help="ring degree N (default: 1024 for keyswitch, 32 for bootstrap)",

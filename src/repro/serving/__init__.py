@@ -8,6 +8,17 @@ and scheduled onto multi-stream lanes of the analytic A100 model.  See
 """
 
 from .batcher import Batch, ContinuousBatcher
+from .fleet import (
+    GALOIS_KEY_COUNTS,
+    PLACEMENT_POLICIES,
+    DeviceReport,
+    Fleet,
+    FleetReport,
+    KeyPlacementPlan,
+    MultiGpuServiceModel,
+    app_key_bytes,
+    plan_key_placement,
+)
 from .policies import (
     POLICIES,
     AdmissionPolicy,
@@ -38,10 +49,17 @@ __all__ = [
     "Batch",
     "ContinuousBatcher",
     "DEFAULT_SLO_S",
+    "DeviceReport",
     "EarliestDeadlinePolicy",
     "FifoPolicy",
     "FixedServiceModel",
+    "Fleet",
+    "FleetReport",
+    "GALOIS_KEY_COUNTS",
+    "KeyPlacementPlan",
+    "MultiGpuServiceModel",
     "NeoServiceModel",
+    "PLACEMENT_POLICIES",
     "POLICIES",
     "Request",
     "RequestQueue",
@@ -52,7 +70,9 @@ __all__ = [
     "SizeBucketedPolicy",
     "WORKLOAD_PRESETS",
     "WorkloadPhase",
+    "app_key_bytes",
     "default_slo_s",
+    "plan_key_placement",
     "get_policy",
     "next_power_of_two",
     "parse_workload_spec",

@@ -91,6 +91,20 @@ class NeoServiceModel:
         trace = ctx.application_trace(self._app(app))
         return trace.overlapped_time_s(ctx.device, streams)
 
+    def batch_trace(self, app: str, size: int):
+        """Frozen execution trace of one `app` batch of `size` ciphertexts.
+
+        The fleet layer feeds this to the multi-GPU cost model; the trace
+        comes out of the shared cache, so multi-device timing never
+        rebuilds a shape the single-device path already priced.
+        """
+        ctx = self._root.with_batch(size)
+        return ctx.application_trace(self._app(app)).frozen()
+
+    def batch_device(self, size: int):
+        """The batch-derated device a batch of `size` executes on."""
+        return self._root.with_batch(size).device
+
     def cache_stats(self) -> CacheStats:
         return self._root.cache_stats()
 

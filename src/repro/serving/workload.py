@@ -10,7 +10,7 @@ runs.
 Spec strings are comma-separated phases ``app:count:rate[:size[:slo]]``
 (rate in requests per simulated second, slo in simulated seconds), e.g.
 ``helr:60:1.2,packbootstrap:40:0.8``.  A few named presets cover the common
-cases (``mixed``, ``bootstrap``, ``smoke``).
+cases (``mixed``, ``bootstrap``, ``smoke``, ``overload``).
 """
 
 from __future__ import annotations
@@ -62,6 +62,14 @@ WORKLOAD_PRESETS: Dict[str, Tuple[WorkloadPhase, ...]] = {
     "smoke": (
         WorkloadPhase("helr", 12, 1.0),
         WorkloadPhase("packbootstrap", 8, 0.5),
+    ),
+    # The fleet acceptance workload: ~11 req/s against a single device's
+    # ~3 req/s saturation throughput -- one modeled A100 provably blows
+    # its SLOs (attainment < 50%), four ride it out (see
+    # ``benchmarks/test_ext_fleet_scaling.py``).
+    "overload": (
+        WorkloadPhase("helr", 3960, 6.6),
+        WorkloadPhase("packbootstrap", 2640, 4.4),
     ),
 }
 

@@ -276,3 +276,111 @@ class TestBenchRecord:
                      "--bench-dir", str(tmp_path)]) == 0
         (record,) = load_history("bootstrap", str(tmp_path))
         assert "speedup" in record.metrics
+
+
+class TestFleetServeCommand:
+    SMOKE = ["serve", "--gpus", "4", "--workload", "smoke",
+             "--max-batch", "16"]
+
+    def test_serve_gpus_fleet_report(self, capsys):
+        assert main(self.SMOKE) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 4 GPU(s)" in out
+        assert "per-device" in out and "gpu0" in out and "gpu3" in out
+        assert "interconnect traffic" in out and "key broadcast" in out
+
+    def test_serve_gpus_replays_deterministically(self, capsys):
+        assert main(self.SMOKE + ["--seed", "11"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.SMOKE + ["--seed", "11"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_gpus_shard_tensor_parallel(self, capsys):
+        assert main(self.SMOKE + ["--placement", "shard",
+                                  "--tensor-parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 group(s) x 2 tensor-parallel" in out
+        assert "keys sharded" in out
+        assert "bconv" in out  # exchange stages priced per kernel class
+
+    def test_serve_gpus_rejects_bad_tensor_parallel(self, capsys):
+        assert main(self.SMOKE + ["--tensor-parallel", "3"]) == 2
+        assert "divide" in capsys.readouterr().err
+
+    def test_serve_gpus_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "fleet.json"
+        assert main(self.SMOKE + ["--chrome-trace", str(path)]) == 0
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_serve_gpus_metrics_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(self.SMOKE + ["--metrics", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["fleet_requests_total"]["type"] == "counter"
+        assert data["fleet_device_utilization"]["type"] == "gauge"
+
+
+class TestFleetMetricsCommand:
+    def test_metrics_gpus_adds_fleet_families(self, capsys):
+        assert main(["metrics", "--workload", "smoke", "--gpus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE fleet_requests_total counter" in out
+        assert "# TYPE fleet_device_utilization gauge" in out
+        assert 'fleet_requests_total{gpu="1"}' in out
+        # the per-device servers still emit the serving families
+        assert "# TYPE serving_requests_total counter" in out
+
+
+class TestServingBenchCommand:
+    SMOKE = ["bench", "serving", "--workload", "smoke"]
+
+    def test_bench_serving_smoke(self, capsys):
+        assert main(self.SMOKE) == 0
+        out = capsys.readouterr().out
+        assert "Serving throughput" in out
+        assert "serial" in out and "continuous" in out
+        assert "batching speedup" in out
+
+    def test_bench_serving_record(self, capsys, tmp_path):
+        from repro.telemetry.bench_history import load_history
+
+        assert main(self.SMOKE + ["--record", "--bench-dir",
+                                  str(tmp_path)]) == 0
+        (record,) = load_history("serving", str(tmp_path))
+        assert "batching_speedup" in record.metrics
+        assert "continuous_rps" in record.metrics
+
+    def test_bench_serving_rejects_bad_workload(self, capsys):
+        assert main(["bench", "serving", "--workload", "nope:1"]) == 2
+
+
+class TestFleetBenchCommand:
+    SMOKE = ["bench", "fleet", "--workload", "smoke", "--gpus", "2"]
+
+    def test_bench_fleet_smoke(self, capsys):
+        assert main(self.SMOKE) == 0
+        out = capsys.readouterr().out
+        assert "Fleet scaling" in out
+        assert "fleet speedup" in out and "scaling efficiency" in out
+
+    def test_bench_fleet_record_and_stable_rerun(self, capsys, tmp_path):
+        from repro.telemetry.bench_history import load_history
+
+        args = self.SMOKE + ["--record", "--bench-dir", str(tmp_path),
+                             "--fail-on-regress"]
+        # simulated-clock metrics are deterministic: the rerun compares
+        # clean against its own baseline even at default rtol
+        assert main(args) == 0
+        assert main(args) == 0
+        records = load_history("fleet", str(tmp_path))
+        assert len(records) == 2
+        assert records[0].metrics == records[1].metrics
+        assert "fleet_speedup" in records[0].metrics
+
+    def test_bench_fleet_rejects_bad_gpus(self, capsys):
+        assert main(["bench", "fleet", "--gpus", "0"]) == 2
+        assert "--gpus" in capsys.readouterr().err
