@@ -1,0 +1,192 @@
+"""Overload degradation gates: graceful behaviour at 10x offered load.
+
+The ``overload10x`` preset offers ~30 requests/s against a single C-tier
+device that retires roughly 3 requests/s -- a sustained 10x overdrive.
+An overload-hardened server must degrade *by policy*, not by accident:
+
+* **low-priority traffic is shed** -- the batch tier absorbs the
+  overload so paying tiers keep their latency;
+* **premium stays inside its SLO** -- P95 latency within the
+  application SLO and >= 95% attainment for admitted premium requests;
+* **memory stays bounded** -- the admission queue never exceeds its
+  configured capacity, no matter how hard the arrival process pushes;
+* **nothing is lost** -- served + shed + rejected + cancelled
+  partitions the offered set exactly;
+* **the timeline is deterministic** -- two fresh drains of the same
+  trace produce bit-identical fingerprints.
+
+A FIFO/unbounded control run on the same traffic mix demonstrates what
+the gates protect against: without admission control the premium tier
+blows through its SLO as the backlog grows without bound.
+
+Run with: PYTHONPATH=src python -m pytest benchmarks/test_ext_overload_degradation.py -v
+"""
+
+import pytest
+
+from repro.serving import (
+    OverloadPolicy,
+    Server,
+    parse_workload_spec,
+    synthesize_arrivals,
+)
+
+WORKLOAD = "overload10x"
+SEED = 0
+
+#: Same tier mix and rates as ``overload10x`` at a fifth of the horizon:
+#: the unbounded control server sorts its whole backlog per dispatch, so
+#: the contrast case runs on a shorter trace with identical dynamics.
+CONTRAST_SPEC = (
+    "helr:120:2.0:1:0:premium,"
+    "packbootstrap:180:3.0:1:0:standard,"
+    "helr:1500:25.0:1:0:batch"
+)
+
+OVERLOAD = OverloadPolicy(
+    queue_capacity=128,
+    shed_threshold=0.5,
+    shed_below_priority=1,
+    evict_lower_priority=True,
+)
+
+
+def _controlled_server():
+    return Server(
+        params="C",
+        policy="priority",
+        max_batch=64,
+        max_wait_s=20.0,
+        lanes=2,
+        overload=OVERLOAD,
+    )
+
+
+def _uncontrolled_server():
+    return Server(
+        params="C", policy="fifo", max_batch=64, max_wait_s=20.0, lanes=2
+    )
+
+
+def _drain(server, spec):
+    requests = synthesize_arrivals(parse_workload_spec(spec), seed=SEED)
+    server.submit_many(requests)
+    return server.drain()
+
+
+@pytest.fixture(scope="module")
+def overload_report():
+    return _drain(_controlled_server(), WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def contrast_reports():
+    naive = _drain(_uncontrolled_server(), CONTRAST_SPEC)
+    controlled = _drain(_controlled_server(), CONTRAST_SPEC)
+    return naive, controlled
+
+
+class TestOverloadIsGenuine:
+    def test_offered_load_is_10x_overdrive(self, overload_report):
+        """The preset genuinely overdrives the device ~10x."""
+        report = overload_report
+        assert report.offered == 9000
+        dropped = report.shed_count + report.rejected_count
+        assert dropped >= 0.8 * report.offered, (
+            f"only {dropped}/{report.offered} dropped; the workload is "
+            "not a real overload and these gates prove nothing"
+        )
+
+    def test_conservation_under_overload(self, overload_report):
+        report = overload_report
+        total = (
+            report.served
+            + report.shed_count
+            + report.rejected_count
+            + report.cancelled_count
+        )
+        assert total == report.offered, (
+            f"outcome buckets sum to {total}, offered {report.offered}: "
+            "requests were lost or double-counted"
+        )
+
+
+class TestGracefulDegradation:
+    def test_batch_tier_absorbs_the_shedding(self, overload_report):
+        tiers = overload_report.per_tier()
+        batch = tiers["batch"]
+        assert batch["shed"] > 0, "no batch-tier traffic was shed at 10x"
+        offered_batch = sum(
+            batch[k] for k in ("served", "shed", "rejected", "cancelled")
+        )
+        assert batch["shed"] / offered_batch >= 0.9, (
+            "at 10x overdrive nearly all batch traffic must be shed, got "
+            f"{batch['shed']}/{offered_batch}"
+        )
+
+    def test_premium_is_never_shed(self, overload_report):
+        premium = overload_report.per_tier()["premium"]
+        assert premium["shed"] == 0 and premium["rejected"] == 0, (
+            f"premium dropped under overload: {premium}"
+        )
+        assert premium["served"] == 600
+
+    def test_premium_p95_within_slo(self, overload_report):
+        premium = overload_report.per_tier()["premium"]
+        slo_s = 300.0  # default helr SLO
+        assert premium["p95_s"] <= slo_s, (
+            f"premium P95 {premium['p95_s']:.1f}s exceeds the "
+            f"{slo_s:.0f}s SLO under 10x load"
+        )
+
+    def test_premium_attainment_at_least_95pct(self, overload_report):
+        premium = overload_report.per_tier()["premium"]
+        assert premium["slo_attainment"] >= 0.95, (
+            f"admitted premium attainment {premium['slo_attainment']:.3f} "
+            "< 0.95 under 10x load"
+        )
+
+
+class TestBoundedMemory:
+    def test_queue_depth_never_exceeds_capacity(self, overload_report):
+        assert (
+            overload_report.max_queue_depth <= OVERLOAD.queue_capacity
+        ), (
+            f"queue depth {overload_report.max_queue_depth} exceeded the "
+            f"{OVERLOAD.queue_capacity}-slot bound"
+        )
+        assert overload_report.peak_pressure == pytest.approx(1.0)
+
+    def test_uncontrolled_backlog_is_unbounded(self, contrast_reports):
+        naive, controlled = contrast_reports
+        assert naive.max_queue_depth > 4 * OVERLOAD.queue_capacity, (
+            "the control run no longer demonstrates unbounded growth; "
+            "the contrast spec needs more overdrive"
+        )
+        assert controlled.max_queue_depth <= OVERLOAD.queue_capacity
+
+
+class TestAdmissionControlEarnsItsKeep:
+    def test_premium_collapses_without_admission_control(
+        self, contrast_reports
+    ):
+        """Same traffic, no overload policy: premium misses its SLO."""
+        naive, controlled = contrast_reports
+        naive_premium = naive.per_tier()["premium"]
+        ctl_premium = controlled.per_tier()["premium"]
+        assert naive_premium["slo_attainment"] < 0.6, (
+            "FIFO/unbounded premium attainment "
+            f"{naive_premium['slo_attainment']:.3f} is too healthy; the "
+            "contrast no longer demonstrates degradation"
+        )
+        assert ctl_premium["slo_attainment"] >= 0.95
+        assert ctl_premium["p95_s"] < naive_premium["p95_s"]
+
+
+class TestDeterminism:
+    def test_overload_drain_is_deterministic(self, overload_report):
+        again = _drain(_controlled_server(), WORKLOAD)
+        assert again.fingerprint() == overload_report.fingerprint(), (
+            "two drains of the same overload trace diverged"
+        )
+        assert again.per_tier() == overload_report.per_tier()

@@ -254,13 +254,26 @@ def cmd_profile(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .serving import Fleet, Server, parse_workload_spec, synthesize_arrivals
+    from .serving import (
+        Fleet,
+        OverloadPolicy,
+        Server,
+        parse_workload_spec,
+        synthesize_arrivals,
+    )
     from .serving.policies import POLICIES
 
     if args.policy.lower() not in POLICIES:
         print(
             f"unknown policy {args.policy!r}; choose from "
             + ", ".join(sorted(POLICIES)),
+            file=sys.stderr,
+        )
+        return 2
+    if args.gpus > 1 and (args.wall_clock or args.snapshot):
+        print(
+            "--wall-clock and --snapshot operate on a single server; "
+            "use --gpus 1",
             file=sys.stderr,
         )
         return 2
@@ -271,6 +284,13 @@ def cmd_serve(args) -> int:
         enable_telemetry().reset()
         tracer = Tracer()
     try:
+        overload = None
+        if args.queue_capacity is not None:
+            overload = OverloadPolicy(
+                queue_capacity=args.queue_capacity,
+                shed_threshold=args.shed_threshold,
+                tenant_quota=args.tenant_quota,
+            )
         phases = parse_workload_spec(args.workload)
         requests = synthesize_arrivals(phases, seed=args.seed)
         if args.gpus > 1:
@@ -283,6 +303,7 @@ def cmd_serve(args) -> int:
                 lanes=args.lanes,
                 placement=args.placement,
                 tensor_parallel=args.tensor_parallel,
+                overload=overload,
                 tracer=tracer,
             )
         else:
@@ -292,18 +313,36 @@ def cmd_serve(args) -> int:
                 max_batch=args.max_batch,
                 max_wait_s=args.max_wait_ms / 1e3,
                 lanes=args.lanes,
+                overload=overload,
                 tracer=tracer,
             )
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    server.submit_many(requests)
-    report = server.drain()
+    if args.wall_clock:
+        from .serving import run_wall_clock
+
+        report = run_wall_clock(server, requests, time_scale=args.time_scale)
+    else:
+        server.submit_many(requests)
+        report = server.drain()
     _print(
         f"workload {args.workload!r} (seed {args.seed}): "
         + ", ".join(f"{p.count}x {p.app} @ {p.rate_hz:g}/s" for p in phases)
     )
     _print(report.format())
+    if args.autoscale and args.gpus > 1:
+        _print("")
+        _print(server.plan_autoscale().format())
+    if args.snapshot:
+        from .serving import capture_timeline
+
+        path = capture_timeline(server, args.snapshot, report)
+        print(
+            f"timeline snapshot ({report.offered} requests, fingerprint "
+            f"{report.fingerprint()[:12]}..) written to {path} "
+            "(replay with: python -m repro replay)"
+        )
     if args.chrome_trace:
         with open(args.chrome_trace, "w") as fh:
             fh.write(report.to_chrome_trace())
@@ -327,6 +366,38 @@ def cmd_serve(args) -> int:
             f"span log ({len(tracer)} spans, {len(tracer.trace_ids())} traces) "
             f"written to {args.trace_jsonl}"
         )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a captured traffic snapshot; verify its fingerprint."""
+    from .serving.replay import SnapshotError, TimelineSnapshot
+
+    try:
+        snapshot = TimelineSnapshot.load(args.snapshot)
+    except (OSError, SnapshotError) as exc:
+        print(f"cannot load snapshot {args.snapshot!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.no_verify:
+            _, report = snapshot.replay()
+            verdict = "fingerprint not checked"
+        else:
+            report = snapshot.verify()
+            verdict = (
+                "fingerprint verified"
+                if snapshot.fingerprint
+                else "replay determinism verified (snapshot had no fingerprint)"
+            )
+    except SnapshotError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 1
+    _print(
+        f"replayed {len(snapshot.requests)} request(s) "
+        f"({len(snapshot.cancels)} cancel(s)) from {args.snapshot}: {verdict}"
+    )
+    _print(f"fingerprint {report.fingerprint()}")
+    _print(report.format())
     return 0
 
 
@@ -798,8 +869,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workload",
         default="mixed",
-        help="preset (mixed, bootstrap, resnet, smoke) or "
-        "app:count:rate[:size[:slo]] entries, comma-separated",
+        help="preset (mixed, bootstrap, resnet, smoke, overload10x) or "
+        "app:count:rate[:size[:slo[:tier]]] entries, comma-separated",
     )
     serve.add_argument(
         "--policy",
@@ -852,7 +923,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable tracing and write every request's spans as JSONL",
     )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="bound the admission queue and enable overload control "
+        "(load shedding, priority eviction)",
+    )
+    serve.add_argument(
+        "--shed-threshold", type=float, default=0.75, metavar="FRAC",
+        help="queue-fill fraction where low-priority shedding starts "
+        "(default 0.75; needs --queue-capacity)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="max queued requests per tenant (needs --queue-capacity)",
+    )
+    serve.add_argument(
+        "--wall-clock", action="store_true",
+        help="ingest through the asyncio front end (live edge) instead of "
+        "submitting the trace directly; same scheduler, same report",
+    )
+    serve.add_argument(
+        "--time-scale", type=float, default=0.0, metavar="S",
+        help="wall seconds per simulated second when pacing --wall-clock "
+        "ingest (default 0: as fast as backpressure allows)",
+    )
+    serve.add_argument(
+        "--snapshot", metavar="FILE", default=None,
+        help="capture the traffic timeline + fingerprint as JSONL "
+        "(replayable via `python -m repro replay FILE`)",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="with --gpus > 1, also print the hysteresis autoscale plan",
+    )
     serve.set_defaults(func=cmd_serve)
+    replay = sub.add_parser(
+        "replay", help="replay a captured traffic snapshot bit-for-bit"
+    )
+    replay.add_argument("snapshot", help="snapshot JSONL from serve --snapshot")
+    replay.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the fingerprint check (print the report only)",
+    )
+    replay.set_defaults(func=cmd_replay)
     metrics = sub.add_parser(
         "metrics", help="metrics snapshot of one telemetry-enabled serve run"
     )

@@ -55,6 +55,7 @@ from ..gpu.multi_gpu import NVLINK3, Interconnect, MultiGpuModel
 from ..gpu.trace import ExecutionTrace
 from ..telemetry.registry import MetricsRegistry, global_registry
 from ..telemetry.tracing import Tracer, active_tracer
+from .overload import OverloadPolicy
 from .policies import AdmissionPolicy
 from .request import Request, RequestRecord
 from .server import NeoServiceModel, Server, ServingReport
@@ -172,6 +173,179 @@ def plan_key_placement(
         devices_by_app=devices,
         key_bytes_by_app={app: app_key_bytes(params, app) for app in names},
     )
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Queue-pressure autoscaling with hysteresis and cooldown.
+
+    The planner walks fixed windows of offered demand, tracks a
+    utilization proxy (demand plus carried backlog over fleet capacity),
+    and only acts after `up_windows` consecutively hot or `down_windows`
+    consecutively cold windows -- classic hysteresis, so one bursty
+    window never flaps the fleet.  Every action starts a
+    `cooldown_windows`-long hold.
+    """
+
+    min_gpus: int = 1
+    max_gpus: int = 16
+    window_s: float = 120.0
+    scale_up_utilization: float = 0.85
+    scale_down_utilization: float = 0.30
+    up_windows: int = 2
+    down_windows: int = 3
+    cooldown_windows: int = 2
+    step: int = 1
+
+    def __post_init__(self):
+        if not 1 <= self.min_gpus <= self.max_gpus:
+            raise ValueError(
+                f"need 1 <= min_gpus <= max_gpus, got "
+                f"[{self.min_gpus}, {self.max_gpus}]"
+            )
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if not 0 < self.scale_down_utilization < self.scale_up_utilization:
+            raise ValueError(
+                "need 0 < scale_down_utilization < scale_up_utilization, got "
+                f"{self.scale_down_utilization} / {self.scale_up_utilization}"
+            )
+        if min(self.up_windows, self.down_windows, self.step) < 1:
+            raise ValueError("up_windows, down_windows, step must be >= 1")
+        if self.cooldown_windows < 0:
+            raise ValueError("cooldown_windows must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One autoscaling window's verdict."""
+
+    at_s: float
+    action: str  # "up" | "down" | "hold"
+    gpus: int  # fleet size in force after this window's decision
+    utilization: float
+    reason: str
+
+
+@dataclass
+class AutoscaleTrace:
+    """The full windowed autoscale plan for one offered-load timeline."""
+
+    policy: AutoscalePolicy
+    start_gpus: int
+    decisions: List[ScaleDecision] = field(default_factory=list)
+
+    @property
+    def final_gpus(self) -> int:
+        return self.decisions[-1].gpus if self.decisions else self.start_gpus
+
+    @property
+    def peak_gpus(self) -> int:
+        return max(
+            (d.gpus for d in self.decisions), default=self.start_gpus
+        )
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "up")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "down")
+
+    def format(self) -> str:
+        rows = [
+            [
+                f"{d.at_s:.0f}",
+                f"{100 * d.utilization:.0f}%",
+                d.action,
+                d.gpus,
+                d.reason,
+            ]
+            for d in self.decisions
+        ]
+        header = (
+            f"autoscale: {self.start_gpus} -> {self.final_gpus} GPU(s) "
+            f"(peak {self.peak_gpus}; {self.scale_ups} up / "
+            f"{self.scale_downs} down over {len(self.decisions)} windows)"
+        )
+        return header + "\n" + format_table(
+            ["window start s", "util", "action", "gpus", "reason"],
+            rows,
+            title="scaling decisions",
+        )
+
+
+def plan_autoscale(
+    demand_windows: Sequence[float],
+    policy: AutoscalePolicy,
+    start_gpus: int,
+    capacity_per_gpu_s: float,
+) -> AutoscaleTrace:
+    """Walk windowed demand and emit hysteresis-damped scaling decisions.
+
+    ``demand_windows[i]`` is the service-seconds of work offered in window
+    `i`; each GPU retires `capacity_per_gpu_s` service-seconds per window.
+    Unserved demand carries over as backlog, so a burst keeps pressure on
+    until the (possibly grown) fleet works it off -- the signal a
+    queue-depth autoscaler actually sees.
+    """
+    if capacity_per_gpu_s <= 0:
+        raise ValueError(
+            f"capacity_per_gpu_s must be > 0, got {capacity_per_gpu_s}"
+        )
+    gpus = min(max(start_gpus, policy.min_gpus), policy.max_gpus)
+    trace = AutoscaleTrace(policy=policy, start_gpus=gpus)
+    backlog = 0.0
+    hot = cold = cooldown = 0
+    for i, demand in enumerate(demand_windows):
+        at_s = i * policy.window_s
+        capacity = gpus * capacity_per_gpu_s
+        load = demand + backlog
+        utilization = load / capacity if capacity > 0 else float("inf")
+        backlog = max(0.0, load - capacity)
+        action, reason = "hold", "within band"
+        if cooldown > 0:
+            cooldown -= 1
+            reason = "cooldown"
+        elif utilization >= policy.scale_up_utilization:
+            hot, cold = hot + 1, 0
+            if hot >= policy.up_windows:
+                if gpus < policy.max_gpus:
+                    gpus = min(policy.max_gpus, gpus + policy.step)
+                    action = "up"
+                    reason = f"hot {hot} windows"
+                    cooldown = policy.cooldown_windows
+                    hot = 0
+                else:
+                    reason = "hot, at max_gpus"
+            else:
+                reason = f"hot {hot}/{policy.up_windows}"
+        elif utilization <= policy.scale_down_utilization:
+            cold, hot = cold + 1, 0
+            if cold >= policy.down_windows:
+                if gpus > policy.min_gpus:
+                    gpus = max(policy.min_gpus, gpus - policy.step)
+                    action = "down"
+                    reason = f"cold {cold} windows"
+                    cooldown = policy.cooldown_windows
+                    cold = 0
+                else:
+                    reason = "cold, at min_gpus"
+            else:
+                reason = f"cold {cold}/{policy.down_windows}"
+        else:
+            hot = cold = 0
+        trace.decisions.append(
+            ScaleDecision(
+                at_s=at_s,
+                action=action,
+                gpus=gpus,
+                utilization=utilization,
+                reason=reason,
+            )
+        )
+    return trace
 
 
 class MultiGpuServiceModel:
@@ -307,6 +481,28 @@ class FleetReport:
     def slo_attainment(self) -> float:
         served = self.served
         return 1.0 - self.slo_violations / served if served else 1.0
+
+    # -- overload aggregation -----------------------------------------------------
+
+    @property
+    def shed_count(self) -> int:
+        return sum(d.report.shed_count for d in self.devices)
+
+    @property
+    def rejected_count(self) -> int:
+        return sum(d.report.rejected_count for d in self.devices)
+
+    @property
+    def cancelled_count(self) -> int:
+        return sum(d.report.cancelled_count for d in self.devices)
+
+    @property
+    def offered(self) -> int:
+        return sum(d.report.offered for d in self.devices)
+
+    @property
+    def peak_pressure(self) -> float:
+        return max((d.report.peak_pressure for d in self.devices), default=0.0)
 
     @property
     def exchange_bytes(self) -> float:
@@ -454,6 +650,7 @@ class Fleet:
         interconnect: Interconnect = NVLINK3,
         tensor_parallel: int = 1,
         trace_cache: Optional[TraceCache] = None,
+        overload: Optional[OverloadPolicy] = None,
         tracer: Optional[Tracer] = None,
     ):
         if gpus < 1:
@@ -480,6 +677,7 @@ class Fleet:
         self.placement_policy = placement
         self.device = device
         self.interconnect = interconnect
+        self.overload = overload
         self.tracer = tracer
 
         base = NeoServiceModel(
@@ -504,6 +702,7 @@ class Fleet:
                 max_wait_s=max_wait_s,
                 lanes=lanes,
                 model=self._model,
+                overload=overload,
                 tracer=tracer,
             )
             for _ in range(self.groups)
@@ -566,6 +765,41 @@ class Fleet:
             )
             assignment[group].append(request)
         return assignment
+
+    # -- autoscaling --------------------------------------------------------------
+
+    def plan_autoscale(
+        self, policy: Optional[AutoscalePolicy] = None
+    ) -> AutoscaleTrace:
+        """A hysteresis-damped scaling plan for the submitted trace.
+
+        Offered demand is bucketed into `policy.window_s` windows of
+        estimated service-seconds (the same estimates the router uses);
+        each GPU contributes ``lanes * window_s`` service-seconds per
+        window.  The plan is advisory -- a deterministic what-if over the
+        trace, not a mid-drain topology change -- and feeds the capacity
+        decision for the *next* drain.
+        """
+        policy = policy or AutoscalePolicy()
+        horizon = max(
+            (r.arrival_s for r in self._submitted), default=0.0
+        )
+        windows = [0.0] * (int(horizon // policy.window_s) + 1)
+        estimates: Dict[Tuple[str, int], float] = {}
+        for request in self._submitted:
+            key = (request.app, request.size)
+            est = estimates.get(key)
+            if est is None:
+                est = estimates[key] = self._service_estimate(
+                    request.app, request.size
+                )
+            windows[int(request.arrival_s // policy.window_s)] += est
+        return plan_autoscale(
+            windows,
+            policy,
+            start_gpus=self.groups,
+            capacity_per_gpu_s=self.lanes * policy.window_s,
+        )
 
     # -- simulation ---------------------------------------------------------------
 

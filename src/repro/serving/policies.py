@@ -86,10 +86,28 @@ class SizeBucketedPolicy(FifoPolicy):
         return next_power_of_two(total_size)
 
 
+class PriorityPolicy(SizeBucketedPolicy):
+    """Tier-aware EDF on bucketed batches: priority first, deadline second.
+
+    The overload companion policy: once the admission controller has
+    decided *who enters* the queue, this policy decides *who leaves
+    first* -- premium requests dispatch ahead of standard ahead of batch,
+    and within one tier the earliest deadline wins.  Buckets and executed
+    sizes follow :class:`SizeBucketedPolicy` (padded powers of two), so
+    trace-shape reuse is unchanged.
+    """
+
+    name = "priority"
+
+    def order_key(self, request: Request) -> Tuple:
+        return (-request.priority, request.deadline_s, request.rid)
+
+
 POLICIES: Dict[str, Type[AdmissionPolicy]] = {
     FifoPolicy.name: FifoPolicy,
     EarliestDeadlinePolicy.name: EarliestDeadlinePolicy,
     SizeBucketedPolicy.name: SizeBucketedPolicy,
+    PriorityPolicy.name: PriorityPolicy,
 }
 
 

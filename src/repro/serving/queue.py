@@ -5,19 +5,44 @@ records a time-stamped depth sample at every mutation, so the server can
 report time-weighted mean and peak queue depth without a separate metrics
 pass.  Ordering and batching decisions live in
 :mod:`repro.serving.policies` and :mod:`repro.serving.batcher`.
+
+The queue is **bounded** when given a ``capacity``: pushing into a full
+queue raises :class:`QueueFull` instead of growing without limit.  Under
+sustained overload an unbounded queue is an OOM waiting to happen (and a
+latency disaster long before that); the explicit rejection path is what
+:mod:`repro.serving.overload` turns into load shedding, eviction, and
+backpressure signals.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from .request import Request
 
 
-class RequestQueue:
-    """Pending requests with step-function depth accounting."""
+class QueueFull(Exception):
+    """Raised when a push would exceed the queue's capacity bound."""
 
-    def __init__(self):
+    def __init__(self, capacity: int):
+        super().__init__(
+            f"admission queue is at its capacity bound ({capacity} requests)"
+        )
+        self.capacity = capacity
+
+
+class RequestQueue:
+    """Pending requests with step-function depth accounting.
+
+    Args:
+        capacity: maximum pending requests; ``None`` leaves the queue
+            unbounded (the pre-overload-control behaviour).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
         self._pending: List[Request] = []
         #: (time, depth) samples; depth holds until the next sample.
         self._samples: List[Tuple[float, int]] = []
@@ -25,6 +50,9 @@ class RequestQueue:
     # -- membership ---------------------------------------------------------------
 
     def push(self, request: Request, now: float) -> None:
+        """Append one request; raises :class:`QueueFull` at the bound."""
+        if self.capacity is not None and len(self._pending) >= self.capacity:
+            raise QueueFull(self.capacity)
         self._pending.append(request)
         self._sample(now)
 
@@ -33,6 +61,42 @@ class RequestQueue:
         gone = {r.rid for r in requests}
         self._pending = [r for r in self._pending if r.rid not in gone]
         self._sample(now)
+
+    def pop_rid(self, rid: int, now: float) -> Optional[Request]:
+        """Remove and return the queued request with `rid`, if present."""
+        for i, request in enumerate(self._pending):
+            if request.rid == rid:
+                del self._pending[i]
+                self._sample(now)
+                return request
+        return None
+
+    def lowest_priority(self, below: int) -> Optional[Request]:
+        """The eviction victim: lowest priority strictly below `below`.
+
+        Among equal priorities the most recent arrival goes (it has the
+        least queueing investment to waste).  ``None`` when every queued
+        request is at or above `below`.
+        """
+        victim: Optional[Request] = None
+        for request in self._pending:
+            if request.priority >= below:
+                continue
+            if (
+                victim is None
+                or request.priority < victim.priority
+                or (
+                    request.priority == victim.priority
+                    and (request.arrival_s, request.rid)
+                    > (victim.arrival_s, victim.rid)
+                )
+            ):
+                victim = request
+        return victim
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Currently queued requests belonging to one tenant."""
+        return sum(1 for r in self._pending if r.tenant == tenant)
 
     @property
     def requests(self) -> Tuple[Request, ...]:
@@ -44,6 +108,15 @@ class RequestQueue:
 
     def __bool__(self) -> bool:
         return bool(self._pending)
+
+    # -- pressure -----------------------------------------------------------------
+
+    @property
+    def pressure(self) -> float:
+        """Fill fraction in [0, 1]; always 0.0 for unbounded queues."""
+        if self.capacity is None:
+            return 0.0
+        return len(self._pending) / self.capacity
 
     # -- depth metrics ------------------------------------------------------------
 

@@ -32,6 +32,34 @@ def default_slo_s(app: str) -> float:
     return DEFAULT_SLO_S.get(app, max(DEFAULT_SLO_S.values()))
 
 
+#: Service-tier names -> admission priority.  Higher priorities are
+#: admitted first and shed last; the overload controller sheds ``batch``
+#: traffic under pressure while ``premium`` requests may evict queued
+#: lower-priority work instead of being rejected.
+TIER_PRIORITIES: Dict[str, int] = {"batch": 0, "standard": 1, "premium": 2}
+
+#: Priority -> tier name (priorities above the table map to ``premium``).
+_TIER_NAMES = {prio: name for name, prio in TIER_PRIORITIES.items()}
+
+
+def tier_priority(tier: str) -> int:
+    """The admission priority of a named service tier."""
+    try:
+        return TIER_PRIORITIES[tier.lower()]
+    except KeyError:
+        known = ", ".join(sorted(TIER_PRIORITIES))
+        raise ValueError(
+            f"unknown service tier {tier!r}; choose from {known}"
+        ) from None
+
+
+def tier_name(priority: int) -> str:
+    """The tier name a priority reports under (clamps above the table)."""
+    if priority >= max(TIER_PRIORITIES.values()):
+        return "premium"
+    return _TIER_NAMES.get(priority, "batch")
+
+
 @dataclass(frozen=True)
 class Request:
     """One FHE job submitted to the server."""
@@ -41,6 +69,10 @@ class Request:
     size: int = 1
     arrival_s: float = 0.0
     slo_s: float = 0.0
+    #: Submitting tenant, for per-tenant admission quotas.
+    tenant: str = "default"
+    #: Admission priority (see :data:`TIER_PRIORITIES`); higher wins.
+    priority: int = 1
 
     def __post_init__(self):
         app = self.app.lower()
@@ -54,6 +86,15 @@ class Request:
             raise ValueError(f"arrival time must be >= 0, got {self.arrival_s}")
         if self.slo_s <= 0:
             object.__setattr__(self, "slo_s", default_slo_s(app))
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+
+    @property
+    def tier(self) -> str:
+        """The service-tier name this request's priority falls under."""
+        return tier_name(self.priority)
 
     @property
     def deadline_s(self) -> float:

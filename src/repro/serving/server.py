@@ -32,6 +32,7 @@ from ..telemetry.registry import MetricsRegistry, global_registry
 from ..telemetry.stats import all_cache_stats
 from ..telemetry.tracing import Tracer, active_tracer
 from .batcher import Batch, ContinuousBatcher
+from .overload import ADMITTED, REJECTED, SHED, AdmissionController, OverloadPolicy
 from .policies import AdmissionPolicy, get_policy
 from .queue import RequestQueue
 from .request import Request, RequestRecord
@@ -168,6 +169,19 @@ class ServingReport:
     makespan_s: float = 0.0
     mean_queue_depth: float = 0.0
     max_queue_depth: int = 0
+    #: Requests dropped by overload policy (pressure shedding + priority
+    #: evictions), by hard necessity (queue full / tenant quota), and by
+    #: explicit mid-drain cancellation.  Empty without an overload policy.
+    shed: List[Request] = field(default_factory=list)
+    rejected: List[Request] = field(default_factory=list)
+    cancelled: List[Request] = field(default_factory=list)
+    #: The admission controller's conserved ledger (offered / admitted /
+    #: shed / rejected plus per-reason counts); empty without a policy.
+    admission: Dict[str, int] = field(default_factory=dict)
+    #: Admission-queue capacity bound in force (``None`` = unbounded).
+    queue_capacity: Optional[int] = None
+    #: Peak queue fill fraction in [0, 1] (0.0 for unbounded queues).
+    peak_pressure: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
     #: Key-switch / rotation op-plan cache counters (hits, misses,
     #: evictions, hit_rate) snapshotted at drain time -- shows how much
@@ -211,6 +225,64 @@ class ServingReport:
     @property
     def slo_attainment(self) -> float:
         return 1.0 - self.slo_violations / self.served if self.served else 1.0
+
+    # -- overload accounting ------------------------------------------------------
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.shed)
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def cancelled_count(self) -> int:
+        return len(self.cancelled)
+
+    @property
+    def offered(self) -> int:
+        """Requests submitted: served + shed + rejected + cancelled."""
+        return (
+            self.served + self.shed_count + self.rejected_count
+            + self.cancelled_count
+        )
+
+    def per_tier(self) -> Dict[str, Dict[str, float]]:
+        """Per-service-tier outcome table: served/shed/rejected, P95, SLO.
+
+        Attainment is over *admitted-and-served* requests -- the number an
+        overloaded server is graded on once shedding is policy, not
+        failure.
+        """
+        tiers: Dict[str, Dict[str, float]] = {}
+
+        def slot(tier: str) -> Dict[str, float]:
+            return tiers.setdefault(
+                tier,
+                {"served": 0, "shed": 0, "rejected": 0, "cancelled": 0,
+                 "p95_s": 0.0, "slo_attainment": 1.0},
+            )
+
+        by_tier: Dict[str, List[RequestRecord]] = {}
+        for record in self.records:
+            by_tier.setdefault(record.request.tier, []).append(record)
+        for tier, records in by_tier.items():
+            entry = slot(tier)
+            entry["served"] = len(records)
+            entry["p95_s"] = latency_percentiles(
+                [r.latency_s for r in records]
+            )["p95"]
+            entry["slo_attainment"] = (
+                sum(1 for r in records if r.slo_met) / len(records)
+            )
+        for bucket, name in (
+            (self.shed, "shed"), (self.rejected, "rejected"),
+            (self.cancelled, "cancelled"),
+        ):
+            for request in bucket:
+                slot(request.tier)[name] += 1
+        return dict(sorted(tiers.items()))
 
     def mean_batch_size(self) -> float:
         if not self.batches:
@@ -272,8 +344,42 @@ class ServingReport:
             f"peak {self.max_queue_depth}",
             f"  batches    : {len(self.batches)} formed, "
             f"mean fill {self.mean_batch_size():.1f} cts",
-            "",
         ]
+        if self.offered != self.served or self.queue_capacity is not None:
+            cap = (
+                f"capacity {self.queue_capacity}"
+                if self.queue_capacity is not None
+                else "unbounded"
+            )
+            lines.append(
+                f"  overload   : {self.shed_count} shed, "
+                f"{self.rejected_count} rejected, "
+                f"{self.cancelled_count} cancelled of {self.offered} offered "
+                f"({cap}, peak pressure {100 * self.peak_pressure:.0f}%)"
+            )
+            tiers = self.per_tier()
+            if len(tiers) > 1:
+                rows = [
+                    [
+                        tier,
+                        int(entry["served"]),
+                        int(entry["shed"]),
+                        int(entry["rejected"]),
+                        f"{entry['p95_s']:.1f}",
+                        f"{100 * entry['slo_attainment']:.1f}%",
+                    ]
+                    for tier, entry in tiers.items()
+                ]
+                lines.append("")
+                lines.append(
+                    format_table(
+                        ["tier", "served", "shed", "rejected", "P95 s",
+                         "SLO attainment"],
+                        rows,
+                        title="per-tier outcomes",
+                    )
+                )
+        lines.append("")
         per_app: Dict[str, List[RequestRecord]] = {}
         for record in self.records:
             per_app.setdefault(record.request.app, []).append(record)
@@ -364,6 +470,9 @@ class Server:
         max_wait_s: continuous-batching window, simulated seconds.
         lanes: concurrent batch slots (each gets ``streams // lanes`` streams).
         model: service-time model; defaults to :class:`NeoServiceModel`.
+        overload: admission-control policy (bounded queue, load shedding,
+            priority eviction, tenant quotas); ``None`` keeps the
+            pre-overload behaviour -- every submitted request is queued.
         tracer: span sink for per-request traces.  ``None`` falls back to
             the process-wide :func:`~repro.telemetry.tracing.active_tracer`
             at drain time (still ``None`` -> no spans, no cost).
@@ -379,6 +488,7 @@ class Server:
         lanes: int = 2,
         model=None,
         trace_cache: Optional[TraceCache] = None,
+        overload: Optional[OverloadPolicy] = None,
         tracer: Optional[Tracer] = None,
     ):
         if lanes < 1:
@@ -388,10 +498,24 @@ class Server:
         self.lanes = lanes
         self.streams_per_lane = max(1, config.streams // lanes)
         self.model = model or NeoServiceModel(params, config, trace_cache)
+        self.overload = overload
         self.tracer = tracer
         self._submitted: List[Request] = []
+        self._cancels: Dict[int, float] = {}
         self._next_rid = 0
         self._last_report: Optional[ServingReport] = None
+        #: JSONable constructor arguments for snapshot/replay capture
+        #: (:mod:`repro.serving.replay`); the pipeline config is assumed
+        #: to be the default ``NEO_CONFIG`` on replay.
+        self.snapshot_config: Dict[str, object] = {
+            "params": params if isinstance(params, str)
+            else getattr(params, "name", "C"),
+            "policy": self.policy.name,
+            "max_batch": max_batch,
+            "max_wait_s": max_wait_s,
+            "lanes": lanes,
+            "overload": overload.to_jsonable() if overload else None,
+        }
 
     # -- admission ----------------------------------------------------------------
 
@@ -403,6 +527,8 @@ class Server:
         size: int = 1,
         arrival_s: float = 0.0,
         slo_s: float = 0.0,
+        tenant: str = "default",
+        priority: int = 1,
     ) -> Request:
         """Enqueue one request (an instance, or fields to build one)."""
         if request is None:
@@ -414,6 +540,8 @@ class Server:
                 size=size,
                 arrival_s=arrival_s,
                 slo_s=slo_s,
+                tenant=tenant,
+                priority=priority,
             )
         self._next_rid = max(self._next_rid, request.rid) + 1
         self._submitted.append(request)
@@ -425,6 +553,19 @@ class Server:
             self.submit(request)
             count += 1
         return count
+
+    def cancel(self, rid: int, at_s: float) -> None:
+        """Schedule a cancellation of request `rid` at simulated `at_s`.
+
+        A cancel that lands while the request is still queued removes it
+        (reported under ``cancelled``); once its batch has dispatched the
+        cancel is too late and the request completes normally.  The
+        earliest cancel wins when the same rid is cancelled twice.
+        """
+        if at_s < 0:
+            raise ValueError(f"cancel time must be >= 0, got {at_s}")
+        current = self._cancels.get(rid)
+        self._cancels[rid] = at_s if current is None else min(current, at_s)
 
     def stats(self) -> ServerStats:
         report = self._last_report
@@ -445,27 +586,88 @@ class Server:
         """Replay every submitted request to completion; return the report.
 
         The loop advances the simulated clock to the next decision point
-        (an arrival, a lane becoming free, or a batching window expiring),
-        admits due arrivals, and dispatches whatever batch the batcher
-        deems ready onto the earliest-free lane.  No randomness anywhere:
-        the schedule is a pure function of the submitted trace.
+        (an arrival, a lane becoming free, a batching window expiring, or
+        a scheduled cancellation), admits due arrivals through the
+        overload controller (when configured), and dispatches whatever
+        batch the batcher deems ready onto the earliest-free lane.  No
+        randomness anywhere: the schedule is a pure function of the
+        submitted trace plus any scheduled cancels.
         """
         arrivals = sorted(self._submitted, key=lambda r: (r.arrival_s, r.rid))
-        queue = RequestQueue()
+        capacity = self.overload.queue_capacity if self.overload else None
+        controller = (
+            AdmissionController(self.overload) if self.overload else None
+        )
+        queue = RequestQueue(capacity=capacity)
         lane_free = [0.0] * self.lanes
         records: List[RequestRecord] = []
         batches: List[Batch] = []
+        shed: List[Request] = []
+        rejected: List[Request] = []
+        cancelled: List[Request] = []
         index, total = 0, len(arrivals)
         now = 0.0
         next_bid = 0
 
+        cancel_events = sorted(
+            (at_s, rid) for rid, at_s in self._cancels.items()
+        )
+        cindex = 0
+        infinity = float("inf")
+
+        def admit(request: Request) -> None:
+            """Route one due arrival: cancel-before-arrival, then policy."""
+            cancel_at = self._cancels.get(request.rid)
+            if cancel_at is not None and cancel_at <= request.arrival_s:
+                # Cancelled before it ever reached the queue; the later
+                # cancel event pops nothing and is a no-op.
+                cancelled.append(request)
+                return
+            if controller is None:
+                queue.push(request, request.arrival_s)
+                return
+            decision = controller.admit(request, queue, request.arrival_s)
+            if decision.outcome == SHED:
+                shed.append(request)
+            elif decision.outcome == REJECTED:
+                rejected.append(request)
+            elif decision.victim is not None:
+                shed.append(decision.victim)
+
+        def advance_events(current: float) -> None:
+            """Apply due arrivals and cancels interleaved in event order.
+
+            The clock can jump (busy lanes, window sleeps); replaying the
+            skipped-over events in their own time order keeps the queue's
+            depth samples monotone and the schedule independent of how
+            far each jump happened to land.
+            """
+            nonlocal index, cindex
+            while True:
+                arrival_t = (
+                    arrivals[index].arrival_s if index < total else infinity
+                )
+                cancel_t = (
+                    cancel_events[cindex][0]
+                    if cindex < len(cancel_events)
+                    else infinity
+                )
+                if arrival_t <= current and arrival_t <= cancel_t:
+                    admit(arrivals[index])
+                    index += 1
+                elif cancel_t <= current:
+                    at_s, rid = cancel_events[cindex]
+                    cindex += 1
+                    victim = queue.pop_rid(rid, at_s)
+                    if victim is not None:
+                        cancelled.append(victim)
+                else:
+                    return
+
         while index < total or queue:
             if not queue:
                 now = max(now, arrivals[index].arrival_s)
-            while index < total and arrivals[index].arrival_s <= now:
-                request = arrivals[index]
-                queue.push(request, request.arrival_s)
-                index += 1
+            advance_events(now)
             if not queue:
                 continue
 
@@ -482,17 +684,31 @@ class Server:
             )
             if take is None:
                 # The head batch is still filling: sleep until its window
-                # expires or the next arrival tops it up.
-                next_arrival = arrivals[index].arrival_s
-                now = min(window_deadline, next_arrival)
+                # expires, the next arrival tops it up, or a cancellation
+                # changes the queue's composition.
+                next_arrival = (
+                    arrivals[index].arrival_s if index < total else infinity
+                )
+                next_cancel = (
+                    cancel_events[cindex][0]
+                    if cindex < len(cancel_events)
+                    else infinity
+                )
+                now = min(window_deadline, next_arrival, next_cancel)
                 continue
 
             total_size = sum(r.size for r in take)
             executed = self.policy.executed_size(total_size)
             app = take[0].app
-            service = self.model.service_time_s(
-                app, executed, self.streams_per_lane
-            )
+            service_at = getattr(self.model, "service_time_at", None)
+            if service_at is not None:
+                service = service_at(
+                    app, executed, self.streams_per_lane, now
+                )
+            else:
+                service = self.model.service_time_s(
+                    app, executed, self.streams_per_lane
+                )
             start = now
             finish = start + service
             lane_free[lane] = finish
@@ -519,6 +735,15 @@ class Server:
                 for r in take
             )
 
+        accounted = len(records) + len(shed) + len(rejected) + len(cancelled)
+        if accounted != total:
+            raise RuntimeError(
+                "serving conservation violated: "
+                f"{len(records)} served + {len(shed)} shed + "
+                f"{len(rejected)} rejected + {len(cancelled)} cancelled "
+                f"!= {total} offered"
+            )
+
         caches = {
             name: stats.as_dict() for name, stats in all_cache_stats().items()
         }
@@ -533,6 +758,12 @@ class Server:
             makespan_s=max((r.finish_s for r in records), default=0.0),
             mean_queue_depth=queue.mean_depth(),
             max_queue_depth=queue.max_depth(),
+            shed=shed,
+            rejected=rejected,
+            cancelled=cancelled,
+            admission=controller.ledger.as_dict() if controller else {},
+            queue_capacity=queue.capacity,
+            peak_pressure=controller.peak_pressure if controller else 0.0,
             cache=self.model.cache_stats(),
             op_plans=ksplan.keyswitch_plan_cache_stats(),
             caches=caches,
@@ -681,6 +912,37 @@ class Server:
         registry.gauge(
             "serving_slo_attainment", "Fraction of requests meeting their SLO",
         ).set(report.slo_attainment)
+
+        if self.overload is not None or report.offered != report.served:
+            shed_total = registry.counter(
+                "serving_requests_shed_total",
+                "Requests shed by overload policy, by service tier",
+                labelnames=("tier",),
+            )
+            rejected_total = registry.counter(
+                "serving_requests_rejected_total",
+                "Requests rejected (queue full / tenant quota), by tier",
+                labelnames=("tier",),
+            )
+            cancelled_total = registry.counter(
+                "serving_requests_cancelled_total",
+                "Requests cancelled while queued, by service tier",
+                labelnames=("tier",),
+            )
+            for bucket, counter in (
+                (report.shed, shed_total),
+                (report.rejected, rejected_total),
+                (report.cancelled, cancelled_total),
+            ):
+                by_tier: Dict[str, int] = {}
+                for request in bucket:
+                    by_tier[request.tier] = by_tier.get(request.tier, 0) + 1
+                for tier, count in by_tier.items():
+                    counter.labels(tier=tier).inc(count)
+            registry.gauge(
+                "serving_queue_pressure_peak",
+                "Peak admission-queue fill fraction in [0, 1]",
+            ).set(report.peak_pressure)
 
         hits = registry.gauge(
             "cache_hits", "Cache hits, per cache surface", labelnames=("cache",)

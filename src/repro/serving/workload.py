@@ -7,10 +7,12 @@ seeded generator, so the same (spec, seed) pair always replays the same
 trace: the serving benchmarks assert bit-identical schedules on repeated
 runs.
 
-Spec strings are comma-separated phases ``app:count:rate[:size[:slo]]``
-(rate in requests per simulated second, slo in simulated seconds), e.g.
-``helr:60:1.2,packbootstrap:40:0.8``.  A few named presets cover the common
-cases (``mixed``, ``bootstrap``, ``smoke``, ``overload``).
+Spec strings are comma-separated phases
+``app:count:rate[:size[:slo[:tier]]]`` (rate in requests per simulated
+second, slo in simulated seconds, tier one of ``batch`` / ``standard`` /
+``premium``), e.g. ``helr:60:1.2,packbootstrap:40:0.8:1:0:premium``.  A
+few named presets cover the common cases (``mixed``, ``bootstrap``,
+``smoke``, ``overload``, ``overload10x``).
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..apps import APPLICATIONS
-from .request import Request
+from .request import Request, tier_priority
 
 
 @dataclass(frozen=True)
@@ -34,6 +36,11 @@ class WorkloadPhase:
     size: int = 1
     #: Latency SLO override, simulated seconds (0 uses the app default).
     slo_s: float = 0.0
+    #: Service tier (``batch`` / ``standard`` / ``premium``) -- sets each
+    #: request's admission priority under overload control.
+    tier: str = "standard"
+    #: Submitting tenant, for per-tenant admission quotas.
+    tenant: str = "default"
 
     def __post_init__(self):
         app = self.app.lower()
@@ -47,6 +54,13 @@ class WorkloadPhase:
             raise ValueError(f"phase rate must be > 0, got {self.rate_hz}")
         if self.size < 1:
             raise ValueError(f"phase size must be >= 1, got {self.size}")
+        # Validates the tier name early (raises on typos).
+        tier_priority(self.tier)
+        object.__setattr__(self, "tier", self.tier.lower())
+
+    @property
+    def priority(self) -> int:
+        return tier_priority(self.tier)
 
 
 #: Named workload presets for the CLI and the benchmarks.
@@ -71,6 +85,15 @@ WORKLOAD_PRESETS: Dict[str, Tuple[WorkloadPhase, ...]] = {
         WorkloadPhase("helr", 3960, 6.6),
         WorkloadPhase("packbootstrap", 2640, 4.4),
     ),
+    # ~10x a single device's capacity, tiered: a premium minority that an
+    # overload-controlled server must keep inside its SLO, a standard
+    # middle, and a batch majority that load shedding sacrifices (see
+    # ``benchmarks/test_ext_overload_degradation.py``).
+    "overload10x": (
+        WorkloadPhase("helr", 600, 2.0, tier="premium", tenant="gold"),
+        WorkloadPhase("packbootstrap", 900, 3.0, tier="standard", tenant="silver"),
+        WorkloadPhase("helr", 7500, 25.0, tier="batch", tenant="bulk"),
+    ),
 }
 
 
@@ -87,7 +110,8 @@ def parse_workload_spec(spec: str) -> Tuple[WorkloadPhase, ...]:
         parts = entry.split(":")
         if len(parts) < 3:
             raise ValueError(
-                f"workload entry {entry!r} must be app:count:rate[:size[:slo]]"
+                f"workload entry {entry!r} must be "
+                "app:count:rate[:size[:slo[:tier]]]"
             )
         try:
             app = parts[0]
@@ -95,9 +119,12 @@ def parse_workload_spec(spec: str) -> Tuple[WorkloadPhase, ...]:
             rate = float(parts[2])
             size = int(parts[3]) if len(parts) > 3 else 1
             slo = float(parts[4]) if len(parts) > 4 else 0.0
+            tier = parts[5] if len(parts) > 5 else "standard"
         except ValueError as exc:
             raise ValueError(f"malformed workload entry {entry!r}: {exc}") from None
-        phases.append(WorkloadPhase(app, count, rate, size=size, slo_s=slo))
+        phases.append(
+            WorkloadPhase(app, count, rate, size=size, slo_s=slo, tier=tier)
+        )
     if not phases:
         known = ", ".join(sorted(WORKLOAD_PRESETS))
         raise ValueError(
@@ -131,6 +158,8 @@ def synthesize_arrivals(
             size=phase.size,
             arrival_s=arrival,
             slo_s=phase.slo_s,
+            tenant=phase.tenant,
+            priority=phase.priority,
         )
         for rid, (arrival, _, phase) in enumerate(tagged)
     ]

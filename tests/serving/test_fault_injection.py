@@ -1,0 +1,257 @@
+"""Chaos suite: the serving layer under injected faults.
+
+Randomised :class:`~repro.serving.faults.FaultPlan` bundles -- request
+bursts, slow/stalled device windows, mid-drain cancellations -- are
+generated from the suite's seeded ``rng`` fixture (``pytest --seed N``
+reproduces any failure) and thrown at the server.  After every chaotic
+drain the same invariants must hold:
+
+* **no deadlock** -- ``drain`` returns (the loop always advances the
+  simulated clock past the next decision point);
+* **no lost or duplicated requests** -- outcome buckets partition the
+  offered set exactly;
+* **monotone clocks** -- every record satisfies
+  ``arrival <= dispatch <= start <= finish`` and lanes never run two
+  batches at once;
+* **determinism** -- the same plan replayed on a fresh server yields a
+  bit-identical timeline fingerprint.
+"""
+
+import pytest
+
+from repro.serving import (
+    BurstFault,
+    CancelFault,
+    FaultPlan,
+    FaultyServiceModel,
+    FixedServiceModel,
+    OverloadPolicy,
+    SlowDeviceFault,
+    Server,
+)
+
+BASE_SERVICE_S = 9.0
+FLAT = FixedServiceModel(lambda app, size: BASE_SERVICE_S)
+
+OVERLOAD = OverloadPolicy(
+    queue_capacity=8, shed_threshold=0.75, shed_below_priority=1
+)
+
+
+def _server(**kwargs):
+    defaults = dict(
+        policy="priority", max_batch=4, max_wait_s=5.0, lanes=2,
+        model=FixedServiceModel(lambda app, size: BASE_SERVICE_S),
+        overload=OVERLOAD,
+    )
+    defaults.update(kwargs)
+    return Server(**defaults)
+
+
+def _assert_invariants(report, offered):
+    """The chaos invariants every faulted drain must satisfy."""
+    # Conservation: no lost, no duplicated.
+    rids = (
+        [r.request.rid for r in report.records]
+        + [r.rid for r in report.shed]
+        + [r.rid for r in report.rejected]
+        + [r.rid for r in report.cancelled]
+    )
+    assert len(rids) == offered, "requests lost or duplicated"
+    assert len(set(rids)) == offered, "request counted twice"
+    # Monotone clocks.
+    for record in report.records:
+        assert record.request.arrival_s <= record.dispatch_s
+        assert record.dispatch_s <= record.start_s <= record.finish_s
+    # Lanes never overlap: batches on one lane are disjoint in time.
+    by_lane = {}
+    for record in report.records:
+        by_lane.setdefault((record.lane, record.batch_id), record)
+    lanes = {}
+    for (lane, _), record in by_lane.items():
+        lanes.setdefault(lane, []).append((record.start_s, record.finish_s))
+    for spans in lanes.values():
+        spans.sort()
+        for (s0, f0), (s1, _) in zip(spans, spans[1:]):
+            assert s1 >= f0, "two batches overlap on one lane"
+
+
+def random_plan(rng, rid_count):
+    """A seeded random fault plan over `rid_count` pre-submitted rids."""
+    bursts = [
+        BurstFault(
+            at_s=float(rng.uniform(0.0, 120.0)),
+            app=str(rng.choice(["helr", "packbootstrap"])),
+            count=int(rng.integers(1, 30)),
+            priority=int(rng.integers(0, 3)),
+        )
+        for _ in range(int(rng.integers(0, 4)))
+    ]
+    slowdowns = []
+    for _ in range(int(rng.integers(0, 3))):
+        start = float(rng.uniform(0.0, 150.0))
+        slowdowns.append(
+            SlowDeviceFault(
+                start_s=start,
+                end_s=start + float(rng.uniform(5.0, 60.0)),
+                factor=float(rng.uniform(1.5, 20.0)),
+            )
+        )
+    cancels = []
+    if rid_count:
+        for _ in range(int(rng.integers(0, 4))):
+            rids = rng.choice(
+                rid_count, size=min(rid_count, int(rng.integers(1, 6))),
+                replace=False,
+            )
+            cancels.append(
+                CancelFault(
+                    at_s=float(rng.uniform(0.0, 200.0)),
+                    rids=tuple(int(r) for r in rids),
+                )
+            )
+    return FaultPlan(bursts=bursts, slowdowns=slowdowns, cancels=cancels)
+
+
+class TestChaos:
+    @pytest.mark.parametrize("round_", range(8))
+    def test_random_fault_plans_hold_invariants(self, rng, round_):
+        """Eight seeded chaos rounds; any failure replays via --seed."""
+        for _ in range(round_ + 1):  # decorrelate rounds from one seed
+            rng.random()
+        background = int(rng.integers(5, 40))
+        server = _server()
+        for i in range(background):
+            server.submit(
+                app="helr",
+                arrival_s=float(rng.uniform(0.0, 100.0)),
+                priority=int(rng.integers(0, 3)),
+            )
+        plan = random_plan(rng, background)
+        injected = plan.apply(server)
+        report = server.drain()
+        _assert_invariants(report, background + len(injected))
+
+    def test_chaos_is_deterministic(self, rng):
+        """The same faults on a fresh server replay bit-identically."""
+        def build():
+            server = _server()
+            for i in range(12):
+                server.submit(
+                    app="helr", arrival_s=float(i) * 3.0, priority=i % 3
+                )
+            plan = FaultPlan(
+                bursts=[BurstFault(at_s=10.0, app="helr", count=20)],
+                slowdowns=[SlowDeviceFault(start_s=15.0, end_s=40.0, factor=5.0)],
+                cancels=[CancelFault(at_s=20.0, rids=(3, 5, 7))],
+            )
+            plan.apply(server)
+            return server.drain()
+
+        assert build().fingerprint() == build().fingerprint()
+
+
+class TestBursts:
+    def test_burst_triggers_shedding(self):
+        server = _server()
+        plan = FaultPlan(
+            bursts=[BurstFault(at_s=0.0, app="helr", count=100, priority=0)]
+        )
+        injected = plan.apply(server)
+        report = server.drain()
+        assert len(injected) == 100
+        assert report.shed_count + report.rejected_count > 0
+        assert report.max_queue_depth <= OVERLOAD.queue_capacity
+        _assert_invariants(report, 100)
+
+    def test_burst_spares_premium(self):
+        server = _server()
+        premium = server.submit(
+            app="helr", arrival_s=0.0, priority=2, tenant="gold"
+        )
+        plan = FaultPlan(
+            bursts=[BurstFault(at_s=0.0, app="helr", count=200, priority=0)]
+        )
+        plan.apply(server)
+        report = server.drain()
+        assert premium.rid in {r.request.rid for r in report.records}
+
+
+class TestSlowDevice:
+    def test_window_stretches_service_time(self):
+        server = _server(overload=None, lanes=1, max_wait_s=0.0)
+        server.submit(app="helr", arrival_s=0.0)  # healthy
+        server.submit(app="helr", arrival_s=50.0)  # inside the window
+        plan = FaultPlan(
+            slowdowns=[SlowDeviceFault(start_s=40.0, end_s=70.0, factor=3.0)]
+        )
+        plan.apply(server)
+        report = server.drain()
+        assert isinstance(server.model, FaultyServiceModel)
+        by_arrival = sorted(report.records, key=lambda r: r.request.arrival_s)
+        assert by_arrival[0].service_s == pytest.approx(BASE_SERVICE_S)
+        assert by_arrival[1].service_s == pytest.approx(3.0 * BASE_SERVICE_S)
+
+    def test_stalled_device_does_not_deadlock(self):
+        """A near-stall (1000x) still drains -- slow, not stuck."""
+        server = _server(overload=None, lanes=1, max_wait_s=0.0)
+        for i in range(4):
+            server.submit(app="helr", arrival_s=float(i))
+        FaultPlan(
+            slowdowns=[
+                SlowDeviceFault(start_s=0.0, end_s=1e6, factor=1000.0)
+            ]
+        ).apply(server)
+        report = server.drain()
+        assert report.served == 4
+        _assert_invariants(report, 4)
+
+    def test_stacked_windows_compound(self):
+        model = FaultyServiceModel(
+            FLAT,
+            [
+                SlowDeviceFault(start_s=0.0, end_s=100.0, factor=2.0),
+                SlowDeviceFault(start_s=50.0, end_s=100.0, factor=3.0),
+            ],
+        )
+        assert model.factor_at(10.0) == pytest.approx(2.0)
+        assert model.factor_at(60.0) == pytest.approx(6.0)
+        assert model.factor_at(200.0) == pytest.approx(1.0)
+
+
+class TestMidDrainCancels:
+    def test_cancel_storm_during_burst(self):
+        server = _server(overload=None, lanes=1, max_wait_s=100.0)
+        doomed = [
+            server.submit(app="helr", arrival_s=0.0) for _ in range(6)
+        ]
+        server.submit(app="packbootstrap", arrival_s=1000.0)  # window holder
+        plan = FaultPlan(
+            cancels=[
+                CancelFault(at_s=1.0, rids=tuple(r.rid for r in doomed[4:]))
+            ]
+        )
+        plan.apply(server)
+        report = server.drain()
+        cancelled = {r.rid for r in report.cancelled}
+        # Requests 4 and 5 cancel at t=1 unless their batch dispatched at
+        # t=0 -- with max_batch 4 the first batch took rids 0-3, so both
+        # cancels land while queued.
+        assert cancelled == {doomed[4].rid, doomed[5].rid}
+        _assert_invariants(report, 7)
+
+    def test_faults_compose(self, rng):
+        """All three fault kinds in one plan; invariants still hold."""
+        server = _server()
+        for i in range(10):
+            server.submit(
+                app="helr", arrival_s=float(i) * 2.0, priority=i % 3
+            )
+        plan = FaultPlan(
+            bursts=[BurstFault(at_s=5.0, app="packbootstrap", count=40)],
+            slowdowns=[SlowDeviceFault(start_s=0.0, end_s=30.0, factor=4.0)],
+            cancels=[CancelFault(at_s=8.0, rids=(1, 3, 5, 44))],
+        )
+        injected = plan.apply(server)
+        report = server.drain()
+        _assert_invariants(report, 10 + len(injected))

@@ -1,0 +1,201 @@
+"""Property-based serving invariants under randomised traffic.
+
+Hypothesis drives the whole (arrival trace, overload policy, batching
+knobs) space and asserts the invariants the overload layer was built
+around:
+
+* **conservation** -- every offered request lands in exactly one outcome
+  bucket: ``served + shed + rejected + cancelled == offered``, and the
+  admission ledger's own ``admitted + shed + rejected == offered``.
+* **bounded depth** -- the admission queue never exceeds its capacity.
+* **ordering** -- FIFO dispatches in arrival order and EDF in deadline
+  order *within each batch-compatible bucket* (policies only order
+  requests the batcher may co-schedule).
+* **no starvation** -- every admitted (never-shed, never-cancelled)
+  request is eventually served; drains terminate.
+
+The service model is a cheap fixed-time double: these are scheduling
+properties, analytic timings would only slow the search.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import (
+    FixedServiceModel,
+    OverloadPolicy,
+    Request,
+    Server,
+)
+
+FLAT = FixedServiceModel(lambda app, size: 7.0)
+
+#: Two apps so buckets / per-app batching are exercised.
+APPS = ("helr", "packbootstrap")
+
+
+def traffic(min_size=1, max_size=40):
+    """A strategy producing deterministic arrival traces."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(APPS),
+            st.floats(min_value=0.0, max_value=300.0),
+            st.integers(min_value=0, max_value=2),  # priority
+            st.sampled_from(("t0", "t1", "t2")),  # tenant
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def overload_policies():
+    return st.builds(
+        OverloadPolicy,
+        queue_capacity=st.integers(min_value=1, max_value=12),
+        shed_threshold=st.floats(min_value=0.1, max_value=1.0),
+        shed_below_priority=st.integers(min_value=0, max_value=3),
+        tenant_quota=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=4)
+        ),
+        evict_lower_priority=st.booleans(),
+    )
+
+
+def build_server(arrivals, policy=None, admission="fifo", **kwargs):
+    defaults = dict(
+        policy=admission, max_batch=4, max_wait_s=5.0, lanes=1, model=FLAT,
+        overload=policy,
+    )
+    defaults.update(kwargs)
+    server = Server(**defaults)
+    for app, at_s, priority, tenant in arrivals:
+        server.submit(
+            app=app, arrival_s=at_s, priority=priority, tenant=tenant
+        )
+    return server
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=traffic(), policy=overload_policies())
+def test_property_conservation(arrivals, policy):
+    """admitted + shed + rejected == offered, at both accounting levels."""
+    report = build_server(arrivals, policy).drain()
+    assert report.offered == len(arrivals)
+    assert (
+        report.served + report.shed_count + report.rejected_count
+        + report.cancelled_count
+    ) == len(arrivals)
+    ledger = report.admission
+    assert ledger["offered"] == len(arrivals)
+    assert (
+        ledger["admitted"] + ledger["shed"] + ledger["rejected"]
+        == ledger["offered"]
+    )
+    # No request appears in two buckets.
+    rids = (
+        [r.request.rid for r in report.records]
+        + [r.rid for r in report.shed]
+        + [r.rid for r in report.rejected]
+        + [r.rid for r in report.cancelled]
+    )
+    assert len(rids) == len(set(rids)) == len(arrivals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=traffic(), policy=overload_policies())
+def test_property_queue_depth_never_exceeds_capacity(arrivals, policy):
+    report = build_server(arrivals, policy).drain()
+    assert report.max_queue_depth <= policy.queue_capacity
+    assert 0.0 <= report.peak_pressure <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=traffic())
+def test_property_fifo_orders_within_bucket(arrivals):
+    """FIFO: within one batch bucket, dispatch order follows arrival order."""
+    report = build_server(arrivals, None, admission="fifo").drain()
+    by_bucket = {}
+    for record in sorted(report.records, key=lambda r: (r.dispatch_s, r.batch_id)):
+        by_bucket.setdefault(record.request.app, []).append(record)
+    for records in by_bucket.values():
+        keys = [
+            (r.request.arrival_s, r.request.rid)
+            for r in sorted(records, key=lambda r: (r.dispatch_s, r.request.rid))
+        ]
+        dispatch_times = [r.dispatch_s for r in records]
+        # A later-dispatched batch never holds a strictly earlier arrival
+        # than any earlier-dispatched batch of the same bucket.
+        seen_max = None
+        for record in sorted(records, key=lambda r: r.dispatch_s):
+            key = (record.request.arrival_s, record.request.rid)
+            if seen_max is not None and record.dispatch_s > seen_max[0]:
+                assert key > seen_max[1] or record.dispatch_s == seen_max[0]
+            if seen_max is None or key > seen_max[1]:
+                seen_max = (record.dispatch_s, key)
+        assert len(keys) == len(records) and len(dispatch_times) == len(records)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrivals=traffic())
+def test_property_edf_batches_order_by_deadline(arrivals):
+    """EDF: each dispatched batch holds the earliest deadlines available."""
+    report = build_server(arrivals, None, admission="edf").drain()
+    for batch in report.batches:
+        batch_rids = {r.rid for r in batch.requests}
+        latest = max(r.deadline_s for r in batch.requests)
+        # Any same-app request that arrived before this batch formed but
+        # dispatched later must not have had a strictly earlier deadline.
+        for record in report.records:
+            other = record.request
+            if (
+                other.app == batch.app
+                and other.rid not in batch_rids
+                and other.arrival_s <= batch.formed_s
+                and record.dispatch_s > batch.formed_s
+            ):
+                assert other.deadline_s >= latest or len(batch.requests) >= 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrivals=traffic(min_size=1, max_size=25), policy=overload_policies())
+def test_property_no_starvation_of_admitted_requests(arrivals, policy):
+    """Every admitted request is served: drains terminate with nothing lost."""
+    server = build_server(arrivals, policy, admission="priority")
+    report = server.drain()
+    dropped = {r.rid for r in report.shed} | {r.rid for r in report.rejected}
+    served = {r.request.rid for r in report.records}
+    all_rids = set(range(len(arrivals)))
+    assert served == all_rids - dropped
+    # Served latencies are finite and non-negative; clocks are monotone.
+    for record in report.records:
+        assert record.finish_s >= record.start_s >= record.dispatch_s
+        assert record.dispatch_s >= record.request.arrival_s
+        assert record.latency_s >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrivals=traffic(min_size=2, max_size=20), data=st.data())
+def test_property_cancels_conserve(arrivals, data):
+    """Randomised cancels: outcomes still partition the offered set."""
+    server = build_server(arrivals, None)
+    count = len(arrivals)
+    cancel_rids = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=count - 1),
+            max_size=count,
+            unique=True,
+        )
+    )
+    for rid in cancel_rids:
+        at_s = data.draw(
+            st.floats(min_value=0.0, max_value=400.0), label=f"cancel-{rid}"
+        )
+        server.cancel(rid, at_s)
+    report = server.drain()
+    assert (
+        report.served + report.cancelled_count == count
+    )  # no overload policy: nothing shed or rejected
+    cancelled = {r.rid for r in report.cancelled}
+    served = {r.request.rid for r in report.records}
+    assert cancelled.isdisjoint(served)
+    assert cancelled | served == set(range(count))
+    assert cancelled <= set(cancel_rids)

@@ -384,3 +384,62 @@ class TestFleetBenchCommand:
     def test_bench_fleet_rejects_bad_gpus(self, capsys):
         assert main(["bench", "fleet", "--gpus", "0"]) == 2
         assert "--gpus" in capsys.readouterr().err
+
+
+class TestServeOverloadCommand:
+    SMOKE = ["serve", "--workload", "smoke", "--policy", "priority"]
+
+    def test_serve_with_overload_control(self, capsys):
+        assert main(self.SMOKE + ["--queue-capacity", "4",
+                                  "--shed-threshold", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "overload   :" in out and "capacity 4" in out
+
+    def test_serve_wall_clock_matches_simulated(self, capsys):
+        assert main(self.SMOKE) == 0
+        simulated = capsys.readouterr().out
+        assert main(self.SMOKE + ["--wall-clock"]) == 0
+        assert capsys.readouterr().out == simulated
+
+    def test_serve_snapshot_then_replay(self, capsys, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        assert main(self.SMOKE + ["--queue-capacity", "6",
+                                  "--snapshot", str(path)]) == 0
+        assert "timeline snapshot" in capsys.readouterr().out
+        assert path.exists()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint verified" in out
+        assert "throughput" in out
+
+    def test_replay_missing_snapshot(self, capsys):
+        assert main(["replay", "/nonexistent/snap.jsonl"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_replay_detects_tampering(self, capsys, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        assert main(self.SMOKE + ["--snapshot", str(path)]) == 0
+        capsys.readouterr()
+        tampered = path.read_text().replace(
+            '"fingerprint":"', '"fingerprint":"beef'
+        )
+        path.write_text(tampered)
+        assert main(["replay", str(path)]) == 1
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+    def test_wall_clock_rejects_fleet(self, capsys):
+        assert main(self.SMOKE + ["--gpus", "2", "--wall-clock"]) == 2
+        assert "--wall-clock" in capsys.readouterr().err
+
+    def test_serve_fleet_autoscale_plan(self, capsys):
+        assert main(["serve", "--workload", "smoke", "--gpus", "2",
+                     "--autoscale"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscale:" in out and "scaling decisions" in out
+
+    def test_serve_tiered_spec(self, capsys):
+        assert main(["serve", "--workload",
+                     "helr:4:1.0:1:0:premium,helr:8:2.0:1:0:batch",
+                     "--queue-capacity", "3", "--shed-threshold", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "per-tier outcomes" in out
