@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from repro.core import clear_cost_builder_caches
 from repro.core.trace_cache import TraceCache
 from repro.serving import Server, parse_workload_spec, synthesize_arrivals
 from repro.serving.server import Server as _ServerClass
@@ -38,7 +39,13 @@ def _requests():
 
 
 def _drain_once(telemetry: bool) -> float:
-    """One cold-cache drain (the ``repro serve`` process shape); wall time."""
+    """One cold-cache drain (the ``repro serve`` process shape); wall time.
+
+    A fresh process starts with the process-wide kernel-cost memos empty
+    too, so they are cleared alongside the per-drain trace cache -- both
+    telemetry arms share the same (cold) model-layer conditions.
+    """
+    clear_cost_builder_caches()
     tracer = Tracer() if telemetry else None
     if telemetry:
         enable_telemetry().reset()

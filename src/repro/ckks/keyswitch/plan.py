@@ -34,6 +34,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ...gpu.memory_model import TrafficProfile, classify_traffic
 from ...math import modarith
 from ...math.modstack import ModulusStack
 from ...math.ntt import PlanCache, get_stack
@@ -55,6 +56,43 @@ _RECOVER_DANGER_MARGIN = 2.0 ** -26
 
 class KlssBoundError(ValueError):
     """Raised when the auxiliary modulus cannot hold the IP exactly (Eq. 4)."""
+
+
+def _modeled_nbytes(arr: np.ndarray) -> float:
+    """Modeled GPU footprint of a constant tensor: one machine word per
+    residue (object-dtype arrays hold Python ints host-side, but the
+    accelerator would store 64-bit words)."""
+    return float(arr.size) * 8.0
+
+
+def operand_traffic_report(
+    operands: Dict[str, float], device, batch: int = 1
+) -> Dict[str, Dict[str, object]]:
+    """Classify per-operand reuse traffic against a device hierarchy.
+
+    Each operand is re-referenced once per ciphertext of a batch; the
+    first reference is compulsory, the remaining ``batch - 1`` are reuse
+    that lands in shared memory, L2, or spills back to DRAM depending on
+    the operand's footprint (:func:`repro.gpu.memory_model.classify_traffic`).
+    """
+    report: Dict[str, Dict[str, float]] = {}
+    for name, nbytes in operands.items():
+        split = classify_traffic(
+            nbytes,
+            TrafficProfile(
+                reuse_bytes=nbytes * max(0, batch - 1),
+                working_set_bytes=nbytes,
+            ),
+            device,
+        )
+        report[name] = {
+            "bytes": nbytes,
+            "hbm_bytes": split.hbm_bytes,
+            "l2_bytes": split.l2_bytes,
+            "captured_bytes": split.captured_bytes,
+            "placement": split.placement,
+        }
+    return report
 
 
 class KlssLevelKey:
@@ -334,6 +372,31 @@ class KeySwitchPlan:
             native,
         )
 
+    # -- memory-hierarchy view ------------------------------------------------
+
+    def operand_bytes(self) -> Dict[str, float]:
+        """Modeled footprints of the constants this plan re-reads per call."""
+        operands = {
+            "evk": _modeled_nbytes(self.evk),
+            "modup_weights": _modeled_nbytes(self.modup_weights),
+            "moddown_weights": _modeled_nbytes(self.moddown_weights),
+        }
+        if self.method == "klss":
+            operands["recover_weights"] = _modeled_nbytes(self.recover_weights)
+            operands["recover_t_weights"] = _modeled_nbytes(
+                self.recover_t_weights
+            )
+        return operands
+
+    def traffic_report(self, device, batch: int = 1) -> Dict[str, Dict[str, object]]:
+        """Where each plan constant's batch reuse lands on `device`.
+
+        The evaluation key dominates: whether its re-reads across a batch
+        are L2 hits or DRAM spills is exactly what the autotuner's
+        ``batch_tile`` axis trades against elementwise working sets.
+        """
+        return operand_traffic_report(self.operand_bytes(), device, batch)
+
 
 # ---------------------------------------------------------------------------
 # The GEMM engines
@@ -538,6 +601,19 @@ class HoistedRotationPlan:
 
     def __len__(self) -> int:
         return len(self.powers)
+
+    def operand_bytes(self) -> Dict[str, float]:
+        """Footprints including the k-stacked key and the gather maps."""
+        operands = self.ks.operand_bytes()
+        operands["evk"] = _modeled_nbytes(self.evk)  # k keys, not one
+        operands["gather_maps"] = _modeled_nbytes(self.src) + float(
+            self.negmask.size  # 1 byte per bool
+        )
+        return operands
+
+    def traffic_report(self, device, batch: int = 1) -> Dict[str, Dict[str, object]]:
+        """Placement of the batched-rotation constants on `device`."""
+        return operand_traffic_report(self.operand_bytes(), device, batch)
 
 
 class RotationBatchPlan(HoistedRotationPlan):

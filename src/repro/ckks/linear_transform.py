@@ -145,6 +145,25 @@ class LinearTransformPlan:
         self.keep_basis = self.q_basis.subbasis(0, level)
         self.mkeep = ModulusStack.for_moduli(self.keep_basis.moduli)
 
+    # -- memory-hierarchy view ------------------------------------------------
+
+    def operand_bytes(self):
+        """Footprints of the constants one BSGS application re-reads: the
+        diagonal plaintext tensor plus the hoisted/giant key stacks."""
+        operands = {"pt_tensor": float(self.pt_tensor.size) * 8.0}
+        if self.hoist is not None:
+            for name, nbytes in self.hoist.operand_bytes().items():
+                operands[f"hoist.{name}"] = nbytes
+        if self.giant_batch is not None:
+            operands["giant.evk"] = float(self.giant_batch.evk.size) * 8.0
+        return operands
+
+    def traffic_report(self, device, batch: int = 1):
+        """Where each transform constant's batch reuse lands on `device`."""
+        return _ksplan.operand_traffic_report(
+            self.operand_bytes(), device, batch
+        )
+
     def run(self, ct: Ciphertext) -> Ciphertext:
         """Apply the compiled transform (one level consumed)."""
         params = self.params

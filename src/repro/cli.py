@@ -253,6 +253,72 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    """Search the plan/parameter config space for one application."""
+    import json as _json
+
+    from .core import BUDGETS, tune_app
+    from .gpu import get_device
+
+    try:
+        device = get_device(args.device)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.budget not in BUDGETS:
+        print(
+            f"unknown budget {args.budget!r}; choose from "
+            + ", ".join(sorted(BUDGETS)),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = tune_app(
+            args.app,
+            params=args.set,
+            device=device,
+            budget=args.budget,
+            top=args.top,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for rank, cfg in enumerate(report.results, start=1):
+        rows.append([
+            str(rank),
+            f"{cfg.time_s * 1e3:.1f}",
+            f"{cfg.speedup:.2f}x" if cfg.speedup else "n/a",
+            cfg.label(),
+        ])
+    baseline = (
+        f"{report.baseline_time_s * 1e3:.1f} ms (paper hand-picked config)"
+        if report.baseline_time_s
+        else "infeasible on this device"
+    )
+    _print(
+        format_table(
+            ["rank", "modeled ms", "vs baseline", "configuration"],
+            rows,
+            title=(
+                f"Tuned frontier: {report.app} on {report.device_name} "
+                f"(set {report.params_name}, budget {report.budget})"
+            ),
+        )
+    )
+    _print(f"baseline: {baseline}")
+    _print(
+        f"search: {report.probed} probed, {report.evaluated} full evals, "
+        f"{report.pruned_dominated} dominated + {report.pruned_cutoff} "
+        f"cutoff pruned; plan-cache hit rate "
+        f"{report.cache_hit_rate * 100:.0f}%"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .serving import (
         Fleet,
@@ -261,8 +327,14 @@ def cmd_serve(args) -> int:
         parse_workload_spec,
         synthesize_arrivals,
     )
+    from .gpu import get_device
     from .serving.policies import POLICIES
 
+    try:
+        device = get_device(args.device)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if args.policy.lower() not in POLICIES:
         print(
             f"unknown policy {args.policy!r}; choose from "
@@ -305,6 +377,8 @@ def cmd_serve(args) -> int:
                 tensor_parallel=args.tensor_parallel,
                 overload=overload,
                 tracer=tracer,
+                device=device,
+                autotune=args.autotune,
             )
         else:
             server = Server(
@@ -315,6 +389,8 @@ def cmd_serve(args) -> int:
                 lanes=args.lanes,
                 overload=overload,
                 tracer=tracer,
+                device=device,
+                autotune=args.autotune,
             )
     except ValueError as exc:
         print(exc, file=sys.stderr)
@@ -513,20 +589,24 @@ def cmd_bench(args) -> int:
     from .ckks.params import CkksParameters
     from .math.polynomial import RnsPolynomial
 
-    if args.kernel not in ("keyswitch", "bootstrap", "serving", "fleet"):
+    if args.kernel not in (
+        "keyswitch", "bootstrap", "serving", "fleet", "autotune"
+    ):
         print(
             f"unknown bench kernel {args.kernel!r}; "
-            "choose from: keyswitch, bootstrap, serving, fleet",
+            "choose from: keyswitch, bootstrap, serving, fleet, autotune",
             file=sys.stderr,
         )
         return 2
-    # The serving-layer benches run entirely on the simulated clock and
-    # take workload/gpus knobs, not ring parameters -- dispatch before the
-    # keyswitch-specific degree/dnum validation below.
+    # The serving-layer and autotune benches run entirely on the modeled
+    # clock and take workload/gpus/device knobs, not ring parameters --
+    # dispatch before the keyswitch-specific degree/dnum validation below.
     if args.kernel == "serving":
         return _bench_serving(args)
     if args.kernel == "fleet":
         return _bench_fleet(args)
+    if args.kernel == "autotune":
+        return _bench_autotune(args)
     # Kernel-specific defaults: the functional bootstrap pipeline is far
     # heavier per invocation than one key switch, and needs a longer chain.
     if args.degree is None:
@@ -822,6 +902,52 @@ def _bench_fleet(args) -> int:
     )
 
 
+def _bench_autotune(args) -> int:
+    """Quick-budget plan search per app; tuned-vs-baseline on the model."""
+    import time
+
+    from .core import tune_app
+    from .gpu import get_device
+
+    try:
+        device = get_device(args.device).hier()
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    apps = ("helr", "packbootstrap", "resnet20")
+    rows = []
+    metrics = {}
+    start = time.perf_counter()
+    for app in apps:
+        report = tune_app(app, params="C", device=device, budget="quick")
+        best = report.best
+        baseline_ms = (
+            f"{report.baseline_time_s * 1e3:.1f}"
+            if report.baseline_time_s
+            else "n/a"
+        )
+        rows.append([
+            app, baseline_ms, f"{best.time_s * 1e3:.1f}",
+            f"{best.speedup:.2f}x" if best.speedup else "n/a",
+            best.label(),
+        ])
+        metrics[f"{app}_tuned_ms"] = best.time_s * 1e3
+        if best.speedup:
+            metrics[f"{app}_speedup"] = best.speedup
+    metrics["search_wall_s"] = time.perf_counter() - start
+    _print(
+        format_table(
+            ["app", "baseline ms", "tuned ms", "speedup", "configuration"],
+            rows,
+            title=f"Autotuned plans on {device.name} (set C, quick budget)",
+        )
+    )
+    return _bench_finish(
+        args, "autotune", metrics,
+        meta={"device": device.name, "budget": "quick", "apps": list(apps)},
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Neo (ISCA'25) reproduction toolkit"
@@ -863,6 +989,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the simulated timeline as Chrome-trace JSON",
     )
     prof.set_defaults(func=cmd_profile)
+    tune = sub.add_parser(
+        "tune",
+        help="autotune plan/parameter choices for one application on a device",
+    )
+    tune.add_argument(
+        "app",
+        help="application: " + ", ".join(sorted(set(APPLICATIONS) - {"bootstrap"})),
+    )
+    tune.add_argument("--set", default="C", help="parameter set A-H (default: C)")
+    tune.add_argument(
+        "--device", default="a100",
+        help="target device: a100, h100, l4 or a100-no-tcu (default: a100)",
+    )
+    tune.add_argument(
+        "--budget", default="quick", help="search budget: quick or full"
+    )
+    tune.add_argument(
+        "--top", type=int, default=8,
+        help="frontier rows to keep (default 8)",
+    )
+    tune.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of a table",
+    )
+    tune.set_defaults(func=cmd_tune)
     serve = sub.add_parser(
         "serve", help="replay a synthetic arrival trace through the serving layer"
     )
@@ -956,6 +1107,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--autoscale", action="store_true",
         help="with --gpus > 1, also print the hysteresis autoscale plan",
     )
+    serve.add_argument(
+        "--device", default="a100",
+        help="modeled device: a100, h100, l4 or a100-no-tcu (default: a100)",
+    )
+    serve.add_argument(
+        "--autotune", action="store_true",
+        help="search per-app plan/parameter configs (hierarchical memory "
+        "model) instead of the paper's hand-picked NEO_CONFIG",
+    )
     serve.set_defaults(func=cmd_serve)
     replay = sub.add_parser(
         "replay", help="replay a captured traffic snapshot bit-for-bit"
@@ -1004,7 +1164,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "kernel",
-        help="benchmark to run: keyswitch, bootstrap, serving, fleet",
+        help="benchmark to run: keyswitch, bootstrap, serving, fleet, autotune",
+    )
+    bench.add_argument(
+        "--device", default="a100",
+        help="device for the autotune bench (default: a100)",
     )
     bench.add_argument(
         "--workload", default=None,

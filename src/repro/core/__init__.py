@@ -1,7 +1,20 @@
 """Neo core: GEMM-form kernels, mapping policy, pipelines, NeoContext."""
 
 from .ablation import ABLATION_STEPS, ablation_configs, ablation_labels
-from .autotuner import TuningResult, best_configuration, hybrid_vs_best_klss, tune_keyswitch
+from .autotuner import (
+    BUDGETS,
+    MODEL_VERSION,
+    TunedConfig,
+    TuningReport,
+    TuningResult,
+    TuningStore,
+    best_configuration,
+    clear_cost_builder_caches,
+    default_tuning_store,
+    hybrid_vs_best_klss,
+    tune_app,
+    tune_keyswitch,
+)
 from .bconv_matmul import NeoBConv, bconv_cost, reference_bconv
 from .ip_matmul import NeoInnerProduct, ip_cost, reference_inner_product
 from .mapping import (
@@ -41,6 +54,11 @@ from .trace_cache import (
 __all__ = [
     "ABLATION_STEPS",
     "ApplicationProfile",
+    "BUDGETS",
+    "MODEL_VERSION",
+    "TunedConfig",
+    "TuningReport",
+    "TuningStore",
     "CUDA_ONLY_KERNELS",
     "CacheStats",
     "GLOBAL_TRACE_CACHE",
@@ -63,7 +81,10 @@ __all__ = [
     "ablation_configs",
     "ablation_labels",
     "best_configuration",
+    "clear_cost_builder_caches",
+    "default_tuning_store",
     "hybrid_vs_best_klss",
+    "tune_app",
     "tune_keyswitch",
     "bconv_cost",
     "bconv_gemm_shape",

@@ -12,10 +12,12 @@ cost path (:func:`bconv_cost`) are provided.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Optional
 
 import numpy as np
 
+from ..gpu.memory_model import bconv_traffic
 from ..gpu.kernels import (
     CACHE_REREAD_CAP,
     ELEMENTWISE_FLOPS,
@@ -133,6 +135,7 @@ def reference_bconv(tensor: np.ndarray, from_basis: RnsBasis, to_basis: RnsBasis
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=4096)
 def bconv_cost(
     alpha: int,
     alpha_out: int,
@@ -142,8 +145,12 @@ def bconv_cost(
     style: str = "gemm",
     component: str = "tcu_fp64",
     fused: bool = True,
+    batch_tile: Optional[int] = None,
 ) -> KernelCost:
     """Cost of one BConv over a full batch.
+
+    Pure function of its scalar arguments, memoised process-wide (frozen
+    result, safe to share; the autotuner sweeps hit the same shapes often).
 
     Args:
         style: ``"elementwise"`` (Algorithm 1) or ``"gemm"`` (Algorithm 2).
@@ -151,6 +158,8 @@ def bconv_cost(
             ignored for the element-wise style.
         fused: fold pre/post-processing into the GEMM kernel (Section 4.6),
             keeping intermediates in shared memory.
+        batch_tile: ciphertexts processed per kernel tile (the hierarchy
+            model's working-set knob; ``None`` runs the whole batch).
     """
     wb = word_bytes(wordsize)
     elements_in = alpha * batch * n
@@ -165,6 +174,11 @@ def bconv_cost(
             cuda_flops=elements_in * alpha_out * 8.0,
             bytes_read=elements_in * reread * wb,
             bytes_written=elements_out * wb,
+            # The hierarchy model sees the *uncapped* tail of the logical
+            # re-reads; it hits L2 only if the (tiled) input stays resident.
+            traffic=bconv_traffic(
+                elements_in, alpha_out, reread, wb, batch, batch_tile
+            ),
         )
     if style != "gemm":
         raise ValueError(f"unknown BConv style {style!r}")
@@ -195,10 +209,15 @@ def bconv_cost(
         writes_per_element=1.0,
     )
     staged = pre.merged(gemm).merged(post, name="bconv")
+    # Constant conversion matrix B[i, j] = q_hat_i mod p_j: re-streamed
+    # once per batch tile; its footprint is what must stay resident.
+    matrix_bytes = alpha * alpha_out * wb
+    traffic = bconv_traffic(
+        elements_in, 0.0, 0.0, wb, batch, batch_tile, matrix_bytes=matrix_bytes
+    )
     if fused:
         # Intermediates (reordered input, raw GEMM output) stay on-chip:
         # only the true input and output touch global memory.
-        saved = (elements_in + elements_out) * wb * 2
         return KernelCost(
             name="bconv",
             cuda_flops=staged.cuda_flops,
@@ -207,5 +226,6 @@ def bconv_cost(
             bytes_read=elements_in * wb,
             bytes_written=elements_out * wb,
             launches=1,
+            traffic=traffic,
         )
     return staged

@@ -13,10 +13,12 @@ implements that policy; here both cost variants are exposed.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..gpu.memory_model import ip_traffic
 from ..gpu.kernels import (
     CACHE_REREAD_CAP,
     ELEMENTWISE_FLOPS,
@@ -125,6 +127,7 @@ def reference_inner_product(
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=4096)
 def ip_cost(
     beta: int,
     beta_tilde: int,
@@ -136,13 +139,21 @@ def ip_cost(
     component: str = "tcu_fp64",
     fused: bool = True,
     pair_factor: int = 2,
+    batch_tile: Optional[int] = None,
 ) -> KernelCost:
     """Cost of one full IP over a batch.
+
+    Pure function of its scalar arguments, memoised process-wide (frozen
+    result, safe to share; the autotuner sweeps hit the same shapes often).
 
     Args:
         pair_factor: 2 for the KLSS IP (the ``(b, a)`` evk pairs double the
             work); 1 when ``beta_tilde`` itself already enumerates the output
             components (the Hybrid external product uses ``beta_tilde = 2``).
+        batch_tile: ciphertexts per kernel tile.  Tiling re-streams the
+            evaluation key once per tile (the hierarchy model charges it to
+            L2 or DRAM depending on the key's footprint); ``None`` reads
+            the key once.
     """
     wb = word_bytes(wordsize)
     limb_elements = beta * alpha_prime * batch * n
@@ -167,6 +178,16 @@ def ip_cost(
             * out_elements
             * wb,
             launches=beta_tilde * beta,
+            # Hierarchy view: the uncapped tail of the per-pair limb
+            # re-reads, resident only if the limb tensor fits.
+            traffic=ip_traffic(
+                0.0,
+                pair_factor * limb_elements * wb,
+                beta_tilde,
+                limb_reread,
+                batch,
+                batch_tile=None,
+            ),
         )
     if style != "gemm":
         raise ValueError(f"unknown IP style {style!r}")
@@ -190,6 +211,9 @@ def ip_cost(
         writes_per_element=1.0,
     )
     staged = gemm.merged(reorder, name="ip")
+    traffic = ip_traffic(
+        evk_elements * wb, limb_elements * wb, 0.0, 0.0, batch, batch_tile
+    )
     if fused:
         return KernelCost(
             name="ip",
@@ -199,5 +223,6 @@ def ip_cost(
             bytes_read=(pair_factor * limb_elements + evk_elements) * wb,
             bytes_written=pair_factor * out_elements * wb,
             launches=1,
+            traffic=traffic,
         )
     return staged

@@ -168,11 +168,9 @@ class NeoContext:
             for op, count in ops.items():
                 if count <= 0:
                     continue
-                trace = self.pipeline.operation_trace(op, level)
-                if count == 1:
-                    events.extend(trace.events)
-                else:
-                    events.extend(e.scaled(count) for e in trace.events)
+                events.extend(
+                    self.pipeline.scaled_operation_trace(op, level, count).events
+                )
         return ExecutionTrace(events)
 
     def schedule_time_s(self, schedule: Mapping[str, Mapping[str, int]]) -> float:

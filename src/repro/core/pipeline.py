@@ -83,6 +83,16 @@ class PipelineConfig:
     fused: bool = True
     #: CUDA streams for TCU/CUDA-core overlap (Section 4.6).
     streams: int = 8
+    #: Ciphertexts per BConv/IP kernel tile (``None`` = whole batch).  Only
+    #: the hierarchical memory model reacts to it: small tiles keep the
+    #: element-wise working sets L2-resident but re-stream the evaluation
+    #: key once per tile.  The autotuner searches this axis.
+    batch_tile: Optional[int] = None
+    #: Polynomials chunked through all NTT stages per launch group
+    #: (``None`` = whole batch per stage).  Under the hierarchical model a
+    #: chunk that fits L2 keeps the inter-stage intermediates out of DRAM
+    #: at the price of extra launches.  The autotuner searches this axis.
+    ntt_tile: Optional[int] = None
 
     def with_overrides(self, **kwargs) -> "PipelineConfig":
         return replace(self, **kwargs)
@@ -161,6 +171,7 @@ class OperationPipeline:
             style=self.config.ntt_style,
             component=self.config.ntt_component,
             inverse=inverse,
+            tile_polys=self.config.ntt_tile,
         )
 
     def _bconv(self, alpha_in: int, alpha_out: int, wordsize: Optional[int] = None) -> KernelCost:
@@ -173,6 +184,7 @@ class OperationPipeline:
             style=self.config.bconv_style,
             component=self.config.bconv_component,
             fused=self.config.fused,
+            batch_tile=self.config.batch_tile,
         )
 
     def _elementwise(self, name: str, limbs: int, flops: float = 8.0) -> KernelCost:
@@ -219,6 +231,7 @@ class OperationPipeline:
                 component="cuda",
                 fused=self.config.fused,
                 pair_factor=1,
+                batch_tile=self.config.batch_tile,
             )
         )
         # INTT: Table 2 counts 2*beta*(l+alpha) inverse transforms for the
@@ -266,6 +279,7 @@ class OperationPipeline:
                 style=self.config.ip_style,
                 component=component,
                 fused=self.config.fused,
+                batch_tile=self.config.batch_tile,
             )
         )
         # INTT of the beta~ accumulated pairs over R_T.
@@ -378,4 +392,27 @@ class OperationPipeline:
         return self.cache.get_or_build(
             self.trace_key(name, level),
             lambda: self.build_operation_trace(name, level),
+        )
+
+    def scaled_operation_trace(
+        self, name: str, level: int, count: float
+    ) -> ExecutionTrace:
+        """:meth:`operation_trace` repeated `count` times, cached as a whole.
+
+        Schedule assembly replays the same (op, level, count) cells on every
+        timing query; caching the *scaled* trace under its own key removes
+        the per-event ``scaled`` rebuild from the warm path.  The entry
+        lives in the same :class:`TraceCache`, so ``maxsize=0`` (the
+        benchmarks' uncached mode) disables it together with the base
+        entries.
+        """
+        if count == 1:
+            return self.operation_trace(name, level)
+        if name.lower() not in self.OPERATION_BUILDERS:
+            raise ValueError(f"unknown operation {name!r}")
+        if global_registry().enabled:
+            _count_operation_trace(name.lower())
+        return self.cache.get_or_build(
+            self.trace_key(name, level) + ("scaled", count),
+            lambda: self.build_operation_trace(name, level).scaled(count),
         )

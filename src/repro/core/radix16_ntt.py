@@ -13,10 +13,12 @@ the TCU-backed execution hook, and the analytic cost.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..gpu.memory_model import ntt_traffic
 from ..gpu.kernels import (
     ELEMENTWISE_FLOPS,
     KernelCost,
@@ -83,6 +85,12 @@ def ntt_gemm_macs(degree: int, factors: Sequence[int]) -> int:
     return sum(degree * f for f in factors)
 
 
+#: Butterfly stages one shared-memory pass covers (2**10-point tiles): a
+#: transform wider than this round-trips its intermediate between passes.
+BUTTERFLY_SMEM_STAGES = 10
+
+
+@lru_cache(maxsize=4096)
 def ntt_cost(
     degree: int,
     batch_limbs: int,
@@ -90,8 +98,13 @@ def ntt_cost(
     style: str = "radix16",
     component: str = "tcu_fp64",
     inverse: bool = False,
+    tile_polys: Optional[int] = None,
 ) -> KernelCost:
     """Cost of transforming `batch_limbs` polynomials of `degree`.
+
+    Pure function of its scalar arguments, memoised process-wide (the
+    autotuner sweeps revisit the same shapes thousands of times; the
+    returned :class:`KernelCost` is frozen so sharing is safe).
 
     Args:
         batch_limbs: number of (limb, batch) polynomials transformed together.
@@ -99,11 +112,15 @@ def ntt_cost(
             ``"four_step"`` or ``"radix16"`` (GEMM decompositions).
         component: execution unit for the GEMM stages (ignored for
             ``"butterfly"``, which always runs on CUDA cores).
+        tile_polys: polynomials chunked through all stages per launch group
+            (the hierarchy model's inter-stage working set; ``None`` runs
+            the whole batch per stage).  Flat-memory devices ignore it.
     """
     if style == "butterfly":
         wb = word_bytes(wordsize)
         elements = batch_limbs * degree
         stages = degree.bit_length() - 1
+        passes = max(1, -(-stages // BUTTERFLY_SMEM_STAGES))
         return KernelCost(
             name="intt" if inverse else "ntt",
             # one modmul + add/sub per butterfly, N/2 butterflies per stage
@@ -111,6 +128,9 @@ def ntt_cost(
             bytes_read=elements * wb,
             bytes_written=elements * wb,
             launches=1,
+            traffic=ntt_traffic(
+                elements, wb, passes, degree, batch_limbs, tile_polys=tile_polys
+            ),
         )
     if style == "four_step":
         half = 1 << ((degree.bit_length() - 1) // 2)
@@ -167,4 +187,10 @@ def ntt_cost(
         bytes_read=elements * wb,
         bytes_written=elements * wb,
         launches=1,
+        # The hierarchy model additionally sees the inter-stage round trips
+        # ((stages - 1) intermediates), resident wherever the chunked
+        # working set fits.
+        traffic=ntt_traffic(
+            elements, wb, len(factors), degree, batch_limbs, tile_polys
+        ),
     )

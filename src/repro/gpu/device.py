@@ -51,6 +51,28 @@ class DeviceSpec:
     compute_half_batch: float = 32.0
     #: Same for memory transactions (milder: coalescing saturates earlier).
     memory_half_batch: float = 8.0
+    #: L2 cache capacity, MiB (A100: 40).  Zero disables the L2 tier.
+    l2_mib: float = 40.0
+    #: L2 aggregate bandwidth, GB/s (A100: ~4500 measured).
+    l2_bandwidth_gbs: float = 4500.0
+    #: Attainable fraction of L2 bandwidth.
+    l2_efficiency: float = 0.85
+    #: Usable shared memory per SM, KiB (A100: 164 of the 192 KiB array).
+    smem_kib_per_sm: float = 164.0
+    #: Memory pricing: ``"flat"`` is the original single-tier roofline
+    #: (``memory_efficiency`` scalar); ``"hier"`` routes each kernel's
+    #: :class:`~repro.gpu.memory_model.TrafficProfile` through the
+    #: L2/shared-memory split.  Flat stays the default so the paper's
+    #: headline tables are priced exactly as before; the autotuner and the
+    #: hierarchy benchmarks opt in via :meth:`hier`.
+    memory_model: str = "flat"
+
+    def __post_init__(self):
+        if self.memory_model not in ("flat", "hier"):
+            raise ValueError(
+                f"unknown memory model {self.memory_model!r}; "
+                "choose 'flat' or 'hier'"
+            )
 
     # -- occupancy -------------------------------------------------------------
 
@@ -100,6 +122,33 @@ class DeviceSpec:
         """Attainable global-memory bandwidth, bytes/s."""
         return self.hbm_bandwidth_gbs * 1e9 * self.memory_efficiency
 
+    @property
+    def l2_capacity_bytes(self) -> float:
+        """L2 capacity, bytes."""
+        return self.l2_mib * (1 << 20)
+
+    @property
+    def l2_bytes_per_s(self) -> float:
+        """Attainable L2 bandwidth, bytes/s (0 disables the L2 tier)."""
+        return self.l2_bandwidth_gbs * 1e9 * self.l2_efficiency
+
+    @property
+    def smem_bytes_per_sm(self) -> float:
+        """Usable shared memory per SM, bytes."""
+        return self.smem_kib_per_sm * 1024.0
+
+    def hier(self) -> "DeviceSpec":
+        """This device under the hierarchical memory pricing."""
+        if self.memory_model == "hier":
+            return self
+        return self.with_overrides(memory_model="hier")
+
+    def flat(self) -> "DeviceSpec":
+        """This device under the flat (legacy) memory pricing."""
+        if self.memory_model == "flat":
+            return self
+        return self.with_overrides(memory_model="flat")
+
     def with_overrides(self, **kwargs) -> "DeviceSpec":
         """Return a copy with some fields replaced (for what-if studies)."""
         return replace(self, **kwargs)
@@ -125,6 +174,29 @@ H100 = DeviceSpec(
     tcu_int8_tops=1979.0,
     hbm_bandwidth_gbs=3350.0,
     memory_gib=80.0,
+    l2_mib=50.0,
+    l2_bandwidth_gbs=8000.0,
+    smem_kib_per_sm=228.0,
+)
+
+#: A consumer/inference-class Ada part: no FP64 tensor cores at all, a
+#: fifth of the A100's DRAM bandwidth, but a *larger* L2 (48 MiB) -- the
+#: memory system that makes the tuned optimum land somewhere else than on
+#: the datacenter parts.  ``cuda_fp64_tflops`` is the *effective scalar
+#: rate* for the integer modmul slots the model prices, FP32/4 (Ada's
+#: native FP64 is vestigial at 1:64, but modular arithmetic runs on the
+#: integer/FP32 pipes, which do not share that handicap).
+L4 = DeviceSpec(
+    name="NVIDIA L4-24GB",
+    sm_count=58,
+    cuda_fp64_tflops=7.6,
+    tcu_fp64_tflops=0.0,
+    tcu_int8_tops=242.0,
+    hbm_bandwidth_gbs=300.0,
+    memory_gib=24.0,
+    l2_mib=48.0,
+    l2_bandwidth_gbs=1600.0,
+    smem_kib_per_sm=100.0,
 )
 
 #: A CUDA-core-only view of the A100, used by the HEonGPU baseline model.
@@ -133,3 +205,22 @@ A100_NO_TCU = A100.with_overrides(
     tcu_fp64_tflops=0.0,
     tcu_int8_tops=0.0,
 )
+
+#: Name -> spec registry for the CLI (``repro tune --device ...``).
+DEVICES = {
+    "a100": A100,
+    "h100": H100,
+    "l4": L4,
+    "a100-no-tcu": A100_NO_TCU,
+}
+
+
+def get_device(name) -> DeviceSpec:
+    """Look a device up by registry name (case-insensitive); specs pass through."""
+    if isinstance(name, DeviceSpec):
+        return name
+    try:
+        return DEVICES[str(name).lower()]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise ValueError(f"unknown device {name!r}; choose from {known}") from None

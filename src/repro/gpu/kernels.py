@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from .device import DeviceSpec
+from .memory_model import TrafficProfile, extra_launches, hier_memory_time_s
 from .fragments import (
     FP64_FRAGMENT,
     FragmentShape,
@@ -57,6 +58,11 @@ class KernelCost:
     #: Kernel launches.  Fractional values model launch overhead amortised
     #: over fractional repetitions (``scaled``); a true no-op carries 0.
     launches: float = 1
+    #: Optional reuse profile for the hierarchical memory model.  ``None``
+    #: means a streaming kernel (no redundant traffic beyond the recorded
+    #: bytes).  Ignored entirely by devices with ``memory_model="flat"``,
+    #: so the default pricing is bit-identical to the pre-hierarchy model.
+    traffic: Optional[TrafficProfile] = None
 
     # -- timing ----------------------------------------------------------------
 
@@ -76,12 +82,31 @@ class KernelCost:
         return time
 
     def memory_time_s(self, device: DeviceSpec) -> float:
-        """Global-memory transfer time, seconds."""
+        """Global-memory transfer time, seconds.
+
+        Devices with ``memory_model="hier"`` split the traffic across the
+        L2/HBM tiers from the kernel's :class:`TrafficProfile`; flat
+        devices (the default) price the recorded bytes at HBM bandwidth
+        exactly as before.
+        """
+        if device.memory_model == "hier":
+            return hier_memory_time_s(
+                self.bytes_read + self.bytes_written, self.traffic, device
+            )
         return (self.bytes_read + self.bytes_written) / device.memory_bytes_per_s
+
+    def effective_launches(self, device: DeviceSpec) -> float:
+        """Launches including tiled-execution launches under ``hier``."""
+        if device.memory_model == "hier":
+            return self.launches + extra_launches(self.traffic)
+        return self.launches
 
     def time_s(self, device: DeviceSpec) -> float:
         """Roofline execution time on `device`, seconds."""
-        overhead = self.launches * device.kernel_launch_us * 1e-6
+        if device.memory_model == "hier":
+            overhead = self.effective_launches(device) * device.kernel_launch_us * 1e-6
+        else:
+            overhead = self.launches * device.kernel_launch_us * 1e-6
         return overhead + max(self.compute_time_s(device), self.memory_time_s(device))
 
     def time_us(self, device: DeviceSpec) -> float:
@@ -104,10 +129,15 @@ class KernelCost:
             bytes_read=self.bytes_read * factor,
             bytes_written=self.bytes_written * factor,
             launches=self.launches * factor,
+            traffic=self.traffic.scaled(factor) if self.traffic else None,
         )
 
     def merged(self, other: "KernelCost", name: Optional[str] = None) -> "KernelCost":
         """Back-to-back execution of two kernels (launches add)."""
+        if self.traffic is not None:
+            traffic = self.traffic.merged(other.traffic)
+        else:
+            traffic = other.traffic
         return KernelCost(
             name=name or f"{self.name}+{other.name}",
             cuda_flops=self.cuda_flops + other.cuda_flops,
@@ -116,6 +146,7 @@ class KernelCost:
             bytes_read=self.bytes_read + other.bytes_read,
             bytes_written=self.bytes_written + other.bytes_written,
             launches=self.launches + other.launches,
+            traffic=traffic,
         )
 
     def fused_with(self, other: "KernelCost", saved_bytes: float, name: Optional[str] = None) -> "KernelCost":

@@ -1,0 +1,286 @@
+"""Reuse-distance memory-hierarchy traffic model (L2 / shared-memory tiers).
+
+The flat roofline in :mod:`repro.gpu.kernels` prices every byte a kernel
+declares at HBM bandwidth times a fixed ``memory_efficiency``.  That hides
+the effect Theodosian and Cheddar (PAPERS.md) identify as decisive for FHE
+on GPUs: whether a kernel's *redundant* traffic -- inter-stage NTT
+intermediates, BConv's per-output re-reads, the evaluation key re-streamed
+per batch tile -- is served by shared memory, by L2, or spills to DRAM.
+
+This module adds that second axis.  Each :class:`~repro.gpu.kernels.KernelCost`
+may carry a :class:`TrafficProfile` describing its *reuse* traffic (logical
+bytes beyond the compulsory reads/writes already recorded on the cost) and
+the footprints that decide where that reuse lands:
+
+* ``smem_tile_bytes`` -- the per-CTA tile.  If it fits the device's shared
+  memory, the reuse is captured on-chip and costs nothing.
+* ``working_set_bytes`` -- what must stay resident between re-references.
+  If it fits the (fractional) L2, the reuse is served at L2 bandwidth;
+  otherwise it spills and the reuse bytes are charged to DRAM on top of
+  the compulsory traffic.
+
+Pricing is deliberately *monotone versus the flat model*: the hierarchical
+time is never below ``compulsory_bytes / hbm_bandwidth`` -- the hierarchy
+can only add penalties the flat model hid, never invent bandwidth.  That is
+the regression gate ``benchmarks/test_ext_autotune.py`` enforces.
+
+Profiles are device-independent (tile shapes and operand footprints only),
+so cached traces stay valid across devices; the L2/HBM split happens here,
+at timing time, for whatever device asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .device import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from .kernels import KernelCost
+    from .trace import ExecutionTrace
+
+#: Fraction of L2 a kernel's working set can realistically hold resident
+#: (the rest serves concurrent streams, instruction traffic, and the
+#: replacement policy's imprecision).
+L2_RESIDENT_FRACTION = 0.8
+
+#: Reuse placements :func:`classify_traffic` can report.
+PLACEMENTS = ("stream", "smem", "l2", "spill")
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Device-independent reuse description of one kernel (or fused group).
+
+    ``reuse_bytes`` is the *additional* logical traffic beyond the
+    compulsory ``bytes_read + bytes_written`` already on the kernel cost --
+    what a cache-less machine would pay to DRAM.  The footprints decide
+    which tier absorbs it; ``tile_launches`` are the extra kernel launches
+    the tiled/staged execution needs beyond the cost's own ``launches``.
+    """
+
+    reuse_bytes: float = 0.0
+    working_set_bytes: float = 0.0
+    smem_tile_bytes: float = 0.0
+    tile_launches: float = 0.0
+
+    def scaled(self, factor: float) -> "TrafficProfile":
+        """Running the kernel `factor` times: traffic and launches scale,
+        per-invocation footprints do not."""
+        # Direct construction: this sits on the per-event hot path of
+        # schedule assembly, where dataclasses.replace is measurably slow.
+        return TrafficProfile(
+            reuse_bytes=self.reuse_bytes * factor,
+            working_set_bytes=self.working_set_bytes,
+            smem_tile_bytes=self.smem_tile_bytes,
+            tile_launches=self.tile_launches * factor,
+        )
+
+    def merged(self, other: Optional["TrafficProfile"]) -> "TrafficProfile":
+        """Back-to-back execution: traffic adds, footprints take the max
+        (the union working set is at least the larger one)."""
+        if other is None:
+            return self
+        return TrafficProfile(
+            reuse_bytes=self.reuse_bytes + other.reuse_bytes,
+            working_set_bytes=max(self.working_set_bytes, other.working_set_bytes),
+            smem_tile_bytes=max(self.smem_tile_bytes, other.smem_tile_bytes),
+            tile_launches=self.tile_launches + other.tile_launches,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficSplit:
+    """Where one kernel's bytes land in the hierarchy."""
+
+    #: Bytes that cross the HBM interface (compulsory + spilled reuse).
+    hbm_bytes: float
+    #: Bytes that cross L2 (everything that is not shared-memory-resident).
+    l2_bytes: float
+    #: Reuse bytes absorbed on-chip (shared memory) or by L2.
+    captured_bytes: float
+    #: One of :data:`PLACEMENTS`.
+    placement: str
+
+
+def classify_traffic(
+    compulsory_bytes: float,
+    traffic: Optional[TrafficProfile],
+    device: DeviceSpec,
+) -> TrafficSplit:
+    """Split a kernel's bytes into HBM and L2 traffic for `device`.
+
+    * No profile / zero reuse: a streaming kernel -- every compulsory byte
+      crosses both DRAM and L2.
+    * Tile fits shared memory: the reuse never leaves the SM.
+    * Working set fits ``L2_RESIDENT_FRACTION`` of L2: reuse served by L2.
+    * Otherwise the reuse spills: charged to DRAM *and* L2.
+    """
+    if traffic is None or traffic.reuse_bytes <= 0.0:
+        return TrafficSplit(compulsory_bytes, compulsory_bytes, 0.0, "stream")
+    reuse = traffic.reuse_bytes
+    if (
+        0.0 < traffic.smem_tile_bytes <= device.smem_bytes_per_sm
+    ):
+        return TrafficSplit(compulsory_bytes, compulsory_bytes, reuse, "smem")
+    if (
+        device.l2_capacity_bytes > 0
+        and traffic.working_set_bytes
+        <= device.l2_capacity_bytes * L2_RESIDENT_FRACTION
+    ):
+        return TrafficSplit(
+            compulsory_bytes, compulsory_bytes + reuse, reuse, "l2"
+        )
+    return TrafficSplit(
+        compulsory_bytes + reuse, compulsory_bytes + reuse, 0.0, "spill"
+    )
+
+
+def hier_memory_time_s(
+    compulsory_bytes: float,
+    traffic: Optional[TrafficProfile],
+    device: DeviceSpec,
+) -> float:
+    """Memory time under the hierarchy model, seconds.
+
+    ``max`` of the DRAM and L2 interface times: the slower tier bounds a
+    pipelined kernel.  Never below the flat model's
+    ``compulsory / hbm_bandwidth`` (the split never shrinks HBM traffic).
+    """
+    split = classify_traffic(compulsory_bytes, traffic, device)
+    time = split.hbm_bytes / device.memory_bytes_per_s
+    if device.l2_bytes_per_s > 0:
+        time = max(time, split.l2_bytes / device.l2_bytes_per_s)
+    return time
+
+
+def extra_launches(traffic: Optional[TrafficProfile]) -> float:
+    """Tiled-execution launches beyond the kernel cost's own count."""
+    return traffic.tile_launches if traffic is not None else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Reuse-profile builders for the op-plan kernel families
+# ---------------------------------------------------------------------------
+
+
+def ntt_traffic(
+    elements: float,
+    word_bytes: int,
+    stages: int,
+    degree: int,
+    polys: int,
+    tile_polys: Optional[int] = None,
+) -> TrafficProfile:
+    """Profile of a staged (four-step / radix-16 / multi-pass butterfly) NTT.
+
+    Every stage boundary round-trips the full intermediate once
+    (``2 * elements`` per extra stage).  Chunking ``tile_polys`` polynomials
+    through all stages shrinks the inter-stage working set to the chunk --
+    the knob the autotuner searches -- at the price of
+    ``stages * ceil(polys / tile)`` launches.  A transform whose double
+    buffer fits one CTA's shared memory (small ``degree``) keeps the whole
+    dance on-chip.
+    """
+    if stages <= 1:
+        return TrafficProfile()
+    tile = polys if tile_polys is None else max(1, min(tile_polys, polys))
+    chunks = -(-polys // tile) if tile else 1
+    return TrafficProfile(
+        reuse_bytes=2.0 * elements * word_bytes * (stages - 1),
+        working_set_bytes=2.0 * tile * degree * word_bytes,
+        smem_tile_bytes=2.0 * degree * word_bytes,
+        tile_launches=max(0.0, float(stages * chunks - 1)),
+    )
+
+
+def bconv_traffic(
+    elements_in: float,
+    logical_rereads: float,
+    counted_rereads: float,
+    word_bytes: int,
+    batch: int,
+    batch_tile: Optional[int] = None,
+    matrix_bytes: float = 0.0,
+) -> TrafficProfile:
+    """Profile of a BConv.
+
+    Element-wise style (Algorithm 1): the uncapped tail of the per-output
+    re-reads (the flat model already counts ``counted_rereads`` of them at
+    DRAM) with the *input* as the working set -- tiling the batch shrinks
+    it.  GEMM style passes ``logical_rereads == counted_rereads`` and a
+    constant-matrix footprint that re-streams once per batch tile.
+    """
+    tile = batch if batch_tile is None else max(1, min(batch_tile, batch))
+    chunks = -(-batch // tile)
+    reuse = max(0.0, logical_rereads - counted_rereads) * elements_in * word_bytes
+    reuse += matrix_bytes * max(0, chunks - 1)
+    if reuse <= 0.0:
+        return TrafficProfile(tile_launches=float(max(0, chunks - 1)))
+    ws = (elements_in / max(batch, 1)) * tile * word_bytes
+    if matrix_bytes:
+        ws = max(ws, matrix_bytes)
+    return TrafficProfile(
+        reuse_bytes=reuse,
+        working_set_bytes=ws,
+        smem_tile_bytes=matrix_bytes,
+        tile_launches=float(max(0, chunks - 1)),
+    )
+
+
+def ip_traffic(
+    evk_bytes: float,
+    limb_bytes: float,
+    logical_rereads: float,
+    counted_rereads: float,
+    batch: int,
+    batch_tile: Optional[int] = None,
+) -> TrafficProfile:
+    """Profile of an inner product.
+
+    The evaluation key is shared by every ciphertext of the batch: tiling
+    the batch re-streams it once per tile, and the key is the working set
+    that must stay resident for those re-reads to hit L2 -- large keys
+    punish small tiles, the counter-pressure to the NTT's preference.
+    """
+    tile = batch if batch_tile is None else max(1, min(batch_tile, batch))
+    chunks = -(-batch // tile)
+    reuse = max(0.0, logical_rereads - counted_rereads) * limb_bytes
+    reuse += evk_bytes * max(0, chunks - 1)
+    if reuse <= 0.0:
+        return TrafficProfile(tile_launches=float(max(0, chunks - 1)))
+    ws = evk_bytes if chunks > 1 else limb_bytes
+    return TrafficProfile(
+        reuse_bytes=reuse,
+        working_set_bytes=ws,
+        tile_launches=float(max(0, chunks - 1)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def kernel_traffic_split(cost: "KernelCost", device: DeviceSpec) -> TrafficSplit:
+    """The HBM/L2 split of one kernel cost on `device`."""
+    return classify_traffic(
+        cost.bytes_read + cost.bytes_written, cost.traffic, device
+    )
+
+
+def trace_traffic_report(
+    trace: "ExecutionTrace", device: DeviceSpec
+) -> Dict[str, Dict[str, float]]:
+    """Per-kernel-name HBM/L2/captured byte totals of a trace on `device`."""
+    table: Dict[str, Dict[str, float]] = {}
+    for event in trace.events:
+        split = kernel_traffic_split(event, device)
+        row = table.setdefault(
+            event.name, {"hbm_bytes": 0.0, "l2_bytes": 0.0, "captured_bytes": 0.0}
+        )
+        row["hbm_bytes"] += split.hbm_bytes
+        row["l2_bytes"] += split.l2_bytes
+        row["captured_bytes"] += split.captured_bytes
+    return table

@@ -84,16 +84,37 @@ class ExecutionTrace:
         cuda = sum(
             e.cuda_flops / device.cuda_fp64_flops for e in self.events if e.cuda_flops
         )
-        tcu = sum(
-            e.tcu_fp64_flops / device.tcu_fp64_flops
-            for e in self.events
-            if e.tcu_fp64_flops
-        )
-        tcu += sum(
-            e.tcu_int8_ops / device.tcu_int8_ops for e in self.events if e.tcu_int8_ops
-        )
-        memory = sum(e.memory_time_s(device) for e in self.events)
-        launches = sum(e.launches for e in self.events)
+        tcu = 0.0
+        if device.tcu_fp64_flops:
+            tcu += sum(
+                e.tcu_fp64_flops / device.tcu_fp64_flops
+                for e in self.events
+                if e.tcu_fp64_flops
+            )
+        elif any(e.tcu_fp64_flops for e in self.events):
+            # Same infeasibility signal compute_time_s raises on the
+            # serial path (autotuners catch it to prune the config).
+            raise ValueError(f"{device.name} has no FP64 tensor cores")
+        if device.tcu_int8_ops:
+            tcu += sum(
+                e.tcu_int8_ops / device.tcu_int8_ops
+                for e in self.events
+                if e.tcu_int8_ops
+            )
+        elif any(e.tcu_int8_ops for e in self.events):
+            raise ValueError(f"{device.name} has no INT8 tensor cores")
+        if device.memory_model == "hier":
+            memory = sum(e.memory_time_s(device) for e in self.events)
+            launches = sum(e.effective_launches(device) for e in self.events)
+        else:
+            # Flat pricing inlined per event (bit-identical to
+            # KernelCost.memory_time_s) -- this sum is warm-path hot.
+            bandwidth = device.memory_bytes_per_s
+            memory = sum(
+                (e.bytes_read + e.bytes_written) / bandwidth
+                for e in self.events
+            )
+            launches = sum(e.launches for e in self.events)
         overhead = launches * device.kernel_launch_us * 1e-6 / streams
         bound = max(cuda, tcu, memory) + overhead
         serial = self.serial_time_s(device)
@@ -115,10 +136,22 @@ class ExecutionTrace:
 
     @staticmethod
     def from_jsonable(events: Iterable[Dict]) -> "ExecutionTrace":
-        """Rebuild a frozen trace from :meth:`to_jsonable` output."""
-        from .kernels import KernelCost
+        """Rebuild a frozen trace from :meth:`to_jsonable` output.
 
-        return ExecutionTrace([KernelCost(**event) for event in events]).frozen()
+        Accepts both pre-hierarchy payloads (no ``traffic`` key) and the
+        current format, where ``traffic`` is a nested dict or ``None``.
+        """
+        from .kernels import KernelCost
+        from .memory_model import TrafficProfile
+
+        rebuilt = []
+        for event in events:
+            event = dict(event)
+            traffic = event.get("traffic")
+            if isinstance(traffic, dict):
+                event["traffic"] = TrafficProfile(**traffic)
+            rebuilt.append(KernelCost(**event))
+        return ExecutionTrace(rebuilt).frozen()
 
     # -- accounting ---------------------------------------------------------------
 

@@ -652,6 +652,7 @@ class Fleet:
         trace_cache: Optional[TraceCache] = None,
         overload: Optional[OverloadPolicy] = None,
         tracer: Optional[Tracer] = None,
+        autotune: bool = False,
     ):
         if gpus < 1:
             raise ValueError(f"need at least one GPU, got {gpus}")
@@ -684,6 +685,8 @@ class Fleet:
             self.params,
             config,
             trace_cache if trace_cache is not None else TraceCache(),
+            device=device,
+            autotune=autotune,
         )
         if tensor_parallel > 1:
             self._multi = MultiGpuModel(

@@ -28,6 +28,7 @@ from ..core.pipeline import NEO_CONFIG, PipelineConfig
 from ..core.profiling import latency_percentiles, timeline_schedule_result
 from ..core.streams import ScheduledKernel, StreamScheduler
 from ..core.trace_cache import CacheStats, TraceCache
+from ..gpu.device import A100, DeviceSpec
 from ..telemetry.registry import MetricsRegistry, global_registry
 from ..telemetry.stats import all_cache_stats
 from ..telemetry.tracing import Tracer, active_tracer
@@ -56,11 +57,17 @@ _SPAN_DESCRIPTOR_CACHE: Dict[tuple, tuple] = {}
 
 
 class NeoServiceModel:
-    """Times dynamic batches on the analytic A100 device model.
+    """Times dynamic batches on the analytic device model.
 
     One root :class:`NeoContext` owns the trace cache; per-batch-size
     sibling contexts share it, so a (app, BatchSize) shape is built at most
     once per server lifetime and every repeat is a cache hit.
+
+    With ``autotune=True`` the model prices under the hierarchical memory
+    model and, per application, runs (or fetches from the shared
+    :class:`~repro.core.autotuner.TuningStore`) a quick-budget
+    :func:`~repro.core.autotuner.tune_app` search; batches of that app are
+    then timed under the tuned parameters and pipeline configuration.
     """
 
     def __init__(
@@ -68,16 +75,29 @@ class NeoServiceModel:
         params: str = "C",
         config: PipelineConfig = NEO_CONFIG,
         trace_cache: Optional[TraceCache] = None,
+        device: DeviceSpec = A100,
+        autotune: bool = False,
+        tuning_store=None,
+        tuning_budget: str = "quick",
     ):
+        if autotune:
+            device = device.hier()
         # ``is not None``, not ``or``: TraceCache defines __len__, so an
         # empty (still-cold) cache is falsy and ``or`` would discard it.
         self._root = NeoContext(
             params,
+            device=device,
             config=config,
             batch=1,
             trace_cache=trace_cache if trace_cache is not None else TraceCache(),
         )
         self._config = config
+        self._device = device
+        self._autotune = autotune
+        self._tuning_budget = tuning_budget
+        self._tuning_store = tuning_store
+        self._tuned_roots: Dict[str, NeoContext] = {}
+        self._tuned_choices: Dict[str, object] = {}
         self._apps: Dict[str, object] = {}
         self._span_cache = _SPAN_DESCRIPTOR_CACHE
 
@@ -86,9 +106,41 @@ class NeoServiceModel:
             self._apps[app] = get_application(app)
         return self._apps[app]
 
+    def _root_for(self, app: str) -> NeoContext:
+        """The (possibly tuned) batch=1 root context for one application."""
+        if not self._autotune:
+            return self._root
+        if app not in self._tuned_roots:
+            from ..core.autotuner import default_tuning_store
+
+            store = self._tuning_store or default_tuning_store()
+            report = store.get_or_tune(
+                app,
+                params=self._root.params,
+                device=self._device,
+                budget=self._tuning_budget,
+                trace_cache=self._root.trace_cache,
+            )
+            best = report.best
+            self._tuned_choices[app] = best
+            self._tuned_roots[app] = NeoContext(
+                best.parameter_set(self._root.params),
+                device=self._device,
+                config=best.pipeline_config(self._config),
+                batch=1,
+                trace_cache=self._root.trace_cache,
+            )
+        return self._tuned_roots[app]
+
+    def tuned_summary(self) -> Dict[str, str]:
+        """``{app: tuned-config label}`` for every app tuned so far."""
+        return {
+            app: choice.label() for app, choice in self._tuned_choices.items()
+        }
+
     def service_time_s(self, app: str, size: int, streams: int) -> float:
         """Wall time of one `app` batch of `size` ciphertexts on `streams`."""
-        ctx = self._root.with_batch(size)
+        ctx = self._root_for(app).with_batch(size)
         trace = ctx.application_trace(self._app(app))
         return trace.overlapped_time_s(ctx.device, streams)
 
@@ -99,7 +151,7 @@ class NeoServiceModel:
         comes out of the shared cache, so multi-device timing never
         rebuilds a shape the single-device path already priced.
         """
-        ctx = self._root.with_batch(size)
+        ctx = self._root_for(app).with_batch(size)
         return ctx.application_trace(self._app(app)).frozen()
 
     def batch_device(self, size: int):
@@ -120,10 +172,11 @@ class NeoServiceModel:
         per (app, size, streams) shape and rescaled onto the analytic
         service time, so batch sub-spans land inside the batch span exactly.
         """
-        key = (self._root.params, self._config, app, size, streams, limit)
+        root = self._root_for(app)
+        key = (root.params, root.config, app, size, streams, limit)
         cached = self._span_cache.get(key)
         if cached is None:
-            ctx = self._root.with_batch(size)
+            ctx = root.with_batch(size)
             trace = ctx.application_trace(self._app(app))
             result = StreamScheduler(ctx.device, streams).run(trace)
             service = trace.overlapped_time_s(ctx.device, streams)
@@ -191,6 +244,9 @@ class ServingReport:
     #: op-plan cache, ...) as ``{name: {hits, misses, evictions, hit_rate}}``
     #: -- the unified view :mod:`repro.telemetry.stats` keeps per process.
     caches: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-app tuned configuration labels the service model chose (empty
+    #: unless the server was built with ``autotune=True``).
+    tuned: Dict[str, str] = field(default_factory=dict)
 
     # -- headline metrics ---------------------------------------------------------
 
@@ -446,6 +502,15 @@ class ServingReport:
                     title="cache surfaces",
                 )
             )
+        if self.tuned:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["app", "tuned configuration"],
+                    [[app, label] for app, label in sorted(self.tuned.items())],
+                    title="autotuned configurations",
+                )
+            )
         return "\n".join(lines)
 
 
@@ -490,6 +555,8 @@ class Server:
         trace_cache: Optional[TraceCache] = None,
         overload: Optional[OverloadPolicy] = None,
         tracer: Optional[Tracer] = None,
+        device: DeviceSpec = A100,
+        autotune: bool = False,
     ):
         if lanes < 1:
             raise ValueError(f"need at least one lane, got {lanes}")
@@ -497,7 +564,9 @@ class Server:
         self.batcher = ContinuousBatcher(self.policy, max_batch, max_wait_s)
         self.lanes = lanes
         self.streams_per_lane = max(1, config.streams // lanes)
-        self.model = model or NeoServiceModel(params, config, trace_cache)
+        self.model = model or NeoServiceModel(
+            params, config, trace_cache, device=device, autotune=autotune
+        )
         self.overload = overload
         self.tracer = tracer
         self._submitted: List[Request] = []
@@ -767,6 +836,11 @@ class Server:
             cache=self.model.cache_stats(),
             op_plans=ksplan.keyswitch_plan_cache_stats(),
             caches=caches,
+            tuned=(
+                self.model.tuned_summary()
+                if hasattr(self.model, "tuned_summary")
+                else {}
+            ),
         )
         self._last_report = report
         self._emit_telemetry(report, queue)
@@ -864,20 +938,23 @@ class Server:
             "serving_queue_wait_seconds",
             "Admission-queue wait before the batch started",
         )
-        # Pre-aggregate per-app counters and cache labeled children: the
-        # label resolution, not the arithmetic, is the per-record cost.
-        by_app: Dict[str, int] = {}
-        lat_children: Dict[str, object] = {}
+        # Pre-aggregate per-app counters and batch the histogram observes:
+        # cell resolution and locking, not the arithmetic, is the
+        # per-record cost, so pay it once per series rather than per value.
+        latencies_by_app: Dict[str, List[float]] = {}
+        waits: List[float] = []
         for record in report.records:
             app = record.request.app
-            by_app[app] = by_app.get(app, 0) + 1
-            child = lat_children.get(app)
-            if child is None:
-                child = lat_children[app] = latency_hist.labels(app=app)
-            child.observe(record.latency_s)
-            wait_hist.observe(record.queue_wait_s)
-        for app, count in by_app.items():
-            requests_total.labels(app=app).inc(count)
+            values = latencies_by_app.get(app)
+            if values is None:
+                values = latencies_by_app[app] = []
+            values.append(record.latency_s)
+            waits.append(record.queue_wait_s)
+        for app, values in latencies_by_app.items():
+            latency_hist.labels(app=app).observe_many(values)
+        wait_hist.observe_many(waits)
+        for app, values in latencies_by_app.items():
+            requests_total.labels(app=app).inc(len(values))
 
         batches_total = registry.counter(
             "serving_batches_total", "Dynamic batches formed, by application",
@@ -890,7 +967,7 @@ class Server:
         batches_by_app: Dict[str, int] = {}
         for batch in report.batches:
             batches_by_app[batch.app] = batches_by_app.get(batch.app, 0) + 1
-            batch_hist.observe(batch.executed_size)
+        batch_hist.observe_many([b.executed_size for b in report.batches])
         for app, count in batches_by_app.items():
             batches_total.labels(app=app).inc(count)
 
@@ -898,8 +975,7 @@ class Server:
             "serving_queue_depth", "Queue depth at every queue mutation",
             buckets=QUEUE_DEPTH_BUCKETS,
         )
-        for _, depth in queue.depth_samples():
-            depth_hist.observe(depth)
+        depth_hist.observe_many([depth for _, depth in queue.depth_samples()])
         registry.gauge(
             "serving_queue_depth_peak", "Peak admission-queue depth",
         ).set(report.max_queue_depth)

@@ -113,6 +113,9 @@ class _BoundMetric:
     def observe(self, value: float) -> None:
         self._parent._observe(self._key, value)
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        self._parent._observe_many(self._key, values)
+
     @property
     def value(self) -> float:
         return self._parent._value(self._key)
@@ -241,12 +244,30 @@ class Histogram(_Metric):
     def observe(self, value: float) -> None:
         self._observe((), value)
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        self._observe_many((), values)
+
     def _observe(self, key: LabelValues, value: float) -> None:
         if not self.registry.enabled:
             return
         cell = self._cell(key)
         with self._lock:
             cell.observe(float(value))
+
+    def _observe_many(self, key: LabelValues, values: Sequence[float]) -> None:
+        """Sequential ``observe`` of every value under one lock round-trip.
+
+        Bit-identical accumulation order to calling :meth:`observe` in a
+        loop; exists because per-record observation is the serving
+        telemetry hot path (one cell resolution + lock per *batch*, not
+        per value).
+        """
+        if not self.registry.enabled or not values:
+            return
+        cell = self._cell(key)
+        with self._lock:
+            for value in values:
+                cell.observe(float(value))
 
     @staticmethod
     def _copy_value(value):

@@ -196,15 +196,17 @@ class Tracer:
         **attrs: object,
     ) -> Span:
         """Record a span with explicit (e.g. simulated-clock) timestamps."""
+        # Positional construction: this is the per-span hot path, and
+        # NamedTuple keyword construction costs measurably more.
         span = Span(
-            trace_id=trace_id,
-            span_id=self._next_id(),
-            parent_id=parent_id,
-            name=name,
-            category=category,
-            start_s=float(start_s),
-            end_s=float(end_s),
-            attrs=_freeze_attrs(attrs),
+            trace_id,
+            self._next_id(),
+            parent_id,
+            name,
+            category,
+            float(start_s),
+            float(end_s),
+            _freeze_attrs(attrs),
         )
         self._append(span)
         return span

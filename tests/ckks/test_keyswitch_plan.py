@@ -190,3 +190,60 @@ class TestThreadSafety:
             t.join()
         assert not errors
         assert plan.keyswitch_plan_cache_size() == len(levels)
+
+
+class TestOperandTraffic:
+    """The plan-level operand traffic reports feeding the memory model."""
+
+    def test_keyswitch_operands_and_placements(self):
+        from repro.gpu.device import A100
+
+        params, ksk = _key_and_params()
+        ksplan = plan.get_keyswitch_plan(
+            ksk, params, params.max_level, "klss"
+        )
+        operands = ksplan.operand_bytes()
+        assert {"evk", "modup_weights", "moddown_weights"} <= set(operands)
+        assert "recover_weights" in operands  # klss-specific
+        assert all(v > 0 for v in operands.values())
+
+        report = ksplan.traffic_report(A100.hier(), batch=4)
+        assert set(report) == set(operands)
+        for name, row in report.items():
+            assert row["placement"] in ("stream", "smem", "l2", "spill")
+            assert row["hbm_bytes"] >= operands[name] or row["placement"] != "spill"
+            # batch=4 means three re-reads of each shared operand
+            assert row["captured_bytes"] + row["hbm_bytes"] >= row["bytes"]
+
+    def test_batch_one_is_pure_streaming(self):
+        from repro.gpu.device import A100
+
+        params, ksk = _key_and_params()
+        ksplan = plan.get_keyswitch_plan(
+            ksk, params, params.max_level, "klss"
+        )
+        for row in ksplan.traffic_report(A100.hier(), batch=1).values():
+            assert row["placement"] == "stream"
+            assert row["captured_bytes"] == 0.0
+
+    def test_hoisted_rotation_adds_gather_maps(self):
+        from repro.gpu.device import A100
+
+        params = small_test_parameters(
+            klss=KlssConfig(wordsize_t=28, alpha_tilde=2)
+        )
+        from repro.ckks.keys import rotation_galois_power
+
+        gen = KeyGenerator(params, seed=7)
+        secret = gen.secret_key()
+        galois = gen.rotation_keys(secret, [1, 2])
+        powers = tuple(
+            rotation_galois_power(s, params.degree) for s in (1, 2)
+        )
+        rplan = plan.get_hoisted_rotation_plan(
+            galois, powers, params, params.max_level, "klss"
+        )
+        operands = rplan.operand_bytes()
+        assert "gather_maps" in operands
+        report = rplan.traffic_report(A100.hier(), batch=2)
+        assert set(report) == set(operands)

@@ -197,3 +197,20 @@ class TestDiagonalCache:
         counting.encode_calls = 0
         lt.apply(evaluator, lower)
         assert counting.encode_calls > 0
+
+
+class TestTrafficReport:
+    def test_plan_operand_traffic(self, setup):
+        from repro.gpu.device import A100
+
+        params, encoder, _, _, evaluator = setup
+        rng = np.random.default_rng(5)
+        lt = LinearTransform(encoder, rng.normal(size=(params.slots,) * 2))
+        plan = lt._compiled(evaluator, level=2)
+        operands = plan.operand_bytes()
+        assert "pt_tensor" in operands
+        assert any(k.startswith("hoist.") for k in operands)
+        report = plan.traffic_report(A100.hier(), batch=4)
+        assert set(report) == set(operands)
+        for row in report.values():
+            assert row["placement"] in ("stream", "smem", "l2", "spill")

@@ -1,14 +1,22 @@
-"""Tests for the KLSS parameter autotuner."""
+"""Tests for the KLSS parameter autotuner and the plan-space search."""
 
 import pytest
 
 from repro.ckks.params import get_set
 from repro.core.autotuner import (
+    BUDGETS,
+    MODEL_VERSION,
+    TunedConfig,
+    TuningReport,
     TuningResult,
+    TuningStore,
     best_configuration,
+    clear_cost_builder_caches,
     hybrid_vs_best_klss,
+    tune_app,
     tune_keyswitch,
 )
+from repro.gpu.device import A100, L4
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +71,133 @@ class TestTuner:
         hybrid_us, best = hybrid_vs_best_klss(get_set("B"))
         # The paper's central claim: well-tuned KLSS beats Hybrid.
         assert best.keyswitch_us < hybrid_us
+
+
+SMALL_GRID = dict(dnums=(6, 9), alpha_tildes=(4, 5), wordsizes_t=(48,))
+
+
+class TestSharedCacheSweep:
+    def test_warm_sweep_reports_cache_hits(self):
+        clear_cost_builder_caches()
+        results = tune_keyswitch(get_set("B"), **SMALL_GRID)
+        # The grid points share the plan/trace caches: after the first
+        # point warms them, subsequent points hit.
+        assert sum(r.cache_hits for r in results) > 0
+        assert 0.0 <= results[0].cache_hit_rate <= 1.0
+
+    def test_cold_sweep_loses_cross_point_sharing(self):
+        """Cold points may still hit the memo *within* one build (a shape
+        priced twice in the same trace) but never across grid points, so
+        the warm sweep strictly out-hits and under-misses it."""
+        warm = tune_keyswitch(get_set("B"), **SMALL_GRID)
+        cold = tune_keyswitch(get_set("B"), cold_sweep=True, **SMALL_GRID)
+        assert sum(r.cache_hits for r in warm) > sum(r.cache_hits for r in cold)
+        assert sum(r.cache_misses for r in warm) < sum(
+            r.cache_misses for r in cold
+        )
+
+    def test_cold_and_warm_agree_on_times(self):
+        """Cache sharing is a speed-up, not a semantic change."""
+        warm = tune_keyswitch(get_set("B"), **SMALL_GRID)
+        cold = tune_keyswitch(get_set("B"), cold_sweep=True, **SMALL_GRID)
+        warm_t = {(r.dnum, r.alpha_tilde): r.keyswitch_us for r in warm}
+        cold_t = {(r.dnum, r.alpha_tilde): r.keyswitch_us for r in cold}
+        assert warm_t.keys() == cold_t.keys()
+        for key in warm_t:
+            assert warm_t[key] == pytest.approx(cold_t[key])
+
+
+@pytest.fixture(scope="module")
+def helr_report():
+    return tune_app("helr", params="C", device=A100, budget="quick")
+
+
+class TestTuneApp:
+    def test_report_shape(self, helr_report):
+        assert isinstance(helr_report, TuningReport)
+        assert helr_report.app == "helr"
+        assert helr_report.device_name == A100.name
+        assert helr_report.budget == "quick"
+        assert len(helr_report.results) >= 1
+        times = [c.time_s for c in helr_report.results]
+        assert times == sorted(times)
+        assert helr_report.best is helr_report.results[0]
+
+    def test_beats_baseline(self, helr_report):
+        assert helr_report.baseline_time_s is not None
+        assert helr_report.best.time_s < helr_report.baseline_time_s
+        assert helr_report.best.speedup > 1.0
+
+    def test_search_counters(self, helr_report):
+        assert helr_report.probed > helr_report.evaluated
+        assert helr_report.pruned_dominated + helr_report.pruned_cutoff > 0
+        assert helr_report.cache_hits > 0
+        assert 0.0 < helr_report.cache_hit_rate <= 1.0
+
+    def test_jsonable_round_trip(self, helr_report):
+        blob = helr_report.to_jsonable()
+        assert blob["app"] == "helr"
+        best = TunedConfig.from_jsonable(blob["results"][0])
+        assert best == helr_report.best
+        assert best.label() == helr_report.best.label()
+
+    def test_tuned_config_builds_context(self, helr_report):
+        from repro.core import NeoContext
+
+        best = helr_report.best
+        params = best.parameter_set(get_set("C"))
+        config = best.pipeline_config()
+        ctx = NeoContext(params, device=A100.hier(), config=config)
+        assert ctx.keyswitch_time_us(params.max_level) > 0
+
+    def test_l4_drops_fp64_tensor_path(self):
+        report = tune_app("helr", params="C", device=L4, budget="quick")
+        # No FP64 TCUs: the paper's NEO_CONFIG baseline is infeasible and
+        # every surviving config avoids the tcu_fp64 component.
+        assert report.baseline_time_s is None
+        for cfg in report.results:
+            assert cfg.ntt_component != "tcu_fp64"
+            assert cfg.bconv_component != "tcu_fp64"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            tune_app("nosuchapp", device=A100)
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            tune_app("helr", device=A100, budget="extreme")
+
+    def test_budget_registry(self):
+        assert set(BUDGETS) == {"quick", "full"}
+        assert BUDGETS["full"].max_full_evals > BUDGETS["quick"].max_full_evals
+
+
+class TestTuningStore:
+    def test_get_or_tune_caches(self):
+        store = TuningStore(maxsize=4)
+        first = store.get_or_tune("helr", params=get_set("C"), device=A100)
+        again = store.get_or_tune("helr", params=get_set("C"), device=A100)
+        assert again is first
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert len(store) == 1
+
+    def test_key_includes_device_and_budget(self):
+        store = TuningStore(maxsize=8)
+        a100 = store.get_or_tune("helr", params=get_set("C"), device=A100)
+        l4 = store.get_or_tune("helr", params=get_set("C"), device=L4)
+        assert len(store) == 2
+        assert a100.best.device_name != l4.best.device_name
+
+    def test_fifo_eviction(self):
+        store = TuningStore(maxsize=1)
+        store.get_or_tune("helr", params=get_set("C"), device=A100)
+        store.get_or_tune("helr", params=get_set("C"), device=L4)
+        assert len(store) == 1
+        assert store.stats.evictions == 1
+
+    def test_model_version_tags_keys(self):
+        key = TuningStore.key(get_set("C"), "HELR", A100, "quick")
+        assert key[-1] == MODEL_VERSION
+        assert key[1] == "helr"
+        assert key == TuningStore.key("C", "helr", A100, "quick")

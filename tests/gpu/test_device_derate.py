@@ -50,3 +50,33 @@ class TestBatchDerating:
 
     def test_cpu_unaffected(self):
         assert CPU_DEVICE.derated_for_batch(512) is CPU_DEVICE
+
+
+class TestOccupancyCorners:
+    """Degenerate inputs to the saturation curve must stay well-defined."""
+
+    def test_zero_half_disables_derating(self):
+        assert A100._utilization(4, 0.0) == 1.0
+        device = A100.with_overrides(
+            compute_half_batch=0.0, memory_half_batch=0.0
+        )
+        assert device.derated_for_batch(1) is device
+
+    def test_negative_half_disables_derating(self):
+        assert A100._utilization(4, -8.0) == 1.0
+
+    def test_nonpositive_batch_is_full_utilization(self):
+        # BatchSize 0 / negative means "no batching dimension", not a
+        # division by zero or a negative utilisation.
+        assert A100._utilization(0, 32.0) == 1.0
+        assert A100._utilization(-3, 32.0) == 1.0
+        assert A100.derated_for_batch(0) is A100
+
+    @pytest.mark.parametrize("batch", (129, 1000, 10**9))
+    def test_clamp_beyond_saturation_point(self, batch):
+        """The raw curve crosses 1.0 above batch=128; the clamp holds it."""
+        assert A100._utilization(batch, 32.0) == 1.0
+        assert A100.derated_for_batch(batch) is A100
+
+    def test_exactly_at_saturation_point(self):
+        assert A100._utilization(128, 32.0) == pytest.approx(1.0)

@@ -1,0 +1,191 @@
+"""Tests for the reuse-distance memory-hierarchy traffic model."""
+
+import pytest
+
+from repro.gpu.device import A100, DEVICES, H100, L4, DeviceSpec, get_device
+from repro.gpu.kernels import KernelCost
+from repro.gpu.memory_model import (
+    L2_RESIDENT_FRACTION,
+    TrafficProfile,
+    bconv_traffic,
+    classify_traffic,
+    hier_memory_time_s,
+    ip_traffic,
+    kernel_traffic_split,
+    ntt_traffic,
+)
+
+MIB = float(1 << 20)
+
+
+class TestTrafficProfile:
+    def test_scaled_scales_traffic_not_footprints(self):
+        p = TrafficProfile(
+            reuse_bytes=100.0, working_set_bytes=50.0,
+            smem_tile_bytes=10.0, tile_launches=4.0,
+        )
+        s = p.scaled(3.0)
+        assert s.reuse_bytes == 300.0
+        assert s.tile_launches == 12.0
+        assert s.working_set_bytes == 50.0
+        assert s.smem_tile_bytes == 10.0
+
+    def test_merged_adds_traffic_maxes_footprints(self):
+        a = TrafficProfile(100.0, 50.0, 10.0, 2.0)
+        b = TrafficProfile(40.0, 80.0, 5.0, 1.0)
+        m = a.merged(b)
+        assert m.reuse_bytes == 140.0
+        assert m.working_set_bytes == 80.0
+        assert m.smem_tile_bytes == 10.0
+        assert m.tile_launches == 3.0
+
+    def test_merged_none_is_identity(self):
+        a = TrafficProfile(100.0, 50.0, 10.0, 2.0)
+        assert a.merged(None) is a
+
+
+class TestClassifyTraffic:
+    def test_zero_reuse_streaming_kernel(self):
+        """A pure streaming kernel: flat and hier agree exactly."""
+        split = classify_traffic(1e9, None, A100.hier())
+        assert split.placement == "stream"
+        assert split.hbm_bytes == 1e9
+        assert split.captured_bytes == 0.0
+        assert hier_memory_time_s(1e9, None, A100.hier()) == pytest.approx(
+            1e9 / A100.memory_bytes_per_s
+        )
+
+    def test_smem_resident_tile(self):
+        """Tile fits shared memory: reuse captured on-chip, HBM unchanged."""
+        traffic = TrafficProfile(
+            reuse_bytes=1e9,
+            working_set_bytes=100 * MIB,
+            smem_tile_bytes=A100.smem_bytes_per_sm / 2,
+        )
+        split = classify_traffic(1e6, traffic, A100.hier())
+        assert split.placement == "smem"
+        assert split.hbm_bytes == 1e6
+        assert split.l2_bytes == 1e6
+        assert split.captured_bytes == 1e9
+
+    def test_l2_resident_working_set(self):
+        traffic = TrafficProfile(
+            reuse_bytes=1e9,
+            working_set_bytes=A100.l2_capacity_bytes * L2_RESIDENT_FRACTION / 2,
+        )
+        split = classify_traffic(1e6, traffic, A100.hier())
+        assert split.placement == "l2"
+        assert split.hbm_bytes == 1e6
+        assert split.l2_bytes == 1e6 + 1e9
+        assert split.captured_bytes == 1e9
+
+    def test_operand_larger_than_l2_spills(self):
+        traffic = TrafficProfile(
+            reuse_bytes=1e9,
+            working_set_bytes=2 * A100.l2_capacity_bytes,
+        )
+        split = classify_traffic(1e6, traffic, A100.hier())
+        assert split.placement == "spill"
+        assert split.hbm_bytes == 1e6 + 1e9
+        assert split.captured_bytes == 0.0
+
+    def test_l2_boundary_is_fractional_not_full(self):
+        """Residency is decided against L2_RESIDENT_FRACTION of L2, not
+        the nameplate capacity."""
+        ws = A100.l2_capacity_bytes * (L2_RESIDENT_FRACTION + 0.05)
+        split = classify_traffic(1e6, TrafficProfile(1e9, ws), A100.hier())
+        assert split.placement == "spill"
+
+    def test_disabled_l2_spills(self):
+        no_l2 = A100.with_overrides(l2_mib=0.0)
+        split = classify_traffic(1e6, TrafficProfile(1e9, 1.0), no_l2)
+        assert split.placement == "spill"
+
+
+class TestHierMonotone:
+    @pytest.mark.parametrize("placement_ws", (1.0, 100 * MIB, 10e9))
+    def test_hier_never_below_flat(self, placement_ws):
+        """The regression gate: hierarchy adds penalties, never bandwidth."""
+        traffic = TrafficProfile(reuse_bytes=5e8, working_set_bytes=placement_ws)
+        compulsory = 2e9
+        flat = compulsory / A100.memory_bytes_per_s
+        assert hier_memory_time_s(compulsory, traffic, A100.hier()) >= flat
+
+    def test_kernel_cost_dispatch(self):
+        """KernelCost.memory_time_s routes through the hierarchy only on
+        hier devices; flat devices keep the legacy price bit-identical."""
+        traffic = TrafficProfile(reuse_bytes=5e8, working_set_bytes=10e9)
+        cost = KernelCost(
+            name="spilly", bytes_read=1e9, bytes_written=1e9, traffic=traffic
+        )
+        flat_t = cost.memory_time_s(A100)
+        hier_t = cost.memory_time_s(A100.hier())
+        assert flat_t == pytest.approx(2e9 / A100.memory_bytes_per_s)
+        assert hier_t > flat_t
+
+    def test_kernel_traffic_split_helper(self):
+        cost = KernelCost(name="stream", bytes_read=3.0, bytes_written=1.0)
+        split = kernel_traffic_split(cost, A100.hier())
+        assert split.placement == "stream"
+        assert split.hbm_bytes == 4.0
+
+
+class TestProfileBuilders:
+    def test_single_stage_ntt_has_no_reuse(self):
+        assert ntt_traffic(1e6, 8, stages=1, degree=4096, polys=8).reuse_bytes == 0.0
+
+    def test_staged_ntt_reuse_scales_with_stages(self):
+        two = ntt_traffic(1e6, 8, stages=2, degree=4096, polys=8)
+        four = ntt_traffic(1e6, 8, stages=4, degree=4096, polys=8)
+        assert four.reuse_bytes == pytest.approx(3 * two.reuse_bytes)
+
+    def test_ntt_tiling_shrinks_working_set_adds_launches(self):
+        full = ntt_traffic(1e6, 8, stages=2, degree=4096, polys=64)
+        tiled = ntt_traffic(1e6, 8, stages=2, degree=4096, polys=64, tile_polys=8)
+        assert tiled.working_set_bytes < full.working_set_bytes
+        assert tiled.tile_launches > full.tile_launches
+        assert tiled.reuse_bytes == full.reuse_bytes
+
+    def test_bconv_uncounted_rereads_become_reuse(self):
+        p = bconv_traffic(
+            1e6, logical_rereads=10.0, counted_rereads=2.0,
+            word_bytes=8, batch=4,
+        )
+        assert p.reuse_bytes == pytest.approx(8.0 * 1e6 * 8)
+
+    def test_ip_batch_tiling_restreams_the_key(self):
+        whole = ip_traffic(1e8, 1e6, 4.0, 4.0, batch=32)
+        tiled = ip_traffic(1e8, 1e6, 4.0, 4.0, batch=32, batch_tile=8)
+        assert whole.reuse_bytes == 0.0
+        assert tiled.reuse_bytes == pytest.approx(3 * 1e8)
+        assert tiled.working_set_bytes == 1e8
+
+
+class TestDeviceRegistry:
+    def test_known_devices(self):
+        assert get_device("a100") is A100
+        assert get_device("H100") is H100
+        assert get_device("l4") is L4
+        assert get_device(L4) is L4
+        assert set(DEVICES) == {"a100", "h100", "l4", "a100-no-tcu"}
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("t4")
+
+    def test_memory_model_validated(self):
+        with pytest.raises(ValueError, match="unknown memory model"):
+            A100.with_overrides(memory_model="magic")
+
+    def test_hier_flat_round_trip(self):
+        hier = A100.hier()
+        assert hier.memory_model == "hier"
+        assert hier.hier() is hier
+        assert hier.flat().memory_model == "flat"
+        assert A100.flat() is A100
+
+    def test_l4_has_no_fp64_tensor_cores(self):
+        assert L4.tcu_fp64_tflops == 0.0
+        assert L4.tcu_int8_tops > 0.0
+        assert L4.l2_mib > A100.l2_mib
+        assert L4.hbm_bandwidth_gbs < A100.hbm_bandwidth_gbs

@@ -443,3 +443,80 @@ class TestServeOverloadCommand:
                      "--queue-capacity", "3", "--shed-threshold", "0.4"]) == 0
         out = capsys.readouterr().out
         assert "per-tier outcomes" in out
+
+
+class TestTuneCommand:
+    def test_tune_frontier_table(self, capsys):
+        assert main(["tune", "helr"]) == 0
+        out = capsys.readouterr().out
+        assert "Tuned frontier: helr" in out
+        assert "baseline:" in out
+        assert "plan-cache hit rate" in out
+
+    def test_tune_json_output(self, capsys):
+        import json
+
+        assert main(["tune", "helr", "--json", "--top", "3"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["app"] == "helr"
+        assert blob["device_name"].startswith("NVIDIA A100")
+        assert 1 <= len(blob["results"]) <= 3
+        assert blob["results"][0]["time_s"] > 0
+
+    def test_tune_l4_reports_infeasible_baseline(self, capsys):
+        assert main(["tune", "helr", "--device", "l4"]) == 0
+        out = capsys.readouterr().out
+        assert "NVIDIA L4" in out
+        assert "infeasible on this device" in out
+
+    def test_tune_unknown_app(self, capsys):
+        assert main(["tune", "nosuchapp"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_tune_unknown_device(self, capsys):
+        assert main(["tune", "helr", "--device", "t4"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_tune_unknown_budget(self, capsys):
+        assert main(["tune", "helr", "--budget", "huge"]) == 2
+        assert "unknown budget" in capsys.readouterr().err
+
+
+class TestServeAutotune:
+    def test_serve_autotune_reports_tuned_configs(self, capsys):
+        assert main(["serve", "--workload", "smoke", "--autotune"]) == 0
+        out = capsys.readouterr().out
+        assert "autotuned configurations" in out
+        assert "klss(" in out
+        assert "autotune_store" in out
+
+    def test_serve_without_autotune_omits_section(self, capsys):
+        assert main(["serve", "--workload", "smoke"]) == 0
+        assert "autotuned configurations" not in capsys.readouterr().out
+
+    def test_serve_unknown_device(self, capsys):
+        assert main(["serve", "--device", "t4"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+
+class TestAutotuneBenchCommand:
+    def test_bench_autotune_record_and_stable_rerun(self, capsys, tmp_path):
+        from repro.telemetry.bench_history import load_history
+
+        args = ["bench", "autotune", "--record", "--bench-dir", str(tmp_path),
+                "--fail-on-regress"]
+        # modeled-time metrics are deterministic: the rerun compares clean
+        assert main(args) == 0
+        assert main(args) == 0
+        records = load_history("autotune", str(tmp_path))
+        assert len(records) == 2
+        assert "helr_tuned_ms" in records[0].metrics
+        assert "helr_speedup" in records[0].metrics
+        a, b = records[0].metrics, records[1].metrics
+        assert all(a[k] == b[k] for k in a if not k.endswith("wall_s"))
+        out = capsys.readouterr().out
+        assert "Autotuned plans on NVIDIA A100" in out
+
+    def test_bench_autotune_unknown_device(self, capsys):
+        assert main(["bench", "autotune", "--device", "t4"]) == 2
+        assert "unknown device" in capsys.readouterr().err
